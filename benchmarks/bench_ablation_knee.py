@@ -1,0 +1,64 @@
+"""Ablation: knee-point strategy (DESIGN.md Sec. 7).
+
+The knee placement is the one modeling choice the paper leaves
+unstated.  This ablation quantifies how the three strategies move the
+knee — and therefore every over/under-provisioning verdict — on the
+canonical Fig. 5 example and the Pelican case study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.knee import (
+    FractionOfRoofKnee,
+    LinearIntersectionKnee,
+    MaxCurvatureKnee,
+)
+
+STRATEGIES = {
+    "fraction-of-roof": FractionOfRoofKnee(),
+    "linear-intersection": LinearIntersectionKnee(),
+    "max-curvature": MaxCurvatureKnee(samples=801),
+}
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_bench_knee_strategy(benchmark, name):
+    strategy = STRATEGIES[name]
+    knee = benchmark(strategy.locate, 10.0, 50.0)
+    assert knee.throughput_hz > 0
+    assert 0.0 < knee.fraction_of_roof <= 1.0
+
+
+def test_ablation_ordering():
+    """The strategies bracket each other consistently: linear far left,
+    curvature in the middle, fraction-of-roof nearest the roof."""
+    knees = {
+        name: strategy.locate(10.0, 50.0).throughput_hz
+        for name, strategy in STRATEGIES.items()
+    }
+    assert (
+        knees["linear-intersection"]
+        < knees["max-curvature"]
+        < knees["fraction-of-roof"]
+    )
+    # Only fraction-of-roof reproduces the paper's ~100 Hz annotation.
+    assert knees["fraction-of-roof"] == pytest.approx(98.0, abs=0.5)
+    assert knees["linear-intersection"] < 10.0
+
+
+def test_ablation_verdict_sensitivity():
+    """DroNet on the Pelican: over-provisioned under every strategy,
+    but by strategy-dependent factors (4.1x vs ~80x) — why the paper's
+    quoted factors pin down its implicit knee rule."""
+    from repro.uav.presets import asctec_pelican
+
+    uav = asctec_pelican(sensor_range_m=3.0)
+    factors = {}
+    for name, strategy in STRATEGIES.items():
+        model = uav.f1(178.0, knee_strategy=strategy)
+        factors[name] = model.compute_overprovision_factor
+    assert all(factor > 1.0 for factor in factors.values())
+    assert factors["fraction-of-roof"] == pytest.approx(4.14, abs=0.05)
+    assert factors["linear-intersection"] > 10 * factors["fraction-of-roof"]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 5 (safety curve + F-1 roofline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig05
+
+
+def test_bench_fig05(benchmark):
+    result = benchmark(fig05.run)
+    comparisons = {c.quantity: c for c in result.comparisons}
+    assert "98.0" in comparisons["knee-point throughput"].measured
+    assert result.figure is not None
+
+
+def test_bench_fig05_curve_only(benchmark):
+    """The raw Eq. 4 sweep is the hot inner loop of every figure."""
+    from repro.core.sweep import RooflineCurve
+
+    curve = benchmark(
+        RooflineCurve.evaluate, 10.0, 50.0, 0.1, 10_000.0, 2048
+    )
+    assert len(curve) == 2048
+    assert curve.roof == pytest.approx(31.6228, abs=1e-3)

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 7 (validation flights, the slow one)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig07
+
+
+def test_bench_fig07(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig07.run(trials=1, seed=7), rounds=1, iterations=1
+    )
+    # Every drone's simulated error must stay in the optimistic band.
+    for row in result.table_rows:
+        error = float(row[3].rstrip("%"))
+        assert 0.0 < error <= 15.0
+
+
+def test_bench_single_flight(benchmark):
+    """One obstacle-stop flight: the simulator's unit of work."""
+    from repro.sim.obstacle_stop import ObstacleStopConfig, run_obstacle_stop
+    from repro.uav.presets import custom_s500
+
+    uav = custom_s500("A")
+    config = ObstacleStopConfig(cruise_velocity=1.8, f_action_hz=10.0)
+    flight = benchmark(run_obstacle_stop, uav, config, 3)
+    assert flight.peak_velocity > 1.7

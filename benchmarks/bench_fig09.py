@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 9 (velocity vs payload weight)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09
+
+
+def test_bench_fig09(benchmark):
+    result = benchmark(fig09.run)
+    comparisons = {c.quantity: c for c in result.comparisons}
+    # The flat-tail claim: C -> D loses < 3 %.
+    drop = float(
+        comparisons["C -> D velocity drop (+50 g)"].measured.split("%")[0]
+    )
+    assert drop < 3.0
+    # The steep region: A -> C loses > 20 %.
+    drop_ac = float(
+        comparisons["A -> C velocity drop (+50 g)"].measured.split("%")[0]
+    )
+    assert drop_ac > 20.0

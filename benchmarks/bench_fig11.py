@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 11 (case A: NCS vs AGX on DJI Spark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark(fig11.run)
+    rows = {r[0]: r for r in result.table_rows}
+    roof = lambda name: float(rows[name][4])
+    # Who wins: the lighter NCS, despite 1.5x lower throughput.
+    assert roof("intel-ncs") > roof("jetson-agx-30w")
+    # By roughly what factor: the 15 W re-bin recovers +75 %.
+    assert roof("jetson-agx-15w") / roof("jetson-agx-30w") == pytest.approx(
+        1.75, abs=0.01
+    )
+    # Both AGX variants are physics-bound (over-provisioned compute).
+    assert rows["jetson-agx-30w"][5] == "physics"

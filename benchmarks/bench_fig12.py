@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 12 (heatsink mass vs TDP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heatsink import heatsink_mass_g
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark(fig12.run)
+    comparisons = {c.quantity: c for c in result.comparisons}
+    assert "161.8" in comparisons["heatsink @ 30 W"].measured
+    assert "16.2x" in comparisons["20x TDP reduction"].measured
+
+
+def test_bench_heatsink_law(benchmark):
+    mass = benchmark(heatsink_mass_g, 30.0)
+    assert mass == pytest.approx(162.0, abs=1.0)

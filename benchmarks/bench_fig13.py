@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 13 (case B: algorithms on Pelican+TX2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark):
+    result = benchmark(fig13.run)
+    rows = {r[0]: r for r in result.table_rows}
+    # Who wins: E2E networks reach the roof; SPA is stuck at 2.3 m/s.
+    spa_v = float(rows["spa-package-delivery"][3])
+    dronet_v = float(rows["dronet"][3])
+    assert spa_v == pytest.approx(2.30, abs=0.02)
+    assert dronet_v > 2.0 * spa_v * 0.85  # roof ~4.1 vs ceiling 2.3
+    # Crossover: the knee sits at 43 Hz between SPA (1.1) and E2E (55+).
+    assert float(rows["spa-package-delivery"][2]) == pytest.approx(
+        43.0, abs=0.2
+    )
+    assert rows["spa-package-delivery"][4] == "compute"
+    assert rows["dronet"][4] == "physics"

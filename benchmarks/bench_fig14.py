@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 14 (case C: dual modular redundancy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig14
+
+
+def test_bench_fig14(benchmark):
+    result = benchmark(fig14.run)
+    comparisons = {c.quantity: c for c in result.comparisons}
+    drop = float(
+        comparisons["safe-velocity drop from DMR"].measured.rstrip("%")
+    )
+    assert drop == pytest.approx(33.0, abs=0.5)
+    # The reliability column must favor DMR.
+    simplex_row, dmr_row = result.table_rows
+    assert float(dmr_row[4]) < float(simplex_row[4])

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 15 (case D: full-system sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig15
+
+
+def test_bench_fig15(benchmark):
+    result = benchmark(fig15.run)
+    comparisons = {c.quantity: c for c in result.comparisons}
+    assert "3.3x" in comparisons[
+        "Ras-Pi DroNet speedup needed (Pelican)"
+    ].measured
+    assert "660x" in comparisons[
+        "Ras-Pi CAD2RL speedup needed (Pelican)"
+    ].measured
+    # Every design point is classified; both bound kinds occur.
+    bounds = {row[6] for row in result.table_rows}
+    assert {"compute", "physics"} <= bounds
+    assert len(result.table_rows) == 24  # 2 UAVs x 3 computes x 4 algos

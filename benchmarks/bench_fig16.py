@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 16 (accelerator pitfalls on a nano-UAV)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig16
+
+
+def test_bench_fig16(benchmark):
+    result = benchmark(fig16.run)
+    comparisons = {c.quantity: c for c in result.comparisons}
+    assert "4.33x" in comparisons["PULP speedup needed"].measured
+    assert "21.0x" in comparisons["Navion pipeline speedup needed"].measured
+    # Both accelerators land compute-bound: the paper's pitfall.
+    for row in result.table_rows:
+        assert row[4] == "compute"

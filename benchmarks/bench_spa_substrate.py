@@ -1,0 +1,70 @@
+"""Benchmarks for the executable SPA substrate (mapping / planning /
+closed-loop navigation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autonomy.mapping import OccupancyGrid
+from repro.autonomy.planning import astar
+from repro.autonomy.spa_profile import profile_spa_stages
+from repro.sim.corridor import CorridorWorld, navigate_corridor
+
+
+def test_bench_scan_integration(benchmark):
+    grid = OccupancyGrid(20.0, 20.0, resolution_m=0.1)
+    angles = list(np.linspace(0, 2 * np.pi, 180, endpoint=False))
+    ranges = [6.0] * 180
+
+    benchmark(
+        grid.integrate_scan, (10.0, 10.0), angles, ranges, 8.0
+    )
+    assert grid.known_fraction > 0.0
+
+
+def test_bench_astar_200x200(benchmark):
+    rng = np.random.default_rng(0)
+    blocked = rng.random((200, 200)) < 0.2
+    blocked[0, 0] = False
+    blocked[199, 199] = False
+
+    def plan():
+        try:
+            return astar(blocked, (0, 0), (199, 199))
+        except Exception:
+            return []
+
+    path = benchmark(plan)
+    assert isinstance(path, list)
+
+
+def test_bench_spa_profile(benchmark):
+    profile = benchmark.pedantic(
+        lambda: profile_spa_stages(
+            world_size_m=15.0, scan_beams=120, repeats=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Structure check: planning dominates, as in MAVBench on the TX2.
+    assert profile.stage_latency_s["planning"] > (
+        profile.stage_latency_s["control"]
+    )
+
+
+def test_bench_corridor_crossing(benchmark):
+    world = CorridorWorld(seed=3)
+    result = benchmark.pedantic(
+        lambda: navigate_corridor(world, velocity=3.0, f_action_hz=5.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.reached_goal
+
+
+def test_corridor_decision_rate_shape():
+    """Shape invariant: at 6 m/s the outcome flips with decision rate."""
+    world = CorridorWorld(seed=3)
+    assert navigate_corridor(world, 6.0, f_action_hz=0.5).collided
+    assert navigate_corridor(world, 6.0, f_action_hz=5.0).reached_goal

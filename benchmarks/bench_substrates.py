@@ -1,0 +1,72 @@
+"""Performance benchmarks for the substrates themselves.
+
+These track the cost of the building blocks (DES pipeline, body
+dynamics, SVG rendering, DSE sweeps) rather than a paper artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.explorer import explore
+from repro.dse.space import DesignSpace
+from repro.dynamics.body import LongitudinalBody
+from repro.pipeline.pipeline_sim import simulate_pipeline
+from repro.skyline.plotting import roofline_figure
+from repro.uav.presets import asctec_pelican
+
+
+def test_bench_pipeline_des(benchmark):
+    stats = benchmark(
+        simulate_pipeline, 60.0, 30.0, 1000.0, 10.0
+    )
+    assert stats.action_throughput_hz == pytest.approx(30.0, rel=0.05)
+
+
+def test_bench_body_dynamics_10k_steps(benchmark):
+    def run() -> float:
+        body = LongitudinalBody(
+            total_mass_g=1620.0, a_limit=0.73, pitch_lag_s=0.25
+        )
+        body.command_acceleration(0.73)
+        for _ in range(10_000):
+            body.step(0.001)
+        return body.v
+
+    velocity = benchmark(run)
+    assert velocity > 0.5
+
+
+def test_bench_svg_render(benchmark):
+    uav = asctec_pelican()
+    model = uav.f1(178.0)
+    figure = roofline_figure((("pelican", model),), points=512)
+
+    svg = benchmark(lambda: figure.render().to_svg())
+    assert "pelican" in svg
+
+
+def test_bench_dse_sweep(benchmark):
+    space = DesignSpace(
+        uav_names=("dji-spark", "asctec-pelican", "nano-uav"),
+        compute_names=("intel-ncs", "jetson-tx2", "raspi4", "pulp-gap8"),
+        algorithm_names=("dronet", "trailnet", "cad2rl", "vgg16"),
+    )
+    results = benchmark(explore, space)
+    assert len(results) == len(space)
+
+
+def test_bench_f1_analysis(benchmark):
+    """One full F-1 analysis (knee + bound + optimality)."""
+    uav = asctec_pelican()
+
+    def analyze():
+        model = uav.f1(178.0)
+        return (
+            model.knee.throughput_hz,
+            model.bound,
+            model.optimality().status,
+        )
+
+    knee_hz, _, _ = benchmark(analyze)
+    assert knee_hz > 0

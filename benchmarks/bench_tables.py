@@ -1,0 +1,35 @@
+"""Benchmarks: regenerate Tables I-III and Fig. 2b."""
+
+from __future__ import annotations
+
+from repro.experiments import fig02b, tables
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(tables.run_table1)
+    payloads = {row[0]: float(row[4]) for row in result.table_rows}
+    assert payloads["UAV-A"] == 590.0
+    assert payloads["UAV-B"] == 800.0
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(tables.run_table2)
+    knob_names = {row[0] for row in result.table_rows}
+    # All of Table II's knobs must be exposed.
+    assert {
+        "sensor_framerate_hz", "compute_tdp_w", "compute_runtime_s",
+        "sensor_range_m", "drone_weight_g", "rotor_pull_g",
+        "payload_weight_g",
+    } <= knob_names
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(tables.run_table3)
+    assert len(result.table_rows) == 4  # four case studies
+
+
+def test_bench_fig02b(benchmark):
+    result = benchmark(fig02b.run)
+    endurance = {row[0]: float(row[4]) for row in result.table_rows}
+    # Shape: endurance grows with size class.
+    assert endurance["nano"] < endurance["micro"] < endurance["mini"]

@@ -1,0 +1,33 @@
+"""Benchmark: the Sec. IV validation campaign (predicted vs flown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation.flight_tests import (
+    predicted_safe_velocity,
+    run_validation_campaign,
+)
+
+
+def test_bench_predictions(benchmark):
+    """The analytic side: Table I -> predicted safe velocities."""
+    velocities = benchmark(
+        lambda: {v: predicted_safe_velocity(v) for v in "ABCD"}
+    )
+    paper = {"A": 2.13, "B": 1.51, "C": 1.58, "D": 1.53}
+    for variant, expected in paper.items():
+        assert velocities[variant] == pytest.approx(expected, rel=0.06)
+
+
+def test_bench_campaign(benchmark):
+    """The simulated-flight side (1 trial per velocity for speed)."""
+    campaign = benchmark.pedantic(
+        lambda: run_validation_campaign(trials=1, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    errors = [row.error_pct for row in campaign.values()]
+    # The paper's optimistic band: each drone 5-10 %; allow <= 15 %.
+    assert all(0.0 < e <= 15.0 for e in errors)
+    assert max(errors) >= 4.0  # the model is measurably optimistic

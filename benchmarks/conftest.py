@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact (or exercises one
+substrate) and asserts its shape invariants, so a benchmark run is
+also a reproduction run.
+"""

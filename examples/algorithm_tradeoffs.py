@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Case study B + Sec. VII: autonomy algorithms and accelerator pitfalls.
+
+Part 1 — AscTec Pelican + TX2, swapping algorithms: the SPA
+package-delivery pipeline (1.1 Hz) is compute-bound at 2.3 m/s while
+E2E networks overshoot the 43 Hz knee.
+
+Part 2 — why a fast SLAM accelerator does not fix SPA: replacing the
+SLAM stage with Navion (172 FPS) still leaves a 1.24 Hz pipeline,
+because the unaccelerated mapping/planning stages dominate (Amdahl).
+
+Run:  python examples/algorithm_tradeoffs.py
+"""
+
+from repro.autonomy import (
+    get_algorithm,
+    mavbench_package_delivery,
+)
+from repro.autonomy.spa import mavbench_with_navion
+from repro.compute import get_platform
+from repro.io import format_table
+from repro.uav import asctec_pelican
+
+
+def part1_algorithm_comparison() -> None:
+    tx2 = get_platform("jetson-tx2")
+    uav = asctec_pelican(tx2, sensor_range_m=3.0)
+    rows = []
+    for name in ("spa-package-delivery", "trailnet", "dronet"):
+        algorithm = get_algorithm(name)
+        f_compute = algorithm.throughput_on(tx2)
+        model = uav.f1(f_compute)
+        verdict = model.optimality()
+        rows.append(
+            (
+                name,
+                f"{f_compute:.1f}",
+                f"{model.safe_velocity:.2f}",
+                model.bound.value,
+                verdict.status.value,
+                f"{verdict.required_speedup:.1f}x"
+                if verdict.required_speedup > 1
+                else f"{model.compute_overprovision_factor:.1f}x over",
+            )
+        )
+    print("Pelican + TX2, three autonomy algorithms:\n")
+    print(
+        format_table(
+            (
+                "algorithm", "f_c (Hz)", "v_safe (m/s)", "bound",
+                "verdict", "gap",
+            ),
+            rows,
+        )
+    )
+
+
+def part2_amdahl_on_spa() -> None:
+    tx2 = get_platform("jetson-tx2")
+    base = mavbench_package_delivery()
+    accelerated = mavbench_with_navion()
+    print("\nSPA stage breakdown on TX2 (ms):\n")
+    rows = []
+    for stage_name in ("slam", "octomap", "planning", "control"):
+        before = base.stage(stage_name).latency_on(tx2) * 1000
+        after = accelerated.stage(stage_name).latency_on(tx2) * 1000
+        rows.append((stage_name, f"{before:.1f}", f"{after:.1f}"))
+    rows.append(
+        (
+            "TOTAL",
+            f"{base.latency_on(tx2) * 1000:.1f}",
+            f"{accelerated.latency_on(tx2) * 1000:.1f}",
+        )
+    )
+    print(format_table(("stage", "baseline", "with Navion"), rows))
+    print(
+        f"\nNavion accelerates SLAM 172x, yet the pipeline only goes "
+        f"{base.throughput_on(tx2):.2f} -> "
+        f"{accelerated.throughput_on(tx2):.2f} Hz: the other stages "
+        "dominate.\nBuild accelerators for mapping and planning next "
+        "(the paper's Sec. VII takeaway)."
+    )
+
+
+if __name__ == "__main__":
+    part1_algorithm_comparison()
+    part2_amdahl_on_spa()

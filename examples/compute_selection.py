@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Case study A (Sec. VI-A): choosing an onboard computer.
+
+Compares Intel NCS against Nvidia AGX Xavier on a DJI Spark running
+DroNet.  The AGX has 1.5x the compute throughput but its module +
+heatsink mass crushes the Spark's acceleration: the *slower* computer
+yields the faster UAV.  Also quantifies the paper's TDP-reduction
+scenario (AGX re-binned at 15 W -> +75 % safe velocity).
+
+Run:  python examples/compute_selection.py
+"""
+
+from repro import Skyline
+from repro.autonomy import get_algorithm
+from repro.compute import get_platform
+from repro.io import format_table
+from repro.uav import dji_spark
+
+
+def main() -> None:
+    dronet = get_algorithm("dronet")
+    rows = []
+    for name in ("intel-ncs", "jetson-agx-30w", "jetson-agx-15w"):
+        platform = get_platform(name)
+        uav = dji_spark(platform)
+        f_compute = dronet.throughput_on(platform)
+        model = uav.f1(f_compute)
+        rows.append(
+            (
+                name,
+                f"{f_compute:.0f}",
+                f"{platform.flight_mass_g:.0f}",
+                f"{uav.max_acceleration:.2f}",
+                f"{model.roof_velocity:.2f}",
+                model.bound.value,
+                f"{model.compute_overprovision_factor:.1f}x",
+            )
+        )
+    print("DJI Spark running DroNet, three compute choices:\n")
+    print(
+        format_table(
+            (
+                "platform", "f_c (Hz)", "payload (g)", "a_max (m/s^2)",
+                "roof (m/s)", "bound", "over-prov",
+            ),
+            rows,
+        )
+    )
+
+    print(
+        "\nTakeaway: high compute throughput does not translate into a "
+        "fast UAV —\nthe NCS (150 Hz, 47 g) beats the AGX (230 Hz, 442 g) "
+        "on safe velocity.\n"
+    )
+
+    # The Skyline analysis pane spells out the optimization path.
+    session = Skyline.from_preset("dji-spark", compute_name="jetson-agx-30w")
+    report = session.evaluate_algorithm("dronet")
+    for tip in report.analysis.tips:
+        print(f"tip: {tip}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Design tuning: DVFS balancing, sensitivity analysis, mass budgets.
+
+The paper's optimization tips made executable:
+
+1. *Where to optimize* — closed-form sensitivities of the operating
+   point (which knob's relative improvement buys the most velocity).
+2. *Mass budget* — gram-by-gram breakdown showing how much of the
+   Spark an AGX heatsink eats.
+3. *Trade throughput for TDP* — DVFS-balance the over-provisioned AGX
+   down to the knee, shrinking the heatsink and raising the roof.
+4. *What-if sweeps* — the Skyline TDP slider as a table.
+
+Run:  python examples/design_tuning.py
+"""
+
+from repro.autonomy import get_algorithm
+from repro.compute import balance_to_knee, get_platform
+from repro.core.sensitivity import analyze_sensitivity
+from repro.skyline import Knobs
+from repro.skyline.sweep import sweep_knob
+from repro.uav import dji_spark, mass_budget
+
+
+def main() -> None:
+    agx = get_platform("jetson-agx-30w")
+    uav = dji_spark(agx)
+    f_dronet = get_algorithm("dronet").throughput_on(agx)
+    model = uav.f1(f_dronet)
+
+    # --- 1. Sensitivities -------------------------------------------------
+    report = analyze_sensitivity(
+        model, uav.acceleration_model, uav.total_mass_g
+    )
+    print("Operating-point sensitivities (Spark + AGX-30W + DroNet):")
+    print(f"  elasticity wrt sensing range     : {report.elasticity_range:+.2f}")
+    print(f"  elasticity wrt acceleration      : {report.elasticity_acceleration:+.2f}")
+    print(f"  elasticity wrt action throughput : {report.elasticity_throughput:+.3f}")
+    print(f"  velocity cost per gram of payload: {report.d_payload_per_gram:+.4f} m/s/g")
+    print(f"  => spend effort on: {report.dominant_knob()}\n")
+
+    # --- 2. Mass budget ---------------------------------------------------
+    print("Mass budget:")
+    print(mass_budget(uav).table())
+    print()
+
+    # --- 3. DVFS balance --------------------------------------------------
+    balanced = balance_to_knee(uav, f_dronet)
+    print("DVFS balancing the AGX down to the knee:")
+    print(f"  frequency scale : {balanced.scale:.2f}x")
+    print(f"  throughput      : {f_dronet:.0f} -> {balanced.f_compute_hz:.0f} Hz")
+    print(f"  TDP             : {agx.tdp_w:.0f} -> {balanced.tdp_w:.1f} W "
+          f"(saves {balanced.tdp_saved_w:.1f} W)")
+    print(f"  heatsink saved  : {balanced.heatsink_saved_g:.0f} g")
+    print(f"  safe velocity   : {balanced.roof_velocity_before:.2f} -> "
+          f"{balanced.roof_velocity_after:.2f} m/s "
+          f"(+{balanced.velocity_gain_pct:.0f}%)\n")
+
+    # --- 4. Knob sweep ----------------------------------------------------
+    print("Skyline TDP slider as a sweep:")
+    sweep = sweep_knob(
+        Knobs(compute_runtime_s=1.0 / 230.0),
+        "compute_tdp_w",
+        [1.0, 5.0, 10.0, 15.0, 20.0, 30.0],
+    )
+    print(sweep.table())
+
+
+if __name__ == "__main__":
+    main()

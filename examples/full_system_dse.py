@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Case study D (Sec. VI-D) as automated design-space exploration.
+
+Sweeps (UAV x compute x algorithm), prints the weight-aware F-1
+characterization of every design point, extracts the Pareto frontier
+(velocity vs TDP) and answers a constrained selection question — the
+paper's concluding "automated DSE" vision.
+
+Run:  python examples/full_system_dse.py
+"""
+
+from repro.dse import DesignSpace, SelectionCriteria, explore, pareto_front, select_best
+from repro.dse.explorer import results_table
+
+
+def main() -> None:
+    space = DesignSpace(
+        uav_names=("dji-spark", "asctec-pelican", "nano-uav"),
+        compute_names=("intel-ncs", "jetson-tx2", "raspi4", "pulp-gap8"),
+        algorithm_names=("dronet", "trailnet", "cad2rl", "vgg16"),
+    )
+    print(f"exploring {len(space)} design points...\n")
+    results = explore(space)
+    print(results_table(results[:20]))
+    print(f"... ({len(results)} total)\n")
+
+    front = pareto_front(results)
+    print("Pareto frontier (maximize velocity, minimize TDP):")
+    for result in front:
+        print(
+            f"  {result.label:<44s} v={result.safe_velocity:5.2f} m/s  "
+            f"TDP={result.compute_tdp_w:6.2f} W"
+        )
+
+    criteria = SelectionCriteria(
+        max_total_mass_g=600.0, max_compute_tdp_w=10.0
+    )
+    best = select_best(results, criteria)
+    print(
+        f"\nBest design under (mass <= 600 g, TDP <= 10 W): {best.label} "
+        f"at {best.safe_velocity:.2f} m/s ({best.bound.value}-bound)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: analyze one UAV design point with the F-1 model.
+
+Builds a DJI Spark carrying an Intel Neural Compute Stick running
+DroNet, prints the Skyline analysis (knee, bound, optimization tips),
+renders the roofline to SVG and to the terminal.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Skyline
+
+def main() -> None:
+    # 1. Start a Skyline session from a preset UAV + onboard computer.
+    session = Skyline.from_preset("dji-spark", compute_name="intel-ncs")
+
+    # 2. Characterize an autonomy algorithm on that computer.
+    report = session.evaluate_algorithm("dronet")
+
+    # 3. The analysis pane: configuration, results, optimization tips.
+    print(report.text())
+
+    # 4. Key quantities are also available programmatically.
+    model = report.model
+    print()
+    print(f"physics roof      : {model.roof_velocity:.2f} m/s")
+    print(f"knee point        : {model.knee.throughput_hz:.1f} Hz")
+    print(f"safe velocity     : {model.safe_velocity:.2f} m/s")
+    print(f"bound             : {model.bound.value}")
+
+    # 5. Visualize: terminal chart + standalone SVG.
+    print()
+    print(session.ascii())
+    path = session.figure().save("quickstart_roofline.svg")
+    print(f"\nSVG written to {path}")
+
+
+if __name__ == "__main__":
+    main()

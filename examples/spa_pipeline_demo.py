@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The Sense-Plan-Act paradigm, executable end to end.
+
+This repository does not just tabulate SPA latencies — it implements
+the stages.  The demo:
+
+1. profiles occupancy-grid mapping + A* planning *on this machine*,
+   reproducing MAVBench's observation that planning dominates;
+2. feeds the measured decision rate into the F-1 model ("what if this
+   laptop were the onboard computer?");
+3. flies the closed navigation loop through an obstacle corridor,
+   showing behaviorally that decision rate gates safe velocity.
+
+Run:  python examples/spa_pipeline_demo.py
+"""
+
+from repro.autonomy import profile_spa_stages
+from repro.io import format_table
+from repro.sim import CorridorWorld, navigate_corridor
+from repro.skyline import Skyline
+
+
+def main() -> None:
+    # --- 1. Profile the executable SPA stack ------------------------------
+    profile = profile_spa_stages(world_size_m=20.0, scan_beams=180, repeats=3)
+    print("SPA stage latencies measured on this host:\n")
+    print(
+        format_table(
+            ("stage", "latency (ms)"),
+            [(stage, f"{ms:.2f}") for stage, ms in profile.table_rows()],
+        )
+    )
+    print(
+        f"\n  end-to-end decision rate: {profile.decision_rate_hz:.1f} Hz "
+        "(compare: 1.1 Hz for MAVBench package delivery on a TX2)\n"
+    )
+
+    # --- 2. F-1 verdict for "this machine as the onboard computer" --------
+    session = Skyline.from_preset("asctec-pelican", sensor_range_m=3.0)
+    report = session.evaluate_throughput(
+        profile.decision_rate_hz, label="host-spa"
+    )
+    print(report.text())
+
+    # --- 3. Behavioral cross-check in the corridor ------------------------
+    print("\nClosed-loop corridor crossings (30 m, 12 obstacles):\n")
+    world = CorridorWorld(seed=3)
+    rows = []
+    for velocity, f_action in ((1.0, 5.0), (6.0, 5.0), (6.0, 0.5)):
+        result = navigate_corridor(
+            world, velocity=velocity, f_action_hz=f_action
+        )
+        rows.append(
+            (
+                f"{velocity:g}",
+                f"{f_action:g}",
+                "reached" if result.reached_goal else "COLLIDED",
+                f"{result.time_s:.1f}",
+                result.replans,
+            )
+        )
+    print(
+        format_table(
+            ("v (m/s)", "f_action (Hz)", "outcome", "time (s)", "replans"),
+            rows,
+        )
+    )
+    print(
+        "\nThe same 6 m/s that collides at 0.5 Hz decisions crosses "
+        "cleanly at 5 Hz —\nthe F-1 coupling between decision rate and "
+        "safe velocity, observed in the loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gust robustness: how wind erodes the safe-velocity margin.
+
+The F-1 model assumes still air.  This study re-runs the UAV-A
+obstacle-stop campaign under increasingly energetic gust fields
+(Ornstein-Uhlenbeck along-track wind) and a steady tailwind, showing
+how much commanded-velocity margin an operator must hold back — a
+robustness dimension the paper leaves to the flight controller.
+
+Run:  python examples/wind_robustness.py   (takes ~20 s)
+"""
+
+from repro.errors import SimulationError
+from repro.io import format_table
+from repro.sim.obstacle_stop import ObstacleStopConfig
+from repro.sim.trials import find_observed_safe_velocity
+from repro.uav import custom_s500
+
+
+def main() -> None:
+    uav = custom_s500("A")
+    predicted = uav.f1(10.0).velocity_at(10.0)
+    print(f"UAV-A predicted safe velocity (still air): {predicted:.2f} m/s\n")
+
+    conditions = (
+        ("calm", dict()),
+        ("light gusts (sigma 1 m/s)", dict(gust_sigma_ms=1.0)),
+        ("strong gusts (sigma 2 m/s)", dict(gust_sigma_ms=2.0)),
+        ("steady 2 m/s tailwind", dict(mean_wind_ms=2.0)),
+    )
+    rows = []
+    for label, wind_kwargs in conditions:
+        config = ObstacleStopConfig(
+            cruise_velocity=predicted, f_action_hz=10.0, **wind_kwargs
+        )
+        try:
+            search = find_observed_safe_velocity(
+                uav,
+                f_action_hz=10.0,
+                predicted_velocity=predicted,
+                trials=3,
+                seed=11,
+                base_config=config,
+            )
+        except SimulationError:
+            # A 2-sigma tailwind gust (~4 m/s) can overwhelm UAV-A's
+            # 0.68 m/s^2 brake entirely: no grid velocity is safe under
+            # the paper's any-infraction criterion.
+            rows.append((label, "< 0.60x prediction", ">40%"))
+            continue
+        observed = search.observed_safe_velocity
+        rows.append(
+            (
+                label,
+                f"{observed:.2f}",
+                f"{(predicted - observed) / predicted * 100:.0f}%",
+            )
+        )
+    print(
+        format_table(
+            ("condition", "observed safe v (m/s)", "margin vs model"), rows
+        )
+    )
+    print(
+        "\nTakeaway: the analytic model's optimism grows with disturbance "
+        "energy;\ngust-rated operation needs the commanded velocity backed "
+        "off accordingly."
+    )
+
+
+if __name__ == "__main__":
+    main()

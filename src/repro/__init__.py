@@ -1,0 +1,79 @@
+"""repro — the F-1 roofline model for autonomous UAVs.
+
+A complete reproduction of *"Roofline Model for UAVs: A Bottleneck
+Analysis Tool for Onboard Compute Characterization of Autonomous
+Unmanned Aerial Vehicles"* (ISPASS 2022): the analytic F-1 model, the
+UAV / compute / autonomy substrates it depends on, a flight simulator
+standing in for the paper's validation flights, the Skyline analysis
+tool, and a harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import Skyline
+
+    session = Skyline.from_preset("dji-spark", compute_name="intel-ncs")
+    report = session.evaluate_algorithm("dronet")
+    print(report.text())
+"""
+
+from .core import (
+    F1Model,
+    FixedAcceleration,
+    FractionOfRoofKnee,
+    KneePoint,
+    SensorComputeControl,
+    ThrustMarginModel,
+    heatsink_mass_g,
+    physics_roof,
+    required_action_throughput,
+    safe_velocity,
+    safe_velocity_at_rate,
+)
+from .errors import (
+    CalibrationError,
+    ConfigurationError,
+    InfeasibleDesignError,
+    ReproError,
+    SimulationError,
+    UnknownComponentError,
+)
+from .skyline import Knobs, Skyline
+from .uav import (
+    UAVConfiguration,
+    asctec_pelican,
+    custom_s500,
+    dji_spark,
+    get_preset,
+    nano_uav,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "F1Model",
+    "FixedAcceleration",
+    "FractionOfRoofKnee",
+    "KneePoint",
+    "SensorComputeControl",
+    "ThrustMarginModel",
+    "heatsink_mass_g",
+    "physics_roof",
+    "required_action_throughput",
+    "safe_velocity",
+    "safe_velocity_at_rate",
+    "CalibrationError",
+    "ConfigurationError",
+    "InfeasibleDesignError",
+    "ReproError",
+    "SimulationError",
+    "UnknownComponentError",
+    "Knobs",
+    "Skyline",
+    "UAVConfiguration",
+    "asctec_pelican",
+    "custom_s500",
+    "dji_spark",
+    "get_preset",
+    "nano_uav",
+    "__version__",
+]

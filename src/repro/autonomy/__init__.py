@@ -1,0 +1,36 @@
+"""Autonomy algorithm models: E2E networks and SPA pipelines."""
+
+from .base import AutonomyAlgorithm, Paradigm
+from .e2e import E2EAlgorithm
+from .mapping import OccupancyGrid
+from .nn_estimator import Conv2d, Dense, LayerStack, Pool2d
+from .planning import PlanningError, astar, simplify_path
+from .spa_profile import SPAProfile, profile_spa_stages
+from .networks import cad2rl_network, dronet_network, trailnet_network, vgg16_network
+from .spa import SPAPipeline, SPAStage, mavbench_package_delivery
+from .workloads import ALGORITHMS, get_algorithm
+
+__all__ = [
+    "AutonomyAlgorithm",
+    "Paradigm",
+    "E2EAlgorithm",
+    "OccupancyGrid",
+    "Conv2d",
+    "Dense",
+    "LayerStack",
+    "Pool2d",
+    "PlanningError",
+    "astar",
+    "simplify_path",
+    "SPAProfile",
+    "profile_spa_stages",
+    "cad2rl_network",
+    "dronet_network",
+    "trailnet_network",
+    "vgg16_network",
+    "SPAPipeline",
+    "SPAStage",
+    "mavbench_package_delivery",
+    "ALGORITHMS",
+    "get_algorithm",
+]

@@ -1,0 +1,44 @@
+"""Common interface for autonomy algorithms (Sec. II-E of the paper).
+
+Autonomy algorithms come in two paradigms: Sense-Plan-Act (SPA)
+pipelines with distinct mapping/planning/control stages, and
+End-to-End (E2E) learned policies that map sensor input directly to
+actions.  Either way, the F-1 model only needs the algorithm's
+*compute throughput* on a given platform.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+
+from ..uav.components import ComputePlatform
+
+
+class Paradigm(Enum):
+    """The two autonomy paradigms the paper considers."""
+
+    SPA = "sense-plan-act"
+    E2E = "end-to-end"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AutonomyAlgorithm(ABC):
+    """An autonomy algorithm characterizable on onboard computers."""
+
+    name: str
+    paradigm: Paradigm
+
+    @abstractmethod
+    def throughput_on(self, platform: ComputePlatform) -> float:
+        """Decision throughput (Hz) of this algorithm on ``platform``.
+
+        Prefers the paper's measured characterization when available,
+        falling back to model-based estimation.
+        """
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description."""

@@ -1,0 +1,42 @@
+"""End-to-End learned autonomy algorithms (Sec. II-E).
+
+An E2E algorithm wraps a network workload model; its throughput on a
+platform prefers the paper's measured characterization and falls back
+to the classic-roofline estimate of the network's inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compute.characterization import (
+    MEASURED_THROUGHPUT_HZ,
+    has_measurement,
+)
+from ..compute.latency_estimator import estimate_throughput_hz
+from ..uav.components import ComputePlatform
+from .base import AutonomyAlgorithm, Paradigm
+from .nn_estimator import LayerStack
+
+
+@dataclass(frozen=True)
+class E2EAlgorithm(AutonomyAlgorithm):
+    """A learned sensor->action policy characterized by its network."""
+
+    name: str
+    network: LayerStack
+    paradigm: Paradigm = field(default=Paradigm.E2E, init=False)
+
+    def throughput_on(self, platform: ComputePlatform) -> float:
+        if has_measurement(self.name, platform.name):
+            return MEASURED_THROUGHPUT_HZ[(self.name, platform.name)]
+        estimate = estimate_throughput_hz(
+            self.network.gflops, self.network.gbytes, platform
+        )
+        return estimate.throughput_hz
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (E2E, {self.network.gflops:.2f} GFLOP/inference, "
+            f"{self.network.total_params / 1e6:.2f} MParam)"
+        )

@@ -1,0 +1,199 @@
+"""Occupancy-grid mapping: the SPA paradigm's "sensing" stage.
+
+A log-odds occupancy grid updated by ray-casting range scans — the
+standard core of the mapping stage the paper's SPA pipeline (SLAM +
+OctoMap) performs.  This is a real, runnable implementation so the SPA
+stage latencies can be *measured* on the host rather than only taken
+from the characterization table (see :mod:`repro.autonomy.spa_profile`).
+
+Cells hold log-odds; a cell is considered occupied above
+``OCCUPIED_PROBABILITY`` and free below ``FREE_PROBABILITY``; anything
+between is unknown.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+
+Cell = Tuple[int, int]
+Point = Tuple[float, float]
+
+#: Probability thresholds for the ternary occupied/free/unknown view.
+OCCUPIED_PROBABILITY = 0.65
+FREE_PROBABILITY = 0.35
+
+#: Log-odds increments per observation and saturation clamp.
+LOG_ODDS_HIT = 0.85
+LOG_ODDS_MISS = -0.4
+LOG_ODDS_CLAMP = 4.0
+
+
+def bresenham(a: Cell, b: Cell) -> Iterator[Cell]:
+    """Integer line rasterization from cell ``a`` to cell ``b``
+    (inclusive of both endpoints)."""
+    x0, y0 = a
+    x1, y1 = b
+    dx, dy = abs(x1 - x0), abs(y1 - y0)
+    sx = 1 if x0 < x1 else -1
+    sy = 1 if y0 < y1 else -1
+    error = dx - dy
+    x, y = x0, y0
+    while True:
+        yield (x, y)
+        if (x, y) == (x1, y1):
+            return
+        doubled = 2 * error
+        if doubled > -dy:
+            error -= dy
+            x += sx
+        if doubled < dx:
+            error += dx
+            y += sy
+
+
+class OccupancyGrid:
+    """A 2-D log-odds occupancy grid over a rectangular world."""
+
+    def __init__(
+        self,
+        width_m: float,
+        height_m: float,
+        resolution_m: float = 0.1,
+    ) -> None:
+        require_positive("width_m", width_m)
+        require_positive("height_m", height_m)
+        require_positive("resolution_m", resolution_m)
+        self.width_m = width_m
+        self.height_m = height_m
+        self.resolution_m = resolution_m
+        self.cols = max(1, int(round(width_m / resolution_m)))
+        self.rows = max(1, int(round(height_m / resolution_m)))
+        self._log_odds = np.zeros((self.rows, self.cols), dtype=float)
+
+    # ------------------------------------------------------------------
+    # Coordinate transforms
+    # ------------------------------------------------------------------
+    def world_to_cell(self, point: Point) -> Cell:
+        """World (x, y) in meters -> (col, row) cell indices."""
+        x, y = point
+        col = int(x / self.resolution_m)
+        row = int(y / self.resolution_m)
+        if not self.in_bounds((col, row)):
+            raise ConfigurationError(
+                f"point {point} outside the {self.width_m}x"
+                f"{self.height_m} m world"
+            )
+        return (col, row)
+
+    def cell_to_world(self, cell: Cell) -> Point:
+        """Cell indices -> the cell's center in world meters."""
+        col, row = cell
+        return (
+            (col + 0.5) * self.resolution_m,
+            (row + 0.5) * self.resolution_m,
+        )
+
+    def in_bounds(self, cell: Cell) -> bool:
+        col, row = cell
+        return 0 <= col < self.cols and 0 <= row < self.rows
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def integrate_scan(
+        self,
+        origin: Point,
+        angles_rad: Sequence[float],
+        ranges_m: Sequence[Optional[float]],
+        max_range_m: float,
+    ) -> None:
+        """Fuse one range scan taken from ``origin``.
+
+        ``ranges_m[i]`` is the hit distance along ``angles_rad[i]`` or
+        ``None`` for no return within ``max_range_m``.  Cells along
+        each beam are updated free; the terminal cell (if a hit)
+        occupied.
+        """
+        if len(angles_rad) != len(ranges_m):
+            raise ConfigurationError("angles and ranges lengths differ")
+        require_positive("max_range_m", max_range_m)
+        origin_cell = self.world_to_cell(origin)
+        for angle, distance in zip(angles_rad, ranges_m):
+            hit = distance is not None
+            reach = distance if hit else max_range_m
+            end = (
+                origin[0] + reach * math.cos(angle),
+                origin[1] + reach * math.sin(angle),
+            )
+            end_cell = self._clip_cell(end)
+            cells = list(bresenham(origin_cell, end_cell))
+            for cell in cells[:-1]:
+                self._update(cell, LOG_ODDS_MISS)
+            if hit:
+                self._update(cells[-1], LOG_ODDS_HIT)
+            else:
+                self._update(cells[-1], LOG_ODDS_MISS)
+
+    def _clip_cell(self, point: Point) -> Cell:
+        col = min(max(int(point[0] / self.resolution_m), 0), self.cols - 1)
+        row = min(max(int(point[1] / self.resolution_m), 0), self.rows - 1)
+        return (col, row)
+
+    def _update(self, cell: Cell, delta: float) -> None:
+        col, row = cell
+        value = self._log_odds[row, col] + delta
+        self._log_odds[row, col] = min(
+            max(value, -LOG_ODDS_CLAMP), LOG_ODDS_CLAMP
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def occupancy_probability(self, cell: Cell) -> float:
+        """P(occupied) for one cell (0.5 = unknown)."""
+        col, row = cell
+        return 1.0 / (1.0 + math.exp(-self._log_odds[row, col]))
+
+    def is_occupied(self, cell: Cell) -> bool:
+        return self.occupancy_probability(cell) >= OCCUPIED_PROBABILITY
+
+    def is_free(self, cell: Cell) -> bool:
+        return self.occupancy_probability(cell) <= FREE_PROBABILITY
+
+    def occupied_cells(self) -> List[Cell]:
+        """All cells currently above the occupied threshold."""
+        threshold = math.log(OCCUPIED_PROBABILITY / (1 - OCCUPIED_PROBABILITY))
+        rows, cols = np.nonzero(self._log_odds >= threshold)
+        return [(int(c), int(r)) for r, c in zip(rows, cols)]
+
+    def blocked_mask(self, inflation_radius_m: float = 0.0) -> np.ndarray:
+        """Boolean (rows x cols) mask of untraversable cells.
+
+        Occupied cells are dilated by ``inflation_radius_m`` so a
+        point-robot plan keeps physical clearance.
+        """
+        threshold = math.log(OCCUPIED_PROBABILITY / (1 - OCCUPIED_PROBABILITY))
+        blocked = self._log_odds >= threshold
+        radius_cells = int(math.ceil(inflation_radius_m / self.resolution_m))
+        if radius_cells <= 0:
+            return blocked
+        inflated = blocked.copy()
+        rows, cols = np.nonzero(blocked)
+        for row, col in zip(rows, cols):
+            r0 = max(0, row - radius_cells)
+            r1 = min(self.rows, row + radius_cells + 1)
+            c0 = max(0, col - radius_cells)
+            c1 = min(self.cols, col + radius_cells + 1)
+            inflated[r0:r1, c0:c1] = True
+        return inflated
+
+    @property
+    def known_fraction(self) -> float:
+        """Fraction of cells observed at least once (not at 0.5)."""
+        return float(np.mean(self._log_odds != 0.0))

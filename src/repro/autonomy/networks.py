@@ -1,0 +1,110 @@
+"""Concrete network definitions for the paper's E2E algorithms.
+
+Architectures follow the publications the paper cites; minor details
+(padding conventions) are approximated, which is fine for the
+order-of-magnitude workload model the roofline estimator needs:
+
+* DroNet (Loquercio et al., RA-L 2018): ResNet-8 on 200x200 gray.
+* TrailNet (Smolyanskiy et al., IROS 2017): s-ResNet-18 on 320x180.
+* CAD2RL (Sadeghi & Levine, 2016): small conv policy on 227x227.
+* VGG16 (Simonyan & Zisserman): the classic 224x224 backbone the
+  paper uses as a heavyweight E2E stand-in (Fig. 1 / Fig. 15).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .nn_estimator import Conv2d, Dense, LayerStack, Pool2d
+
+
+@lru_cache(maxsize=None)
+def dronet_network() -> LayerStack:
+    """DroNet: 5x5 stem + three residual blocks + steering/collision FC."""
+    layers = [
+        Conv2d(32, kernel=5, stride=2),
+        Pool2d(3, stride=2),
+        # residual block 1 (32 ch, stride 2)
+        Conv2d(32, kernel=3, stride=2),
+        Conv2d(32, kernel=3),
+        # residual block 2 (64 ch, stride 2)
+        Conv2d(64, kernel=3, stride=2),
+        Conv2d(64, kernel=3),
+        # residual block 3 (128 ch, stride 2)
+        Conv2d(128, kernel=3, stride=2),
+        Conv2d(128, kernel=3),
+        Pool2d(6),
+        Dense(2),
+    ]
+    return LayerStack("dronet", input_shape=(1, 200, 200), layers=layers)
+
+
+@lru_cache(maxsize=None)
+def trailnet_network() -> LayerStack:
+    """TrailNet: an s-ResNet-18-style trunk on 320x180 RGB."""
+    layers = [
+        Conv2d(64, kernel=7, stride=2),
+        Pool2d(3, stride=2),
+        Conv2d(64, kernel=3),
+        Conv2d(64, kernel=3),
+        Conv2d(64, kernel=3),
+        Conv2d(64, kernel=3),
+        Conv2d(128, kernel=3, stride=2),
+        Conv2d(128, kernel=3),
+        Conv2d(128, kernel=3),
+        Conv2d(128, kernel=3),
+        Conv2d(256, kernel=3, stride=2),
+        Conv2d(256, kernel=3),
+        Conv2d(256, kernel=3),
+        Conv2d(256, kernel=3),
+        Conv2d(512, kernel=3, stride=2),
+        Conv2d(512, kernel=3),
+        Conv2d(512, kernel=3),
+        Conv2d(512, kernel=3),
+        Pool2d(5),
+        Dense(6),
+    ]
+    return LayerStack("trailnet", input_shape=(3, 180, 320), layers=layers)
+
+
+@lru_cache(maxsize=None)
+def cad2rl_network() -> LayerStack:
+    """CAD2RL: a compact conv Q-network over 227x227 gray frames."""
+    layers = [
+        Conv2d(32, kernel=9, stride=4),
+        Conv2d(48, kernel=5, stride=2),
+        Conv2d(64, kernel=3, stride=2),
+        Conv2d(96, kernel=3, stride=2),
+        Dense(512),
+        Dense(41),  # velocity-direction action bins
+    ]
+    return LayerStack("cad2rl", input_shape=(1, 227, 227), layers=layers)
+
+
+@lru_cache(maxsize=None)
+def vgg16_network() -> LayerStack:
+    """VGG16: 13 conv + 3 FC layers on 224x224 RGB (~15.5 GFLOPs)."""
+    layers = [
+        Conv2d(64, kernel=3),
+        Conv2d(64, kernel=3),
+        Pool2d(2),
+        Conv2d(128, kernel=3),
+        Conv2d(128, kernel=3),
+        Pool2d(2),
+        Conv2d(256, kernel=3),
+        Conv2d(256, kernel=3),
+        Conv2d(256, kernel=3),
+        Pool2d(2),
+        Conv2d(512, kernel=3),
+        Conv2d(512, kernel=3),
+        Conv2d(512, kernel=3),
+        Pool2d(2),
+        Conv2d(512, kernel=3),
+        Conv2d(512, kernel=3),
+        Conv2d(512, kernel=3),
+        Pool2d(2),
+        Dense(4096),
+        Dense(4096),
+        Dense(1000),
+    ]
+    return LayerStack("vgg16", input_shape=(3, 224, 224), layers=layers)

@@ -1,0 +1,212 @@
+"""Layer-level FLOPs / memory-traffic estimation for E2E networks.
+
+A :class:`LayerStack` propagates an input tensor shape through a
+sequence of conv / pool / dense layers, accumulating per-inference
+FLOPs (multiply and add counted separately, so 1 MAC = 2 FLOPs),
+parameter counts and memory traffic.  The totals feed the
+classic-roofline throughput estimator for (algorithm, platform) pairs
+the paper did not measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..units import require_positive
+
+#: Bytes per tensor element (fp16 inference is the norm on edge GPUs).
+DTYPE_BYTES = 2
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A (channels, height, width) activation shape."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("channels", "height", "width"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+
+    @property
+    def elements(self) -> int:
+        return self.channels * self.height * self.width
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost of one layer: FLOPs, parameters and activation traffic."""
+
+    name: str
+    flops: float
+    params: int
+    activation_bytes: float
+    output_shape: TensorShape
+
+
+def _conv_output_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"kernel {kernel}/stride {stride} reduces dimension {size} "
+            "below 1"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Conv2d:
+    """A 2-D convolution layer (square kernels)."""
+
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int | None = None  # None -> 'same'-style kernel//2
+
+    def apply(self, shape: TensorShape, name: str) -> LayerCost:
+        pad = self.kernel // 2 if self.padding is None else self.padding
+        out_h = _conv_output_dim(shape.height, self.kernel, self.stride, pad)
+        out_w = _conv_output_dim(shape.width, self.kernel, self.stride, pad)
+        out_shape = TensorShape(self.out_channels, out_h, out_w)
+        macs = (
+            self.kernel
+            * self.kernel
+            * shape.channels
+            * self.out_channels
+            * out_h
+            * out_w
+        )
+        params = (
+            self.kernel * self.kernel * shape.channels * self.out_channels
+            + self.out_channels
+        )
+        traffic = (shape.elements + out_shape.elements + params) * DTYPE_BYTES
+        return LayerCost(
+            name=name,
+            flops=2.0 * macs,
+            params=params,
+            activation_bytes=float(traffic),
+            output_shape=out_shape,
+        )
+
+
+@dataclass(frozen=True)
+class Pool2d:
+    """Max/avg pooling (costless in FLOPs terms except traffic)."""
+
+    kernel: int
+    stride: int | None = None
+
+    def apply(self, shape: TensorShape, name: str) -> LayerCost:
+        stride = self.stride or self.kernel
+        out_h = _conv_output_dim(shape.height, self.kernel, stride, 0)
+        out_w = _conv_output_dim(shape.width, self.kernel, stride, 0)
+        out_shape = TensorShape(shape.channels, out_h, out_w)
+        traffic = (shape.elements + out_shape.elements) * DTYPE_BYTES
+        return LayerCost(
+            name=name,
+            flops=float(shape.elements),  # one compare/add per input
+            params=0,
+            activation_bytes=float(traffic),
+            output_shape=out_shape,
+        )
+
+
+@dataclass(frozen=True)
+class Dense:
+    """A fully connected layer; flattens its input."""
+
+    out_features: int
+
+    def apply(self, shape: TensorShape, name: str) -> LayerCost:
+        in_features = shape.elements
+        out_shape = TensorShape(self.out_features, 1, 1)
+        macs = in_features * self.out_features
+        params = macs + self.out_features
+        traffic = (in_features + self.out_features + params) * DTYPE_BYTES
+        return LayerCost(
+            name=name,
+            flops=2.0 * macs,
+            params=params,
+            activation_bytes=float(traffic),
+            output_shape=out_shape,
+        )
+
+
+Layer = Conv2d | Pool2d | Dense
+
+
+class LayerStack:
+    """An ordered network description with accumulated costs."""
+
+    def __init__(
+        self,
+        name: str,
+        input_shape: Tuple[int, int, int],
+        layers: Sequence[Layer],
+    ) -> None:
+        require_positive("input channels", input_shape[0])
+        self.name = name
+        self.input_shape = TensorShape(*input_shape)
+        self.layers: List[LayerCost] = []
+        shape = self.input_shape
+        for index, layer in enumerate(layers):
+            cost = layer.apply(shape, name=f"{type(layer).__name__}-{index}")
+            self.layers.append(cost)
+            shape = cost.output_shape
+        self.output_shape = shape
+
+    @property
+    def total_flops(self) -> float:
+        """FLOPs per inference (MAC = 2 FLOPs)."""
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        """Trainable parameter count."""
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def total_bytes(self) -> float:
+        """Approximate memory traffic per inference (bytes)."""
+        return sum(layer.activation_bytes for layer in self.layers)
+
+    @property
+    def gflops(self) -> float:
+        """Per-inference GFLOPs."""
+        return self.total_flops / 1e9
+
+    @property
+    def gbytes(self) -> float:
+        """Per-inference GB of traffic."""
+        return self.total_bytes / 1e9
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per byte moved — x-axis of the classic roofline."""
+        return self.total_flops / self.total_bytes
+
+    def summary(self) -> str:
+        """Multi-line per-layer cost table."""
+        lines = [
+            f"{self.name}: input "
+            f"{self.input_shape.channels}x{self.input_shape.height}"
+            f"x{self.input_shape.width}"
+        ]
+        for layer in self.layers:
+            shape = layer.output_shape
+            lines.append(
+                f"  {layer.name:<14s} -> {shape.channels}x{shape.height}"
+                f"x{shape.width}  {layer.flops / 1e6:9.1f} MFLOP  "
+                f"{layer.params / 1e3:8.1f} kParam"
+            )
+        lines.append(
+            f"  total: {self.gflops:.3f} GFLOP, "
+            f"{self.total_params / 1e6:.2f} MParam, "
+            f"OI {self.operational_intensity:.1f} FLOP/B"
+        )
+        return "\n".join(lines)

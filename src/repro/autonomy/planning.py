@@ -1,0 +1,148 @@
+"""Grid path planning: the SPA paradigm's "planning" stage.
+
+An 8-connected A* over an occupancy grid's blocked mask, with an
+optional line-of-sight path simplification pass.  Together with
+:mod:`repro.autonomy.mapping` this makes the SPA pipeline executable,
+so its stage latencies can be measured rather than assumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from .mapping import Cell, bresenham
+
+SQRT2 = math.sqrt(2.0)
+
+#: 8-connected neighborhood: (dc, dr, step cost).
+_NEIGHBORS = (
+    (1, 0, 1.0), (-1, 0, 1.0), (0, 1, 1.0), (0, -1, 1.0),
+    (1, 1, SQRT2), (1, -1, SQRT2), (-1, 1, SQRT2), (-1, -1, SQRT2),
+)
+
+
+class PlanningError(ReproError):
+    """No traversable path exists between the requested cells."""
+
+
+def _octile(a: Cell, b: Cell) -> float:
+    """Admissible heuristic for 8-connected grids."""
+    dx, dy = abs(a[0] - b[0]), abs(a[1] - b[1])
+    return max(dx, dy) + (SQRT2 - 1.0) * min(dx, dy)
+
+
+def astar(
+    blocked: np.ndarray,
+    start: Cell,
+    goal: Cell,
+    heuristic: Callable[[Cell, Cell], float] = _octile,
+) -> List[Cell]:
+    """Shortest 8-connected path on a boolean blocked mask.
+
+    ``blocked`` is indexed ``[row, col]``; cells are ``(col, row)``.
+    Returns the cell sequence start..goal inclusive; raises
+    :class:`PlanningError` when unreachable or an endpoint is blocked.
+    """
+    rows, cols = blocked.shape
+
+    def passable(cell: Cell) -> bool:
+        col, row = cell
+        return 0 <= col < cols and 0 <= row < rows and not blocked[row, col]
+
+    for name, cell in (("start", start), ("goal", goal)):
+        if not passable(cell):
+            raise PlanningError(f"{name} cell {cell} is blocked or outside")
+
+    open_heap: List[Tuple[float, int, Cell]] = []
+    counter = 0
+    g_score: Dict[Cell, float] = {start: 0.0}
+    came_from: Dict[Cell, Cell] = {}
+    heapq.heappush(open_heap, (heuristic(start, goal), counter, start))
+    closed = set()
+
+    while open_heap:
+        _, _, current = heapq.heappop(open_heap)
+        if current == goal:
+            return _reconstruct(came_from, current)
+        if current in closed:
+            continue
+        closed.add(current)
+        col, row = current
+        for dc, dr, step in _NEIGHBORS:
+            neighbor = (col + dc, row + dr)
+            if not passable(neighbor) or neighbor in closed:
+                continue
+            # Forbid cutting corners diagonally between two blocked cells.
+            if dc != 0 and dr != 0:
+                if not (passable((col + dc, row)) and passable((col, row + dr))):
+                    continue
+            tentative = g_score[current] + step
+            if tentative < g_score.get(neighbor, math.inf):
+                g_score[neighbor] = tentative
+                came_from[neighbor] = current
+                counter += 1
+                heapq.heappush(
+                    open_heap,
+                    (tentative + heuristic(neighbor, goal), counter, neighbor),
+                )
+    raise PlanningError(f"no path from {start} to {goal}")
+
+
+def _reconstruct(came_from: Dict[Cell, Cell], current: Cell) -> List[Cell]:
+    path = [current]
+    while current in came_from:
+        current = came_from[current]
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def path_length_cells(path: List[Cell]) -> float:
+    """Length of a cell path in cell units (diagonals = sqrt 2)."""
+    return sum(
+        math.hypot(b[0] - a[0], b[1] - a[1])
+        for a, b in zip(path, path[1:])
+    )
+
+
+def line_of_sight(blocked: np.ndarray, a: Cell, b: Cell) -> bool:
+    """Whether the straight ray between two cells crosses no block."""
+    rows, cols = blocked.shape
+    for col, row in bresenham(a, b):
+        if not (0 <= col < cols and 0 <= row < rows):
+            return False
+        if blocked[row, col]:
+            return False
+    return True
+
+
+def simplify_path(
+    blocked: np.ndarray, path: List[Cell], max_lookahead: Optional[int] = None
+) -> List[Cell]:
+    """Greedy line-of-sight shortcutting of an A* path.
+
+    Keeps the first and last cells; repeatedly jumps to the farthest
+    visible waypoint (optionally capped at ``max_lookahead`` steps).
+    The result is never longer than the input.
+    """
+    if len(path) <= 2:
+        return list(path)
+    simplified = [path[0]]
+    index = 0
+    while index < len(path) - 1:
+        horizon = len(path) - 1
+        if max_lookahead is not None:
+            horizon = min(horizon, index + max_lookahead)
+        best = index + 1
+        for candidate in range(horizon, index, -1):
+            if line_of_sight(blocked, path[index], path[candidate]):
+                best = candidate
+                break
+        simplified.append(path[best])
+        index = best
+    return simplified

@@ -1,0 +1,163 @@
+"""Sense-Plan-Act pipelines (Sec. II-E, Sec. VII of the paper).
+
+An SPA algorithm decomposes into named stages — perception (SLAM),
+mapping (OctoMap), motion planning and control — whose latencies the
+paper characterizes on an Nvidia TX2 using MAVBench's package-delivery
+application.  Stages run back-to-back on the shared onboard computer,
+so the decision latency is the *sum* of stage latencies (this is why
+Navion's 172 FPS SLAM stage still yields only a 1.23 Hz pipeline:
+Sec. VII's central pitfall).
+
+For platforms other than the characterized TX2, stage latencies are
+scaled by relative attainable compute (a deliberately coarse model,
+consistent with F-1's early-phase role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from ..compute.platforms import get_platform
+from ..errors import ConfigurationError
+from ..uav.components import ComputePlatform
+from ..units import require_positive
+from .base import AutonomyAlgorithm, Paradigm
+
+#: The platform on which the paper characterizes SPA stage latencies.
+REFERENCE_PLATFORM = "jetson-tx2"
+
+
+@dataclass(frozen=True)
+class SPAStage:
+    """One SPA stage with its measured latency on the reference TX2.
+
+    ``fixed_function`` marks stages served by a dedicated accelerator
+    (e.g. Navion): their latency does not scale with the main onboard
+    computer's speed.
+    """
+
+    name: str
+    latency_s: float
+    fixed_function: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive("latency_s", self.latency_s)
+
+    def latency_on(self, platform: ComputePlatform) -> float:
+        """Latency of this stage when hosted on ``platform``."""
+        if self.fixed_function:
+            return self.latency_s
+        reference = get_platform(REFERENCE_PLATFORM)
+        scale = reference.peak_gflops / platform.peak_gflops
+        return self.latency_s * scale
+
+
+@dataclass(frozen=True)
+class SPAPipeline(AutonomyAlgorithm):
+    """A named sequence of SPA stages executing sequentially."""
+
+    name: str
+    stages: Tuple[SPAStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigurationError("an SPA pipeline needs >= 1 stage")
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate SPA stage names in {names}"
+            )
+
+    @property
+    def paradigm(self) -> Paradigm:
+        return Paradigm.SPA
+
+    def stage(self, name: str) -> SPAStage:
+        """Look up a stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        known = ", ".join(s.name for s in self.stages)
+        raise ConfigurationError(
+            f"no SPA stage named {name!r}; stages: {known}"
+        )
+
+    def latency_on(self, platform: ComputePlatform) -> float:
+        """End-to-end decision latency (s): sum of stage latencies."""
+        return sum(stage.latency_on(platform) for stage in self.stages)
+
+    def throughput_on(self, platform: ComputePlatform) -> float:
+        return 1.0 / self.latency_on(platform)
+
+    def stage_breakdown_on(
+        self, platform: ComputePlatform
+    ) -> Dict[str, float]:
+        """Per-stage latencies (s) on ``platform``, in pipeline order."""
+        return {
+            stage.name: stage.latency_on(platform) for stage in self.stages
+        }
+
+    def with_accelerated_stage(
+        self,
+        stage_name: str,
+        latency_s: float,
+        suffix: Optional[str] = None,
+    ) -> "SPAPipeline":
+        """Replace one stage with a fixed-function accelerator.
+
+        Models Sec. VII's Navion scenario: the SLAM stage drops to the
+        accelerator's latency (and stops scaling with the host CPU),
+        while every other stage is untouched.
+        """
+        require_positive("latency_s", latency_s)
+        self.stage(stage_name)  # validate existence
+        new_stages = tuple(
+            replace(stage, latency_s=latency_s, fixed_function=True)
+            if stage.name == stage_name
+            else stage
+            for stage in self.stages
+        )
+        return SPAPipeline(
+            name=f"{self.name}+{suffix or stage_name + '-accel'}",
+            stages=new_stages,
+        )
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{stage.name} {stage.latency_s * 1000:.1f} ms"
+            for stage in self.stages
+        )
+        return f"{self.name} (SPA: {parts})"
+
+
+# ---------------------------------------------------------------------------
+# MAVBench package delivery (the paper's SPA exemplar)
+# ---------------------------------------------------------------------------
+
+#: Stage latencies on the TX2 (s).  The split is chosen so the total is
+#: exactly the paper's 1/1.1 Hz = 909.1 ms, and so replacing SLAM with
+#: Navion's 5.81 ms (172 FPS) yields the paper's 810 ms / 1.23 Hz.
+_MAVBENCH_STAGES = (
+    SPAStage(name="slam", latency_s=0.10600),
+    SPAStage(name="octomap", latency_s=0.28540),
+    SPAStage(name="planning", latency_s=0.42100),
+    SPAStage(name="control", latency_s=0.09669),
+)
+
+#: Navion's per-frame VIO latency: 172 FPS (Sec. VII).
+NAVION_SLAM_LATENCY_S = 1.0 / 172.0
+
+
+def mavbench_package_delivery() -> SPAPipeline:
+    """The MAVBench package-delivery SPA pipeline (Sec. VI-B)."""
+    return SPAPipeline(
+        name="spa-package-delivery", stages=_MAVBENCH_STAGES
+    )
+
+
+def mavbench_with_navion() -> SPAPipeline:
+    """Package delivery with Navion serving the SLAM stage (Sec. VII)."""
+    return mavbench_package_delivery().with_accelerated_stage(
+        "slam", NAVION_SLAM_LATENCY_S, suffix="navion"
+    )

@@ -1,0 +1,141 @@
+"""Host-measured SPA stage characterization.
+
+The paper's SPA latencies come from MAVBench runs on a TX2.  Because
+this repository ships *executable* mapping and planning stages, the
+same characterization can be performed on the current machine: build a
+synthetic scene, time each stage, and hand the resulting decision rate
+to the F-1 model — turning "this laptop" into one more onboard-compute
+candidate.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..units import require_positive
+from .mapping import OccupancyGrid
+from .planning import astar, simplify_path
+
+
+@dataclass(frozen=True)
+class SPAProfile:
+    """Measured per-stage latencies (s) of the executable SPA stack."""
+
+    stage_latency_s: Dict[str, float]
+    grid_cells: int
+    scan_beams: int
+
+    @property
+    def total_latency_s(self) -> float:
+        return sum(self.stage_latency_s.values())
+
+    @property
+    def decision_rate_hz(self) -> float:
+        """The compute throughput this host sustains for the pipeline."""
+        return 1.0 / self.total_latency_s
+
+    def table_rows(self):
+        """(stage, latency ms) rows for reporting."""
+        return [
+            (name, latency * 1000.0)
+            for name, latency in self.stage_latency_s.items()
+        ]
+
+
+def _synthetic_scene(
+    grid: OccupancyGrid, beams: int, rng: np.random.Generator
+) -> tuple:
+    """A scan from the world center against random walls."""
+    origin = (grid.width_m / 2.0, grid.height_m / 2.0)
+    angles = [2.0 * math.pi * i / beams for i in range(beams)]
+    max_range = min(grid.width_m, grid.height_m) / 2.0 * 0.9
+    ranges = [
+        float(rng.uniform(0.3 * max_range, max_range)) if rng.random() < 0.7
+        else None
+        for _ in range(beams)
+    ]
+    return origin, angles, ranges, max_range
+
+
+def profile_spa_stages(
+    world_size_m: float = 20.0,
+    resolution_m: float = 0.1,
+    scan_beams: int = 180,
+    repeats: int = 5,
+    seed: int = 0,
+) -> SPAProfile:
+    """Time mapping, planning and control on this machine.
+
+    Stages mirror the MAVBench decomposition: *slam* = scan
+    integration into the occupancy grid, *octomap* = blocked-mask
+    extraction with inflation, *planning* = A* across the world +
+    line-of-sight simplification, *control* = waypoint-to-setpoint
+    conversion (trivially cheap, as on the TX2).  Median-of-repeats
+    timing keeps the numbers stable on a noisy host.
+    """
+    require_positive("world_size_m", world_size_m)
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rng = np.random.default_rng(seed)
+    grid = OccupancyGrid(world_size_m, world_size_m, resolution_m)
+    origin, angles, ranges, max_range = _synthetic_scene(grid, scan_beams, rng)
+
+    def timed(fn) -> float:
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        return float(np.median(samples))
+
+    slam_s = timed(
+        lambda: grid.integrate_scan(origin, angles, ranges, max_range)
+    )
+
+    blocked_holder = {}
+
+    def extract() -> None:
+        blocked_holder["mask"] = grid.blocked_mask(inflation_radius_m=0.3)
+
+    octomap_s = timed(extract)
+    blocked = blocked_holder["mask"]
+
+    margin = int(1.0 / resolution_m)
+    start_cell = (margin, margin)
+    goal_cell = (grid.cols - margin - 1, grid.rows - margin - 1)
+    blocked[start_cell[1], start_cell[0]] = False
+    blocked[goal_cell[1], goal_cell[0]] = False
+
+    path_holder = {}
+
+    def plan() -> None:
+        path = astar(blocked, start_cell, goal_cell)
+        path_holder["path"] = simplify_path(blocked, path)
+
+    planning_s = timed(plan)
+
+    waypoints = path_holder["path"]
+
+    def control() -> None:
+        # Convert the next waypoint into a velocity setpoint.
+        (c0, r0), (c1, r1) = waypoints[0], waypoints[min(1, len(waypoints) - 1)]
+        heading = math.atan2(r1 - r0, c1 - c0)
+        _ = (math.cos(heading), math.sin(heading))
+
+    control_s = max(timed(control), 1e-7)
+
+    return SPAProfile(
+        stage_latency_s={
+            "slam": slam_s,
+            "octomap": octomap_s,
+            "planning": planning_s,
+            "control": control_s,
+        },
+        grid_cells=grid.rows * grid.cols,
+        scan_beams=scan_beams,
+    )

@@ -1,0 +1,42 @@
+"""Registry of the paper's pre-configured autonomy algorithms.
+
+This is Skyline's algorithm drop-down: DroNet, TrailNet, CAD2RL and
+VGG16 as E2E workloads, plus the MAVBench package-delivery SPA
+pipeline (and its Navion-accelerated variant).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import UnknownComponentError
+from .base import AutonomyAlgorithm
+from .e2e import E2EAlgorithm
+from .networks import (
+    cad2rl_network,
+    dronet_network,
+    trailnet_network,
+    vgg16_network,
+)
+from .spa import mavbench_package_delivery, mavbench_with_navion
+
+ALGORITHMS: Dict[str, Callable[[], AutonomyAlgorithm]] = {
+    "dronet": lambda: E2EAlgorithm("dronet", dronet_network()),
+    "trailnet": lambda: E2EAlgorithm("trailnet", trailnet_network()),
+    "cad2rl": lambda: E2EAlgorithm("cad2rl", cad2rl_network()),
+    "vgg16": lambda: E2EAlgorithm("vgg16", vgg16_network()),
+    "spa-package-delivery": mavbench_package_delivery,
+    "spa-package-delivery+navion": mavbench_with_navion,
+}
+
+
+def get_algorithm(name: str) -> AutonomyAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise UnknownComponentError(
+            f"unknown autonomy algorithm {name!r}; known: {known}"
+        ) from None
+    return factory()

@@ -1,0 +1,31 @@
+"""Onboard compute substrate: platform database, measured throughput
+characterization, classic roofline model and latency estimation."""
+
+from .characterization import (
+    MEASURED_THROUGHPUT_HZ,
+    compute_throughput_hz,
+    has_measurement,
+    measured_pairs,
+)
+from .dvfs import BalancedDesign, DvfsModel, balance_to_knee
+from .latency_estimator import (
+    EstimatedThroughput,
+    estimate_throughput_hz,
+)
+from .platforms import PLATFORMS, get_platform
+from .roofline_classic import ClassicRoofline
+
+__all__ = [
+    "MEASURED_THROUGHPUT_HZ",
+    "compute_throughput_hz",
+    "has_measurement",
+    "measured_pairs",
+    "BalancedDesign",
+    "DvfsModel",
+    "balance_to_knee",
+    "EstimatedThroughput",
+    "estimate_throughput_hz",
+    "PLATFORMS",
+    "get_platform",
+    "ClassicRoofline",
+]

@@ -1,0 +1,84 @@
+"""Measured (algorithm, platform) throughput characterization table.
+
+Every number the paper publishes is recorded here with its source
+section; pairs the paper does not report fall back to the
+classic-roofline estimator (:mod:`repro.compute.latency_estimator`).
+Rates are end-to-end inference/decision throughputs in Hz.
+
+Paper sources:
+
+* DroNet on Intel NCS 150 Hz / AGX 230 Hz — Sec. VI-A.
+* DroNet on TX2 178 Hz, TrailNet on TX2 55 Hz, SPA (MAVBench package
+  delivery) on TX2 1.1 Hz — Sec. VI-B.
+* DroNet on Ras-Pi 13 Hz, TrailNet 0.391 Hz, CAD2RL 0.0652 Hz —
+  implied by Sec. VI-D's "3.3x / 110x / 660x below the 43 Hz knee".
+* PULP-DroNet 6 Hz @ 64 mW — Sec. VII.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import UnknownComponentError
+from ..uav.components import ComputePlatform
+from .latency_estimator import estimate_throughput_hz
+from .platforms import PLATFORMS
+
+#: (algorithm name, platform name) -> measured throughput, Hz.
+MEASURED_THROUGHPUT_HZ: Dict[Tuple[str, str], float] = {
+    ("dronet", "intel-ncs"): 150.0,
+    ("dronet", "jetson-agx-30w"): 230.0,
+    ("dronet", "jetson-agx-15w"): 230.0,
+    ("dronet", "jetson-tx2"): 178.0,
+    ("dronet", "raspi4"): 13.0,
+    ("dronet", "pulp-gap8"): 6.0,
+    ("trailnet", "jetson-tx2"): 55.0,
+    ("trailnet", "raspi4"): 0.391,
+    ("cad2rl", "jetson-tx2"): 24.0,
+    ("cad2rl", "raspi4"): 0.0652,
+    ("vgg16", "jetson-tx2"): 10.0,
+    ("spa-package-delivery", "jetson-tx2"): 1.1,
+}
+
+
+def has_measurement(algorithm: str, platform: str) -> bool:
+    """Whether the paper published a throughput for this pair."""
+    return (algorithm, platform) in MEASURED_THROUGHPUT_HZ
+
+
+def measured_pairs() -> List[Tuple[str, str]]:
+    """All (algorithm, platform) pairs with published measurements."""
+    return sorted(MEASURED_THROUGHPUT_HZ)
+
+
+def compute_throughput_hz(
+    algorithm: str,
+    platform: str,
+    workload_gflops: float | None = None,
+    workload_gbytes: float | None = None,
+) -> float:
+    """Throughput of ``algorithm`` on ``platform`` in Hz.
+
+    Prefers the paper's measured number; otherwise estimates from the
+    workload's FLOPs/bytes via the classic roofline (both must then be
+    provided).  Raises :class:`UnknownComponentError` for an unknown
+    platform, and ``ValueError`` when no measurement exists and no
+    workload description was given.
+    """
+    key = (algorithm, platform)
+    if key in MEASURED_THROUGHPUT_HZ:
+        return MEASURED_THROUGHPUT_HZ[key]
+    if platform not in PLATFORMS:
+        known = ", ".join(sorted(PLATFORMS))
+        raise UnknownComponentError(
+            f"unknown compute platform {platform!r}; known: {known}"
+        )
+    if workload_gflops is None or workload_gbytes is None:
+        raise ValueError(
+            f"no published measurement for ({algorithm!r}, {platform!r}) "
+            "and no workload description supplied for estimation"
+        )
+    spec: ComputePlatform = PLATFORMS[platform]
+    return estimate_throughput_hz(
+        workload_gflops, workload_gbytes, spec
+    ).throughput_hz

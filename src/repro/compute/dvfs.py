@@ -1,0 +1,149 @@
+"""DVFS: trading compute throughput for TDP (Sec. VI-A/VI-D's tip).
+
+The paper repeatedly recommends spending an over-provisioned
+computer's excess throughput on a lower TDP ("e.g., at a lower clock
+frequency"), shrinking the heatsink and raising the roofline.  This
+module makes that trade quantitative:
+
+* a frequency scale ``s`` in (0, 1] multiplies throughput linearly;
+* power follows ``P(s) = TDP * (static + (1 - static) * s^exponent)``
+  with a cubic dynamic term (voltage tracks frequency) over a static
+  leakage floor;
+* :func:`balance_to_knee` solves the fixed point where the scaled
+  throughput meets the knee of the *re-weighted* vehicle — the knee
+  itself moves as the heatsink shrinks, so this is a root find, not a
+  division.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InfeasibleDesignError
+from ..uav.components import ComputePlatform
+from ..uav.configuration import UAVConfiguration
+from ..units import require_fraction, require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """Frequency/power scaling law for an onboard computer."""
+
+    exponent: float = 3.0
+    static_fraction: float = 0.2
+    min_scale: float = 0.2
+
+    def __post_init__(self) -> None:
+        require_positive("exponent", self.exponent)
+        require_in_range("static_fraction", self.static_fraction, 0.0, 0.95)
+        require_fraction("min_scale", self.min_scale)
+
+    def power_fraction(self, scale: float) -> float:
+        """P(s) / P(1) for a frequency scale ``s``."""
+        self._check_scale(scale)
+        dynamic = 1.0 - self.static_fraction
+        return self.static_fraction + dynamic * scale**self.exponent
+
+    def throughput_fraction(self, scale: float) -> float:
+        """Throughput scales linearly with frequency."""
+        self._check_scale(scale)
+        return scale
+
+    def scaled_platform(
+        self, platform: ComputePlatform, scale: float
+    ) -> ComputePlatform:
+        """The platform re-binned at frequency scale ``scale``."""
+        self._check_scale(scale)
+        return platform.with_tdp(
+            platform.tdp_w * self.power_fraction(scale),
+            name=f"{platform.name}@{scale:.2f}x",
+        )
+
+    def _check_scale(self, scale: float) -> None:
+        if not self.min_scale <= scale <= 1.0:
+            raise InfeasibleDesignError(
+                f"frequency scale {scale:.3f} outside "
+                f"[{self.min_scale}, 1.0]"
+            )
+
+
+@dataclass(frozen=True)
+class BalancedDesign:
+    """Result of scaling an over-provisioned computer down to the knee."""
+
+    uav: UAVConfiguration
+    scale: float
+    f_compute_hz: float
+    tdp_w: float
+    tdp_saved_w: float
+    heatsink_saved_g: float
+    roof_velocity_before: float
+    roof_velocity_after: float
+
+    @property
+    def velocity_gain_pct(self) -> float:
+        return (
+            self.roof_velocity_after / self.roof_velocity_before - 1.0
+        ) * 100.0
+
+
+def balance_to_knee(
+    uav: UAVConfiguration,
+    f_compute_hz: float,
+    dvfs: DvfsModel | None = None,
+    iterations: int = 60,
+) -> BalancedDesign:
+    """Scale the computer down until its throughput meets the knee.
+
+    Only meaningful for designs whose compute rate exceeds the knee;
+    raises :class:`InfeasibleDesignError` otherwise.  The solution is a
+    fixed point because shedding heatsink mass raises ``a_max`` and
+    with it the knee throughput.
+    """
+    require_positive("f_compute_hz", f_compute_hz)
+    dvfs = dvfs or DvfsModel()
+    baseline = uav.f1(f_compute_hz)
+    if f_compute_hz <= baseline.knee.throughput_hz:
+        raise InfeasibleDesignError(
+            f"compute at {f_compute_hz:.1f} Hz is not above the "
+            f"{baseline.knee.throughput_hz:.1f} Hz knee; nothing to trade"
+        )
+
+    def gap(scale: float) -> float:
+        """Scaled throughput minus the re-weighted vehicle's knee."""
+        candidate = uav.with_compute(
+            dvfs.scaled_platform(uav.compute, scale), name=uav.name
+        )
+        scaled_f = f_compute_hz * dvfs.throughput_fraction(scale)
+        return scaled_f - candidate.f1(scaled_f).knee.throughput_hz
+
+    lo, hi = dvfs.min_scale, 1.0
+    if gap(lo) > 0.0:
+        # Even the slowest bin stays above the knee: take it.
+        best = lo
+    else:
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            if gap(mid) > 0.0:
+                hi = mid
+            else:
+                lo = mid
+        best = hi
+
+    scaled_platform = dvfs.scaled_platform(uav.compute, best)
+    balanced_uav = uav.with_compute(scaled_platform, name=uav.name)
+    scaled_f = f_compute_hz * dvfs.throughput_fraction(best)
+    after = balanced_uav.f1(scaled_f)
+    return BalancedDesign(
+        uav=balanced_uav,
+        scale=best,
+        f_compute_hz=scaled_f,
+        tdp_w=scaled_platform.tdp_w,
+        tdp_saved_w=uav.compute.tdp_w - scaled_platform.tdp_w,
+        heatsink_saved_g=(
+            uav.compute.heatsink_mass_g - scaled_platform.heatsink_mass_g
+        )
+        * uav.compute_redundancy,
+        roof_velocity_before=baseline.roof_velocity,
+        roof_velocity_after=after.roof_velocity,
+    )

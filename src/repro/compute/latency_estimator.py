@@ -1,0 +1,100 @@
+"""Classic-roofline-based throughput estimation for unmeasured pairs.
+
+Given a workload's per-inference FLOPs and memory traffic and a
+platform's performance envelope, estimate the decision throughput.
+Small-batch, framework-encumbered robot inference typically attains a
+modest fraction of a platform's peak; ``DEFAULT_EFFICIENCY`` captures
+that derating and per-platform overrides are calibrated against the
+paper's published measurements (checked by the test suite to within a
+factor of ~3, which is the fidelity an early-phase model needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..uav.components import ComputePlatform
+from ..units import require_positive
+from .roofline_classic import ClassicRoofline
+
+#: Fraction of peak typically attainable by small-batch CNN inference.
+DEFAULT_EFFICIENCY = 0.25
+
+#: Per-platform efficiency overrides (fraction of roofline attainable).
+PLATFORM_EFFICIENCY: Dict[str, float] = {
+    "raspi4": 0.30,
+    "upboard": 0.30,
+    "jetson-tx2": 0.15,
+    "jetson-agx-30w": 0.04,  # tiny nets cannot saturate AGX
+    "jetson-agx-15w": 0.04,
+    "intel-ncs": 0.60,
+    "pulp-gap8": 0.30,
+    "cortex-m4": 0.50,
+    "navion": 1.0,  # fixed-function ASIC runs at its rated rate
+}
+
+#: Fixed per-inference overhead (s): framework dispatch, USB/DMA, etc.
+PLATFORM_OVERHEAD_S: Dict[str, float] = {
+    "intel-ncs": 0.002,
+    "jetson-tx2": 0.002,
+    "jetson-agx-30w": 0.002,
+    "jetson-agx-15w": 0.002,
+}
+DEFAULT_OVERHEAD_S = 0.001
+
+
+@dataclass(frozen=True)
+class EstimatedThroughput:
+    """An estimate plus the intermediate quantities that produced it."""
+
+    throughput_hz: float
+    kernel_time_s: float
+    overhead_s: float
+    efficiency: float
+    oi_flops_per_byte: float
+    compute_bound: bool
+
+
+def estimate_throughput_hz(
+    workload_gflops: float,
+    workload_gbytes: float,
+    platform: ComputePlatform,
+    efficiency: float | None = None,
+    overhead_s: float | None = None,
+) -> EstimatedThroughput:
+    """Estimate decision throughput of a workload on a platform.
+
+    ``workload_gflops`` / ``workload_gbytes`` describe one inference
+    (GFLOP and GB moved).  Efficiency and overhead default to the
+    calibrated per-platform values.
+    """
+    require_positive("workload_gflops", workload_gflops)
+    require_positive("workload_gbytes", workload_gbytes)
+    roofline = ClassicRoofline(
+        peak_gflops=platform.peak_gflops,
+        mem_bandwidth_gbs=platform.mem_bandwidth_gbs,
+    )
+    eff = (
+        efficiency
+        if efficiency is not None
+        else PLATFORM_EFFICIENCY.get(platform.name, DEFAULT_EFFICIENCY)
+    )
+    ovh = (
+        overhead_s
+        if overhead_s is not None
+        else PLATFORM_OVERHEAD_S.get(platform.name, DEFAULT_OVERHEAD_S)
+    )
+    kernel = roofline.kernel_time_s(
+        workload_gflops, workload_gbytes, efficiency=eff
+    )
+    oi = workload_gflops / workload_gbytes
+    total = kernel + ovh
+    return EstimatedThroughput(
+        throughput_hz=1.0 / total,
+        kernel_time_s=kernel,
+        overhead_s=ovh,
+        efficiency=eff,
+        oi_flops_per_byte=oi,
+        compute_bound=roofline.is_compute_bound(oi),
+    )

@@ -1,0 +1,126 @@
+"""Database of onboard compute platforms used throughout the paper.
+
+Masses, TDPs and (where published) performance envelopes come from the
+paper (Table I, Sec. VI-A, Sec. VII) and vendor datasheets.  Peak
+GFLOPS figures are small-batch inference peaks in the platform's
+preferred precision; they feed the classic-roofline latency estimator
+and are cross-checked against the paper's measured throughputs in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import UnknownComponentError
+from ..uav.components import ComputePlatform
+
+_ALL = (
+    ComputePlatform(
+        name="raspi4",
+        mass_g=46.0,
+        tdp_w=5.0,
+        peak_gflops=24.0,
+        mem_bandwidth_gbs=4.0,
+        needs_heatsink=False,
+        idle_power_w=2.0,
+        description="Raspberry Pi 4B (ARM Cortex-A72, passive cooling)",
+    ),
+    ComputePlatform(
+        name="upboard",
+        mass_g=100.0,
+        tdp_w=15.0,
+        peak_gflops=48.0,
+        mem_bandwidth_gbs=6.4,
+        idle_power_w=4.0,
+        description="Intel Up Squared (x86 Atom) used on UAV-B",
+    ),
+    ComputePlatform(
+        name="jetson-tx2",
+        mass_g=85.0,
+        carrier_mass_g=60.0,
+        tdp_w=7.5,
+        peak_gflops=1330.0,
+        mem_bandwidth_gbs=59.7,
+        idle_power_w=2.0,
+        description="Nvidia Jetson TX2 module + carrier",
+    ),
+    ComputePlatform(
+        name="jetson-agx-30w",
+        mass_g=280.0,
+        tdp_w=30.0,
+        peak_gflops=11000.0,
+        mem_bandwidth_gbs=137.0,
+        idle_power_w=5.0,
+        description="Nvidia Jetson AGX Xavier at its 30 W profile",
+    ),
+    ComputePlatform(
+        name="jetson-agx-15w",
+        mass_g=280.0,
+        tdp_w=15.0,
+        peak_gflops=11000.0,
+        mem_bandwidth_gbs=137.0,
+        idle_power_w=5.0,
+        description=(
+            "Hypothetical AGX re-binned at 15 W with unchanged "
+            "throughput (the paper's Sec. VI-A optimization scenario)"
+        ),
+    ),
+    ComputePlatform(
+        name="intel-ncs",
+        mass_g=47.0,
+        tdp_w=1.0,
+        peak_gflops=100.0,
+        mem_bandwidth_gbs=4.0,
+        needs_heatsink=False,
+        idle_power_w=0.5,
+        description="Intel Neural Compute Stick (Myriad VPU, sub-1 W)",
+    ),
+    ComputePlatform(
+        name="pulp-gap8",
+        mass_g=5.0,
+        tdp_w=0.064,
+        peak_gflops=22.65,
+        mem_bandwidth_gbs=0.5,
+        needs_heatsink=False,
+        idle_power_w=0.01,
+        description="PULP GAP8 (PULP-DroNet engine, 64 mW)",
+    ),
+    ComputePlatform(
+        name="navion",
+        mass_g=5.0,
+        tdp_w=0.002,
+        peak_gflops=200.0,
+        mem_bandwidth_gbs=0.1,
+        needs_heatsink=False,
+        idle_power_w=0.001,
+        description=(
+            "Navion VIO accelerator (2 mW ASIC + camera/IMU board); "
+            "accelerates only the SLAM stage of an SPA pipeline"
+        ),
+    ),
+    ComputePlatform(
+        name="cortex-m4",
+        mass_g=2.0,
+        tdp_w=0.1,
+        peak_gflops=0.1,
+        mem_bandwidth_gbs=0.05,
+        needs_heatsink=False,
+        idle_power_w=0.01,
+        description="ARM Cortex-M4 microcontroller (nano-UAV class)",
+    ),
+)
+
+#: Name -> platform registry.
+PLATFORMS: Dict[str, ComputePlatform] = {p.name: p for p in _ALL}
+
+
+def get_platform(name: str) -> ComputePlatform:
+    """Look up a platform by name, raising a helpful error if absent."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise UnknownComponentError(
+            f"unknown compute platform {name!r}; known: {known}"
+        ) from None

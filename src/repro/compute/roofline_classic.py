@@ -1,0 +1,69 @@
+"""The classic roofline model (Williams et al., CACM 2009).
+
+The paper contrasts its F-1 model with the traditional compute roofline
+(and Gables): attainable performance is the lesser of the compute peak
+and the bandwidth-bound line ``BW * OI``.  This substrate serves two
+roles here: it estimates compute throughput for (algorithm, platform)
+pairs the paper did not characterize, and it lets the test suite show
+that *isolated* roofline reasoning mispredicts UAV-level outcomes —
+the paper's central argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..units import require_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ClassicRoofline:
+    """A compute platform's roofline: peak GFLOP/s and GB/s."""
+
+    peak_gflops: float
+    mem_bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        require_positive("peak_gflops", self.peak_gflops)
+        require_positive("mem_bandwidth_gbs", self.mem_bandwidth_gbs)
+
+    @property
+    def ridge_point_flops_per_byte(self) -> float:
+        """Operational intensity where the two roofs intersect."""
+        return self.peak_gflops / self.mem_bandwidth_gbs
+
+    def attainable_gflops(self, oi_flops_per_byte: ArrayLike) -> ArrayLike:
+        """Attainable performance at operational intensity ``oi``."""
+        oi = np.asarray(oi_flops_per_byte, dtype=float)
+        if np.any(oi <= 0):
+            raise ValueError("operational intensity must be > 0")
+        perf = np.minimum(self.peak_gflops, self.mem_bandwidth_gbs * oi)
+        return float(perf) if np.isscalar(oi_flops_per_byte) else perf
+
+    def is_compute_bound(self, oi_flops_per_byte: float) -> bool:
+        """Whether a kernel at ``oi`` hits the flat (compute) roof."""
+        require_positive("oi_flops_per_byte", oi_flops_per_byte)
+        return oi_flops_per_byte >= self.ridge_point_flops_per_byte
+
+    def kernel_time_s(
+        self,
+        flops_g: float,
+        bytes_gb: float,
+        efficiency: float = 1.0,
+    ) -> float:
+        """Best-case execution time of one kernel invocation (s).
+
+        ``efficiency`` derates the attainable roof for real-world
+        launch overheads, cache misses and framework costs.
+        """
+        require_positive("flops_g", flops_g)
+        require_positive("bytes_gb", bytes_gb)
+        require_positive("efficiency", efficiency)
+        oi = flops_g / bytes_gb
+        gflops = self.attainable_gflops(oi) * efficiency
+        return flops_g / gflops

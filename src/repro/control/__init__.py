@@ -1,0 +1,13 @@
+"""Flight control substrate: PID loops, the cascaded flight
+controller, and the MAVROS-like offboard command interface."""
+
+from .flight_controller import CascadedFlightController, ControllerGains
+from .offboard import OffboardInterface
+from .pid import PID
+
+__all__ = [
+    "CascadedFlightController",
+    "ControllerGains",
+    "OffboardInterface",
+    "PID",
+]

@@ -1,0 +1,98 @@
+"""The cascaded 1 kHz flight controller for the planar quadrotor.
+
+Mirrors the structure of PX4-class firmware (Sec. II-D): an outer
+velocity loop produces a pitch setpoint, an altitude loop produces a
+collective-thrust setpoint, and a fast inner attitude loop converts
+the pitch error into differential thrust.  All three loops run at the
+flight controller's ``loop_rate_hz`` (typically 1 kHz).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..dynamics.quadrotor import PlanarQuadrotor
+from ..units import deg_to_rad, require_positive
+from .pid import PID
+
+
+@dataclass(frozen=True)
+class ControllerGains:
+    """Loop gains and limits for the cascaded controller."""
+
+    vel_kp: float = 0.35  # m/s error -> pitch (rad)
+    vel_ki: float = 0.1  # integral removes the drag-induced droop
+    max_pitch_deg: float = 20.0
+    att_kp: float = 120.0  # rad error -> per-pair differential (g)
+    att_kd: float = 35.0
+    alt_kp: float = 4.0  # m error -> thrust delta (g per gram of mass)
+    alt_kd: float = 3.0
+
+
+class CascadedFlightController:
+    """Velocity + altitude + attitude cascade for :class:`PlanarQuadrotor`."""
+
+    def __init__(
+        self,
+        quad: PlanarQuadrotor,
+        gains: ControllerGains | None = None,
+        loop_rate_hz: float = 1000.0,
+    ) -> None:
+        require_positive("loop_rate_hz", loop_rate_hz)
+        self.quad = quad
+        self.gains = gains or ControllerGains()
+        self.loop_rate_hz = loop_rate_hz
+        self.velocity_setpoint = 0.0
+        self.altitude_setpoint = quad.state.z
+        limit = deg_to_rad(self.gains.max_pitch_deg)
+        self._vel_pid = PID(
+            kp=self.gains.vel_kp,
+            ki=self.gains.vel_ki,
+            out_min=-limit,
+            out_max=limit,
+        )
+
+    def set_velocity(self, vx_setpoint: float) -> None:
+        """Command a forward velocity (m/s)."""
+        self.velocity_setpoint = vx_setpoint
+
+    def set_altitude(self, z_setpoint: float) -> None:
+        """Command an altitude (m)."""
+        self.altitude_setpoint = z_setpoint
+
+    def update(self) -> None:
+        """One 1 kHz control cycle: read state, write motor commands."""
+        gains = self.gains
+        quad = self.quad
+        state = quad.state
+        params = quad.params
+
+        # Outer velocity loop -> pitch setpoint (limited, anti-windup).
+        vel_error = self.velocity_setpoint - state.vx
+        pitch_sp = self._vel_pid.step(vel_error, 1.0 / self.loop_rate_hz)
+
+        # Altitude loop -> collective thrust around hover.
+        alt_error = self.altitude_setpoint - state.z
+        climb_damping = -state.vz
+        collective = params.hover_thrust_per_pair_g * (
+            1.0 + gains.alt_kp * alt_error + gains.alt_kd * climb_damping
+        ) / max(math.cos(state.theta), 0.5)
+
+        # Inner attitude loop -> differential thrust.
+        att_error = pitch_sp - state.theta
+        differential = gains.att_kp * att_error - gains.att_kd * state.q
+
+        quad.command(
+            front_pair_g=collective - differential,
+            rear_pair_g=collective + differential,
+        )
+
+    def run(self, duration_s: float, dt: float | None = None) -> None:
+        """Run the closed loop for ``duration_s`` of simulated time."""
+        require_positive("duration_s", duration_s)
+        step = dt if dt is not None else 1.0 / self.loop_rate_hz
+        steps = int(round(duration_s / step))
+        for _ in range(steps):
+            self.update()
+            self.quad.step(step)

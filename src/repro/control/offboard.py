@@ -1,0 +1,64 @@
+"""MAVROS-like offboard command interface for the longitudinal model.
+
+The paper's validation algorithm is "a custom controller based on
+MAVROS" that precisely commands position, velocity and acceleration.
+:class:`OffboardInterface` reproduces that API surface for the 1-D
+body: the autonomy loop posts velocity setpoints (or an emergency
+brake), and the interface converts them into acceleration commands at
+the flight-controller rate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..dynamics.body import LongitudinalBody
+from ..units import require_positive
+
+
+class OffboardMode(Enum):
+    """Current setpoint type, mirroring MAVROS setpoint topics."""
+
+    IDLE = "idle"
+    VELOCITY = "velocity"
+    BRAKE = "brake"
+
+
+class OffboardInterface:
+    """Velocity-setpoint tracking with an emergency-brake override."""
+
+    def __init__(
+        self,
+        body: LongitudinalBody,
+        velocity_kp: float = 4.0,
+    ) -> None:
+        require_positive("velocity_kp", velocity_kp)
+        self.body = body
+        self.velocity_kp = velocity_kp
+        self.mode = OffboardMode.IDLE
+        self._velocity_setpoint = 0.0
+
+    def set_velocity(self, setpoint: float) -> None:
+        """Track a forward velocity (m/s)."""
+        if setpoint < 0:
+            raise ValueError("forward-flight setpoints must be >= 0")
+        self._velocity_setpoint = setpoint
+        self.mode = OffboardMode.VELOCITY
+
+    def brake(self) -> None:
+        """Maximum-deceleration stop (the obstacle response)."""
+        self.mode = OffboardMode.BRAKE
+
+    @property
+    def velocity_setpoint(self) -> float:
+        return self._velocity_setpoint
+
+    def update(self) -> None:
+        """One flight-controller cycle: setpoint -> acceleration command."""
+        if self.mode is OffboardMode.IDLE:
+            self.body.command_acceleration(0.0)
+        elif self.mode is OffboardMode.VELOCITY:
+            error = self._velocity_setpoint - self.body.v
+            self.body.command_acceleration(self.velocity_kp * error)
+        else:  # BRAKE
+            self.body.command_acceleration(-self.body.a_limit)

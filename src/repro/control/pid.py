@@ -1,0 +1,63 @@
+"""A PID controller with output clamping and anti-windup.
+
+The building block of the flight-controller stack (Sec. II-D: "the
+flight controller is realized using PID controllers").  Integral
+anti-windup uses conditional integration: the integrator freezes while
+the output is saturated in the direction that would deepen saturation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..units import require_nonnegative, require_positive
+
+
+class PID:
+    """Proportional-integral-derivative controller."""
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        out_min: float = -math.inf,
+        out_max: float = math.inf,
+    ) -> None:
+        require_nonnegative("kp", kp)
+        require_nonnegative("ki", ki)
+        require_nonnegative("kd", kd)
+        if out_min >= out_max:
+            raise ValueError("out_min must be < out_max")
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.out_min = out_min
+        self.out_max = out_max
+        self._integral = 0.0
+        self._prev_error: float | None = None
+
+    def reset(self) -> None:
+        """Clear integral and derivative history."""
+        self._integral = 0.0
+        self._prev_error = None
+
+    def step(self, error: float, dt: float) -> float:
+        """One controller update for the given error and timestep."""
+        require_positive("dt", dt)
+        derivative = 0.0
+        if self._prev_error is not None:
+            derivative = (error - self._prev_error) / dt
+        self._prev_error = error
+
+        unclamped = (
+            self.kp * error
+            + self.ki * (self._integral + error * dt)
+            + self.kd * derivative
+        )
+        output = min(max(unclamped, self.out_min), self.out_max)
+        saturated_high = unclamped > self.out_max and error > 0
+        saturated_low = unclamped < self.out_min and error < 0
+        if self.ki > 0.0 and not (saturated_high or saturated_low):
+            self._integral += error * dt
+        return output

@@ -1,0 +1,96 @@
+"""Core F-1 model: the paper's primary contribution.
+
+This package implements the analytic machinery of the F-1 visual
+performance model (Sections III–IV of the paper):
+
+* :mod:`repro.core.safety` — Eq. 4 safe-velocity model and inverses.
+* :mod:`repro.core.throughput` — Eq. 1–3 sensor-compute-control
+  pipeline throughput and latency bounds.
+* :mod:`repro.core.physics` — Eq. 5 acceleration-from-thrust models
+  and drag.
+* :mod:`repro.core.knee` — knee-point location strategies.
+* :mod:`repro.core.bounds` — compute/sensor/control/physics bound
+  classification and ceilings.
+* :mod:`repro.core.optimality` — optimal / over- / under-provisioned
+  design assessment.
+* :mod:`repro.core.model` — the :class:`F1Model` facade tying the
+  above together.
+"""
+
+from .bounds import BoundKind, Ceiling, classify_bound
+from .heatsink import heatsink_mass_g, tdp_for_heatsink_mass
+from .knee import (
+    DEFAULT_KNEE_FRACTION,
+    FractionOfRoofKnee,
+    KneePoint,
+    KneeStrategy,
+    LinearIntersectionKnee,
+    MaxCurvatureKnee,
+)
+from .model import F1Model
+from .optimality import DesignStatus, OptimalityReport, assess_design
+from .physics import (
+    DEFAULT_BRAKING_PITCH_DEG,
+    AccelerationModel,
+    FixedAcceleration,
+    PitchEnvelopeModel,
+    QuadraticDrag,
+    ThrustMarginModel,
+)
+from .safety import (
+    physics_roof,
+    required_action_period,
+    required_action_throughput,
+    safe_velocity,
+    safe_velocity_at_rate,
+    stopping_distance,
+)
+from .sensitivity import (
+    SensitivityReport,
+    analyze_sensitivity,
+    velocity_partials,
+)
+from .sweep import RooflineCurve, throughput_grid
+from .throughput import (
+    SensorComputeControl,
+    action_throughput,
+    pipeline_latency_bounds,
+)
+
+__all__ = [
+    "BoundKind",
+    "Ceiling",
+    "classify_bound",
+    "heatsink_mass_g",
+    "tdp_for_heatsink_mass",
+    "DEFAULT_KNEE_FRACTION",
+    "FractionOfRoofKnee",
+    "KneePoint",
+    "KneeStrategy",
+    "LinearIntersectionKnee",
+    "MaxCurvatureKnee",
+    "F1Model",
+    "DesignStatus",
+    "OptimalityReport",
+    "assess_design",
+    "DEFAULT_BRAKING_PITCH_DEG",
+    "AccelerationModel",
+    "FixedAcceleration",
+    "PitchEnvelopeModel",
+    "QuadraticDrag",
+    "ThrustMarginModel",
+    "physics_roof",
+    "required_action_period",
+    "required_action_throughput",
+    "safe_velocity",
+    "safe_velocity_at_rate",
+    "stopping_distance",
+    "SensitivityReport",
+    "analyze_sensitivity",
+    "velocity_partials",
+    "RooflineCurve",
+    "throughput_grid",
+    "SensorComputeControl",
+    "action_throughput",
+    "pipeline_latency_bounds",
+]

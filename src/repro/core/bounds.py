@@ -1,0 +1,90 @@
+"""Bound classification and ceilings (Sec. III-B of the paper).
+
+A UAV design point is *physics bound* when its action throughput is at
+or beyond the knee (faster decisions cannot raise the safe velocity),
+*sensor bound* when the sensor's frame rate caps the pipeline below the
+knee, *compute bound* when the autonomy algorithm's throughput does,
+and *control bound* in the (rare) case the flight controller does.
+Each sub-knee stage also contributes a *ceiling*: the horizontal line
+at the velocity its rate permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from .safety import safe_velocity_at_rate
+from .throughput import SensorComputeControl
+
+
+class BoundKind(Enum):
+    """Which subsystem limits the safe velocity."""
+
+    COMPUTE = "compute"
+    SENSOR = "sensor"
+    CONTROL = "control"
+    PHYSICS = "physics"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Ceiling:
+    """A horizontal velocity ceiling contributed by one pipeline stage."""
+
+    stage: str
+    throughput_hz: float
+    velocity: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.stage}-bound ceiling: {self.velocity:.2f} m/s "
+            f"@ {self.throughput_hz:.1f} Hz"
+        )
+
+
+def classify_bound(
+    pipeline: SensorComputeControl, knee_throughput_hz: float
+) -> BoundKind:
+    """Classify a design point per Sec. III-B.
+
+    At or beyond the knee the design is physics bound; otherwise the
+    slowest stage names the bound (ties resolve in pipeline order
+    sensor -> compute -> control, matching the paper's definitions:
+    sensor bound requires ``f_compute > f_sensor``).
+    """
+    if pipeline.action_throughput_hz >= knee_throughput_hz:
+        return BoundKind.PHYSICS
+    stage = pipeline.bottleneck_stage
+    return {
+        "sensor": BoundKind.SENSOR,
+        "compute": BoundKind.COMPUTE,
+        "control": BoundKind.CONTROL,
+    }[stage]
+
+
+def ceilings(
+    pipeline: SensorComputeControl,
+    sensing_range_m: float,
+    a_max: float,
+    knee_throughput_hz: float,
+) -> List[Ceiling]:
+    """All sub-knee stage ceilings, slowest (lowest) first.
+
+    A stage whose rate is at or beyond the knee imposes no ceiling —
+    the roof already caps the velocity there.
+    """
+    result = [
+        Ceiling(
+            stage=name,
+            throughput_hz=rate,
+            velocity=safe_velocity_at_rate(rate, sensing_range_m, a_max),
+        )
+        for name, rate in pipeline.stage_rates
+        if rate < knee_throughput_hz
+    ]
+    result.sort(key=lambda ceiling: ceiling.velocity)
+    return result

@@ -1,0 +1,41 @@
+"""Heatsink mass as a function of compute TDP (Fig. 12 of the paper).
+
+The paper sizes heatsinks with a commercial web calculator [54]; this
+module replaces it with a power law fitted to every number the paper
+publishes: 30 W -> 162 g, "~20x in TDP -> ~16.2x in heatsink weight"
+(so ~1.5 W -> 10 g), and 15 W -> ~halved (we get 84.9 g vs the quoted
+81 g).  The fit::
+
+    m_heatsink [g] = 6.85 * TDP[W] ** 0.9297
+
+with exponent ``ln(16.2)/ln(20)``.  Platforms below
+``NO_HEATSINK_TDP_W`` (e.g. the sub-1 W Intel NCS) need no heatsink.
+"""
+
+from __future__ import annotations
+
+from ..units import require_nonnegative, require_positive
+
+#: Multiplier of the fitted power law (grams at 1 W).
+HEATSINK_COEFFICIENT_G = 6.85
+
+#: Exponent of the fitted power law, ln(16.2) / ln(20).
+HEATSINK_EXPONENT = 0.9296937485957477
+
+#: Below this TDP the bare package dissipates its heat (no heatsink).
+NO_HEATSINK_TDP_W = 1.0
+
+
+def heatsink_mass_g(tdp_w: float) -> float:
+    """Heatsink mass (g) required to dissipate ``tdp_w`` watts."""
+    require_nonnegative("tdp_w", tdp_w)
+    if tdp_w <= NO_HEATSINK_TDP_W:
+        return 0.0
+    return HEATSINK_COEFFICIENT_G * tdp_w**HEATSINK_EXPONENT
+
+
+def tdp_for_heatsink_mass(mass_g: float) -> float:
+    """Inverse of :func:`heatsink_mass_g`: the TDP a heatsink of
+    ``mass_g`` grams can dissipate (W)."""
+    require_positive("mass_g", mass_g)
+    return (mass_g / HEATSINK_COEFFICIENT_G) ** (1.0 / HEATSINK_EXPONENT)

@@ -1,0 +1,140 @@
+"""Knee-point location strategies for the F-1 roofline.
+
+The knee point is the minimum action throughput that (nearly) attains
+the physics roof; it separates the compute/sensor-bound region (left)
+from the physics-bound region (right).  The paper annotates knees but
+never states a rule for placing them, so the strategy is pluggable:
+
+* :class:`FractionOfRoofKnee` (default) — the throughput at which
+  Eq. 4 reaches a fraction ``rho`` of the roof.  Closed form::
+
+      f_k = (2*rho / (1 - rho^2)) * sqrt(a_max / (2*d))
+
+  ``rho = 0.984`` is calibrated once against the paper's Fig. 5
+  example (a=50 m/s^2, d=10 m -> knee ~= 100 Hz) and then reproduces
+  the case-study knees (Pelican+TX2 43 Hz, nano 26 Hz, ...).
+* :class:`MaxCurvatureKnee` — Kneedle-style maximum curvature of the
+  velocity-vs-log-throughput curve, found numerically.
+* :class:`LinearIntersectionKnee` — intersection of the low-rate
+  asymptote ``v ~= d * f`` with the roof: ``f_k = sqrt(2*a/d)``.
+  Matches the classic roofline's ridge-point construction but places
+  knees far left of the paper's annotations; provided for ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..units import require_fraction, require_positive
+from .safety import physics_roof, safe_velocity_at_rate
+
+#: Calibrated default fraction of the roof defining the knee.
+DEFAULT_KNEE_FRACTION = 0.984
+
+
+@dataclass(frozen=True)
+class KneePoint:
+    """The located knee: throughput (Hz), velocity (m/s) and the
+    fraction of the physics roof the velocity represents."""
+
+    throughput_hz: float
+    velocity: float
+    fraction_of_roof: float
+
+    def __post_init__(self) -> None:
+        require_positive("throughput_hz", self.throughput_hz)
+        require_positive("velocity", self.velocity)
+
+
+class KneeStrategy(ABC):
+    """Strategy interface: locate the knee for given ``(d, a_max)``."""
+
+    @abstractmethod
+    def locate(self, sensing_range_m: float, a_max: float) -> KneePoint:
+        """Return the knee point for the given physics parameters."""
+
+
+@dataclass(frozen=True)
+class FractionOfRoofKnee(KneeStrategy):
+    """Knee at the throughput where Eq. 4 reaches ``fraction`` of the
+    roof (default strategy; see module docstring for the calibration)."""
+
+    fraction: float = DEFAULT_KNEE_FRACTION
+
+    def __post_init__(self) -> None:
+        require_fraction("fraction", self.fraction)
+
+    def locate(self, sensing_range_m: float, a_max: float) -> KneePoint:
+        roof = physics_roof(sensing_range_m, a_max)
+        rho = self.fraction
+        coefficient = 2.0 * rho / (1.0 - rho * rho)
+        f_k = coefficient * math.sqrt(a_max / (2.0 * sensing_range_m))
+        return KneePoint(
+            throughput_hz=f_k,
+            velocity=rho * roof,
+            fraction_of_roof=rho,
+        )
+
+
+@dataclass(frozen=True)
+class LinearIntersectionKnee(KneeStrategy):
+    """Knee where the low-rate asymptote ``v = d*f`` meets the roof."""
+
+    def locate(self, sensing_range_m: float, a_max: float) -> KneePoint:
+        roof = physics_roof(sensing_range_m, a_max)
+        f_k = math.sqrt(2.0 * a_max / sensing_range_m)
+        velocity = safe_velocity_at_rate(f_k, sensing_range_m, a_max)
+        return KneePoint(
+            throughput_hz=f_k,
+            velocity=velocity,
+            fraction_of_roof=velocity / roof,
+        )
+
+
+@dataclass(frozen=True)
+class MaxCurvatureKnee(KneeStrategy):
+    """Kneedle-style knee: maximum curvature of v(log10 f).
+
+    The curve is sampled on ``samples`` points spanning ``decades``
+    decades of throughput centred (logarithmically) on the
+    linear-intersection rate, and the curvature
+    ``|y''| / (1 + y'^2)^(3/2)`` of the *normalized* curve is maximized.
+    """
+
+    samples: int = field(default=2001)
+    decades: float = field(default=6.0)
+
+    def __post_init__(self) -> None:
+        if self.samples < 16:
+            raise ValueError("samples must be >= 16")
+        require_positive("decades", self.decades)
+
+    def locate(self, sensing_range_m: float, a_max: float) -> KneePoint:
+        roof = physics_roof(sensing_range_m, a_max)
+        center = math.log10(math.sqrt(2.0 * a_max / sensing_range_m))
+        half = self.decades / 2.0
+        log_f = np.linspace(center - half, center + half, self.samples)
+        f = 10.0 ** log_f
+        v = safe_velocity_at_rate(f, sensing_range_m, a_max)
+        # Normalize both axes to [0, 1] so curvature is scale-free.
+        x = (log_f - log_f[0]) / (log_f[-1] - log_f[0])
+        y = v / roof
+        dx = x[1] - x[0]
+        d1 = np.gradient(y, dx)
+        d2 = np.gradient(d1, dx)
+        curvature = np.abs(d2) / (1.0 + d1 * d1) ** 1.5
+        # The interesting (concave) knee is where the curve bends toward
+        # the roof, i.e. d2 < 0.
+        curvature = np.where(d2 < 0.0, curvature, 0.0)
+        idx = int(np.argmax(curvature))
+        f_k = float(f[idx])
+        velocity = float(v[idx])
+        return KneePoint(
+            throughput_hz=f_k,
+            velocity=velocity,
+            fraction_of_roof=velocity / roof,
+        )

@@ -1,0 +1,215 @@
+"""The :class:`F1Model` facade: one UAV design point, fully analyzed.
+
+``F1Model`` binds the physics parameters (sensing range, maximum
+acceleration) to a concrete sensor-compute-control pipeline and exposes
+every quantity the paper derives from that pairing: the roofline curve,
+the knee, the achieved operating point, stage ceilings, bound
+classification and the optimality verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..units import require_positive
+from .bounds import BoundKind, Ceiling, ceilings, classify_bound
+from .knee import FractionOfRoofKnee, KneePoint, KneeStrategy
+from .optimality import OptimalityReport, assess_design
+from .safety import (
+    physics_roof,
+    required_action_throughput,
+    safe_velocity_at_rate,
+)
+from .sweep import RooflineCurve
+from .throughput import DEFAULT_CONTROL_RATE_HZ, SensorComputeControl
+
+
+@dataclass(frozen=True)
+class F1Model:
+    """The F-1 visual performance model for one UAV configuration.
+
+    Parameters
+    ----------
+    sensing_range_m:
+        Obstacle-detection range ``d`` of the onboard sensor (m).
+    a_max:
+        Maximum commandable (braking) acceleration (m/s^2), typically
+        produced by an :class:`~repro.core.physics.AccelerationModel`.
+    pipeline:
+        The sensor-compute-control stage rates.
+    knee_strategy:
+        How the knee is located; defaults to the calibrated
+        fraction-of-roof rule.
+    """
+
+    sensing_range_m: float
+    a_max: float
+    pipeline: SensorComputeControl
+    knee_strategy: KneeStrategy = field(default_factory=FractionOfRoofKnee)
+
+    def __post_init__(self) -> None:
+        require_positive("sensing_range_m", self.sensing_range_m)
+        require_positive("a_max", self.a_max)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_components(
+        cls,
+        sensing_range_m: float,
+        a_max: float,
+        f_sensor_hz: float,
+        f_compute_hz: float,
+        f_control_hz: float = DEFAULT_CONTROL_RATE_HZ,
+        knee_strategy: Optional[KneeStrategy] = None,
+    ) -> "F1Model":
+        """Build a model directly from stage rates."""
+        pipeline = SensorComputeControl(
+            f_sensor_hz=f_sensor_hz,
+            f_compute_hz=f_compute_hz,
+            f_control_hz=f_control_hz,
+        )
+        return cls(
+            sensing_range_m=sensing_range_m,
+            a_max=a_max,
+            pipeline=pipeline,
+            knee_strategy=knee_strategy or FractionOfRoofKnee(),
+        )
+
+    def with_compute_throughput(self, f_compute_hz: float) -> "F1Model":
+        """A copy of this model with a different compute rate."""
+        return replace(self, pipeline=self.pipeline.with_compute(f_compute_hz))
+
+    def with_sensor_throughput(self, f_sensor_hz: float) -> "F1Model":
+        """A copy of this model with a different sensor rate."""
+        return replace(self, pipeline=self.pipeline.with_sensor(f_sensor_hz))
+
+    def with_acceleration(self, a_max: float) -> "F1Model":
+        """A copy of this model with different body dynamics."""
+        return replace(self, a_max=a_max)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def roof_velocity(self) -> float:
+        """The physics roof ``sqrt(2 * d * a_max)`` (m/s)."""
+        return physics_roof(self.sensing_range_m, self.a_max)
+
+    @property
+    def knee(self) -> KneePoint:
+        """The knee point under the configured strategy."""
+        return self.knee_strategy.locate(self.sensing_range_m, self.a_max)
+
+    @property
+    def action_throughput_hz(self) -> float:
+        """Eq. 3 throughput of the configured pipeline."""
+        return self.pipeline.action_throughput_hz
+
+    @property
+    def safe_velocity(self) -> float:
+        """The safe velocity at the achieved action throughput (m/s)."""
+        return self.velocity_at(self.action_throughput_hz)
+
+    @property
+    def operating_point(self) -> Tuple[float, float]:
+        """(action throughput Hz, safe velocity m/s) of this design."""
+        return self.action_throughput_hz, self.safe_velocity
+
+    def velocity_at(self, f_action_hz: float) -> float:
+        """Eq. 4 safe velocity at an arbitrary action throughput."""
+        return safe_velocity_at_rate(
+            f_action_hz, self.sensing_range_m, self.a_max
+        )
+
+    def throughput_for(self, v_target: float) -> float:
+        """Minimum action throughput (Hz) required for ``v_target``."""
+        return required_action_throughput(
+            v_target, self.sensing_range_m, self.a_max
+        )
+
+    # ------------------------------------------------------------------
+    # Bounds, ceilings, optimality
+    # ------------------------------------------------------------------
+    @property
+    def bound(self) -> BoundKind:
+        """Which subsystem limits this design's safe velocity."""
+        return classify_bound(self.pipeline, self.knee.throughput_hz)
+
+    @property
+    def stage_ceilings(self) -> List[Ceiling]:
+        """Velocity ceilings from stages slower than the knee."""
+        return ceilings(
+            self.pipeline,
+            self.sensing_range_m,
+            self.a_max,
+            self.knee.throughput_hz,
+        )
+
+    def optimality(self, tolerance: float = 0.05) -> OptimalityReport:
+        """Optimal / over- / under-provisioned verdict for this design."""
+        return assess_design(
+            self.action_throughput_hz,
+            self.knee,
+            self.safe_velocity,
+            tolerance=tolerance,
+        )
+
+    @property
+    def compute_overprovision_factor(self) -> float:
+        """How far the *compute stage alone* exceeds the knee.
+
+        The paper quotes over-provisioning as ``f_compute / f_knee``
+        (e.g. DroNet at 178 Hz on a 43 Hz-knee Pelican is "4.13x
+        over-provisioned") even when a 60 FPS sensor caps the realized
+        pipeline rate below the compute rate.  Values < 1 mean the
+        compute stage is below the knee.
+        """
+        return self.pipeline.f_compute_hz / self.knee.throughput_hz
+
+    @property
+    def compute_speedup_to_knee(self) -> float:
+        """Compute-stage speedup needed to reach the knee (1.0 if there).
+
+        ``inf`` when sensor or control would still cap the pipeline
+        below the knee, signalling that compute optimization alone
+        cannot balance the design.
+        """
+        return self.pipeline.speedup_needed(self.knee.throughput_hz)
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def curve(
+        self,
+        f_min_hz: float = 0.1,
+        f_max_hz: float = 10_000.0,
+        points: int = 256,
+    ) -> RooflineCurve:
+        """The F-1 roofline curve over a log grid of throughputs."""
+        return RooflineCurve.evaluate(
+            self.sensing_range_m,
+            self.a_max,
+            f_min_hz=f_min_hz,
+            f_max_hz=f_max_hz,
+            points=points,
+        )
+
+    def describe(self) -> str:
+        """A multi-line human-readable summary of the design point."""
+        knee = self.knee
+        lines = [
+            f"F-1 model: d={self.sensing_range_m:.2f} m, "
+            f"a_max={self.a_max:.3f} m/s^2",
+            f"  physics roof     : {self.roof_velocity:.2f} m/s",
+            f"  knee point       : {knee.throughput_hz:.1f} Hz -> "
+            f"{knee.velocity:.2f} m/s",
+            f"  action throughput: {self.action_throughput_hz:.2f} Hz "
+            f"(bottleneck: {self.pipeline.bottleneck_stage})",
+            f"  safe velocity    : {self.safe_velocity:.2f} m/s",
+            f"  bound            : {self.bound.value}",
+            f"  verdict          : {self.optimality().summary()}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Optimal / over- / under-provisioned design assessment (Sec. III-C).
+
+A balanced design places the pipeline's action throughput exactly at
+the knee.  Faster is *over-provisioned* (wasted optimization effort —
+the excess can be traded for lower TDP, Sec. VI-A), slower is
+*under-provisioned* (the report's ``required_speedup`` is the
+optimization target the paper hands to architects, e.g. "improve SPA
+throughput by 39x").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..units import require_nonnegative, require_positive
+from .knee import KneePoint
+
+
+class DesignStatus(Enum):
+    """Where the operating point sits relative to the knee."""
+
+    OPTIMAL = "optimal"
+    OVER_PROVISIONED = "over-provisioned"
+    UNDER_PROVISIONED = "under-provisioned"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class OptimalityReport:
+    """Assessment of one design point against its knee.
+
+    ``provisioning_factor`` is ``f_action / f_knee``: > 1 means excess
+    throughput, < 1 a shortfall.  ``required_speedup`` is the factor by
+    which the action throughput must improve to reach the knee (1.0
+    when already there or beyond).  ``excess_factor`` is the factor by
+    which it exceeds the knee (1.0 when at or below).
+    """
+
+    status: DesignStatus
+    action_throughput_hz: float
+    knee: KneePoint
+    velocity: float
+    tolerance: float
+
+    @property
+    def provisioning_factor(self) -> float:
+        return self.action_throughput_hz / self.knee.throughput_hz
+
+    @property
+    def required_speedup(self) -> float:
+        return max(1.0, 1.0 / self.provisioning_factor)
+
+    @property
+    def excess_factor(self) -> float:
+        return max(1.0, self.provisioning_factor)
+
+    @property
+    def velocity_gap(self) -> float:
+        """Velocity left on the table relative to the knee (m/s, >= 0)."""
+        return max(0.0, self.knee.velocity - self.velocity)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.status is DesignStatus.OPTIMAL:
+            return (
+                f"optimal: {self.action_throughput_hz:.1f} Hz is within "
+                f"{self.tolerance:.0%} of the {self.knee.throughput_hz:.1f} Hz knee"
+            )
+        if self.status is DesignStatus.OVER_PROVISIONED:
+            return (
+                f"over-provisioned by {self.excess_factor:.2f}x: "
+                f"{self.action_throughput_hz:.1f} Hz vs a "
+                f"{self.knee.throughput_hz:.1f} Hz knee — trade the excess "
+                "for lower TDP / payload weight"
+            )
+        return (
+            f"under-provisioned: needs a {self.required_speedup:.2f}x "
+            f"throughput improvement to reach the {self.knee.throughput_hz:.1f} Hz "
+            f"knee (currently {self.action_throughput_hz:.1f} Hz, leaving "
+            f"{self.velocity_gap:.2f} m/s unrealized)"
+        )
+
+
+def assess_design(
+    action_throughput_hz: float,
+    knee: KneePoint,
+    velocity: float,
+    tolerance: float = 0.05,
+) -> OptimalityReport:
+    """Assess a design point; ``tolerance`` is the relative band around
+    the knee throughput still considered optimal (default +-5 %)."""
+    require_positive("action_throughput_hz", action_throughput_hz)
+    require_nonnegative("velocity", velocity)
+    require_nonnegative("tolerance", tolerance)
+    ratio = action_throughput_hz / knee.throughput_hz
+    if 1.0 - tolerance <= ratio <= 1.0 + tolerance:
+        status = DesignStatus.OPTIMAL
+    elif ratio > 1.0:
+        status = DesignStatus.OVER_PROVISIONED
+    else:
+        status = DesignStatus.UNDER_PROVISIONED
+    return OptimalityReport(
+        status=status,
+        action_throughput_hz=action_throughput_hz,
+        knee=knee,
+        velocity=velocity,
+        tolerance=tolerance,
+    )

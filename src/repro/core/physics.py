@@ -1,0 +1,219 @@
+"""Acceleration-from-physics models (Eq. 5 of the paper) and drag.
+
+The paper estimates the maximum acceleration a UAV can command from its
+total rotor thrust ``T``, pitch angle ``alpha`` and mass ``m``
+(Fig. 8)::
+
+    T cos(alpha) - m g = m a_y        T sin(alpha) - F_D = m a_x
+
+The F-1 model deliberately ignores drag (``F_D``) — it is an
+early-phase, optimistic design tool — and computes ``a_max`` from the
+payload weight alone.  Several concrete models are provided:
+
+* :class:`ThrustMarginModel` — the default.  ``a = g (T - W) / W``
+  using the *rated* motor pull from the spec sheet, floored at the
+  braking-pitch acceleration ``g tan(alpha_brake)``.  The floor models
+  the guaranteed deceleration available by pitching the airframe even
+  when the rated hover-thrust margin vanishes, which is what lets the
+  paper's over-loaded UAV-B and UAV-D configurations still brake.
+* :class:`PitchEnvelopeModel` — horizontal acceleration while holding
+  altitude: ``a = g tan(min(acos(W/T), alpha_max))``.
+* :class:`FixedAcceleration` — a direct ``a_max`` knob (the Skyline
+  tool exposes acceleration implicitly through weight and pull knobs,
+  but the paper's Fig. 5 example sets ``a_max = 50 m/s^2`` directly).
+
+:class:`QuadraticDrag` supports the higher-fidelity flight simulator
+used for experimental validation, where drag is one of the paper's
+acknowledged sources of model error.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import InfeasibleDesignError
+from ..units import (
+    AIR_DENSITY,
+    GRAVITY,
+    deg_to_rad,
+    require_in_range,
+    require_nonnegative,
+    require_positive,
+)
+
+#: Default guaranteed braking pitch angle (degrees).  Calibrated so the
+#: thrust-margin model reproduces the paper's UAV-B/D safe velocities
+#: (~1.5 m/s) whose rated margins are zero or negative.
+DEFAULT_BRAKING_PITCH_DEG = 2.3
+
+
+class AccelerationModel(ABC):
+    """Maps a UAV's total mass to its maximum commandable acceleration."""
+
+    @abstractmethod
+    def max_acceleration(self, total_mass_g: float) -> float:
+        """Maximum acceleration (m/s^2) at all-up mass ``total_mass_g``."""
+
+    def max_payload_g(self, base_mass_g: float) -> float:
+        """Largest extra payload (g) at which acceleration stays > 0.
+
+        Defaults to a bisection search over payload; models with a
+        closed form override this.
+        """
+        require_nonnegative("base_mass_g", base_mass_g)
+        lo, hi = 0.0, 1.0
+        if self.max_acceleration(base_mass_g) <= 0.0:
+            return 0.0
+        while self.max_acceleration(base_mass_g + hi) > 0.0:
+            hi *= 2.0
+            if hi > 1e9:  # model never reaches zero (e.g. braking floor)
+                return math.inf
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.max_acceleration(base_mass_g + mid) > 0.0:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+
+@dataclass(frozen=True)
+class FixedAcceleration(AccelerationModel):
+    """A constant ``a_max`` independent of mass (Fig. 5's usage)."""
+
+    a_max: float
+
+    def __post_init__(self) -> None:
+        require_positive("a_max", self.a_max)
+
+    def max_acceleration(self, total_mass_g: float) -> float:
+        require_positive("total_mass_g", total_mass_g)
+        return self.a_max
+
+
+@dataclass(frozen=True)
+class ThrustMarginModel(AccelerationModel):
+    """Rated-thrust margin with a braking-pitch floor (the default).
+
+    ``total_thrust_g`` is the summed rated pull of all motors in
+    gram-force (e.g. Table I's 4 x 435 g).  The acceleration is::
+
+        a = max( g * (T - W) / W,  g * tan(alpha_brake) )
+
+    With ``braking_pitch_deg = 0`` the floor disappears and the model
+    degenerates to the pure margin, raising
+    :class:`InfeasibleDesignError` when thrust cannot lift the weight.
+    """
+
+    total_thrust_g: float
+    braking_pitch_deg: float = DEFAULT_BRAKING_PITCH_DEG
+
+    def __post_init__(self) -> None:
+        require_positive("total_thrust_g", self.total_thrust_g)
+        require_in_range("braking_pitch_deg", self.braking_pitch_deg, 0.0, 89.0)
+
+    @property
+    def braking_floor(self) -> float:
+        """The guaranteed braking deceleration ``g tan(alpha_brake)``."""
+        return GRAVITY * math.tan(deg_to_rad(self.braking_pitch_deg))
+
+    def max_acceleration(self, total_mass_g: float) -> float:
+        require_positive("total_mass_g", total_mass_g)
+        margin = (
+            GRAVITY
+            * (self.total_thrust_g - total_mass_g)
+            / total_mass_g
+        )
+        a = max(margin, self.braking_floor)
+        if a <= 0.0:
+            raise InfeasibleDesignError(
+                f"total thrust {self.total_thrust_g:.0f} g cannot move "
+                f"an all-up mass of {total_mass_g:.0f} g and no braking "
+                "floor is configured"
+            )
+        return a
+
+    def max_payload_g(self, base_mass_g: float) -> float:
+        require_nonnegative("base_mass_g", base_mass_g)
+        if self.braking_pitch_deg > 0.0:
+            return math.inf  # the floor keeps acceleration positive
+        return max(self.total_thrust_g - base_mass_g, 0.0)
+
+
+@dataclass(frozen=True)
+class PitchEnvelopeModel(AccelerationModel):
+    """Altitude-holding horizontal acceleration envelope.
+
+    While holding altitude, the vertical thrust component must balance
+    weight (``T cos(alpha) = W``), so the largest usable pitch is
+    ``acos(W/T)`` and the horizontal acceleration is ``g tan(alpha)``,
+    optionally capped at ``max_pitch_deg`` (autonomy stacks commonly
+    limit pitch for sensing stability).
+    """
+
+    total_thrust_g: float
+    max_pitch_deg: float = 35.0
+
+    def __post_init__(self) -> None:
+        require_positive("total_thrust_g", self.total_thrust_g)
+        require_in_range("max_pitch_deg", self.max_pitch_deg, 0.0, 89.0)
+
+    def max_acceleration(self, total_mass_g: float) -> float:
+        require_positive("total_mass_g", total_mass_g)
+        ratio = total_mass_g / self.total_thrust_g
+        if ratio >= 1.0:
+            raise InfeasibleDesignError(
+                f"thrust-to-weight {1.0 / ratio:.2f} < 1: the UAV cannot "
+                "hover, so the altitude-holding envelope is empty"
+            )
+        alpha = min(math.acos(ratio), deg_to_rad(self.max_pitch_deg))
+        return GRAVITY * math.tan(alpha)
+
+    def max_payload_g(self, base_mass_g: float) -> float:
+        require_nonnegative("base_mass_g", base_mass_g)
+        return max(self.total_thrust_g - base_mass_g, 0.0)
+
+
+@dataclass(frozen=True)
+class QuadraticDrag:
+    """Aerodynamic drag ``F_D = 1/2 rho C_d A v^2``.
+
+    ``cd_area_m2`` is the drag-coefficient-times-frontal-area product
+    (the two are never needed separately).  Used only by the flight
+    simulator; the analytic F-1 model intentionally omits drag.
+    """
+
+    cd_area_m2: float
+    air_density: float = AIR_DENSITY
+
+    def __post_init__(self) -> None:
+        require_nonnegative("cd_area_m2", self.cd_area_m2)
+        require_positive("air_density", self.air_density)
+
+    def force_n(self, velocity: float) -> float:
+        """Drag force magnitude (N) opposing motion at ``velocity``."""
+        return (
+            0.5
+            * self.air_density
+            * self.cd_area_m2
+            * velocity
+            * abs(velocity)
+        )
+
+    def deceleration(self, velocity: float, total_mass_g: float) -> float:
+        """Drag-induced deceleration (m/s^2, signed against motion)."""
+        require_positive("total_mass_g", total_mass_g)
+        return self.force_n(velocity) / (total_mass_g / 1000.0)
+
+    def terminal_velocity(self, accel: float, total_mass_g: float) -> float:
+        """Velocity at which drag cancels a constant ``accel`` push."""
+        require_positive("accel", accel)
+        require_positive("total_mass_g", total_mass_g)
+        if self.cd_area_m2 == 0.0:
+            return math.inf
+        mass_kg = total_mass_g / 1000.0
+        return math.sqrt(
+            2.0 * mass_kg * accel / (self.air_density * self.cd_area_m2)
+        )

@@ -1,0 +1,118 @@
+"""The safety model (Eq. 4 of the paper) and its closed-form inverses.
+
+The central relationship, established and validated by prior work the
+paper builds on (Liu et al., ICRA 2016), is::
+
+    v_safe = a_max * ( sqrt(T_action^2 + 2*d / a_max) - T_action )
+
+where ``d`` is the sensing range in meters, ``a_max`` the maximum
+(braking) acceleration in m/s^2 and ``T_action`` the period of the
+sensor-compute-control pipeline in seconds.  A UAV travelling at
+``v_safe`` can always come to a stop before an obstacle that first
+becomes visible at distance ``d``, accounting for the worst-case one
+action period of reaction delay.
+
+All functions accept floats or numpy arrays for the swept argument and
+return the matching type.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from ..errors import InfeasibleDesignError
+from ..units import require_nonnegative, require_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def safe_velocity(
+    t_action_s: ArrayLike, sensing_range_m: float, a_max: float
+) -> ArrayLike:
+    """Safe velocity (Eq. 4) for an action period ``t_action_s``.
+
+    ``t_action_s`` may be a scalar or numpy array; negative periods are
+    invalid.  ``t_action_s == 0`` yields the physics roof
+    ``sqrt(2 * d * a_max)``.
+    """
+    require_positive("sensing_range_m", sensing_range_m)
+    require_positive("a_max", a_max)
+    t = np.asarray(t_action_s, dtype=float)
+    if np.any(t < 0):
+        raise InfeasibleDesignError("t_action_s must be >= 0")
+    v = a_max * (np.sqrt(t * t + 2.0 * sensing_range_m / a_max) - t)
+    return float(v) if np.isscalar(t_action_s) else v
+
+
+def safe_velocity_at_rate(
+    f_action_hz: ArrayLike, sensing_range_m: float, a_max: float
+) -> ArrayLike:
+    """Safe velocity as a function of action *throughput* in Hz."""
+    f = np.asarray(f_action_hz, dtype=float)
+    if np.any(f <= 0):
+        raise InfeasibleDesignError("f_action_hz must be > 0")
+    result = safe_velocity(1.0 / f, sensing_range_m, a_max)
+    return float(result) if np.isscalar(f_action_hz) else result
+
+
+def physics_roof(sensing_range_m: float, a_max: float) -> float:
+    """The asymptotic velocity limit ``sqrt(2 * d * a_max)``.
+
+    This is the roof of the F-1 model: the velocity an infinitely fast
+    decision pipeline would permit, bounded only by body dynamics.
+    """
+    require_positive("sensing_range_m", sensing_range_m)
+    require_positive("a_max", a_max)
+    return math.sqrt(2.0 * sensing_range_m * a_max)
+
+
+def required_action_period(
+    v_target: float, sensing_range_m: float, a_max: float
+) -> float:
+    """Invert Eq. 4: the slowest action period that still permits
+    ``v_target``.
+
+    Closed form: ``T = d / v - v / (2 * a_max)``.  Raises
+    :class:`InfeasibleDesignError` when ``v_target`` is at or above the
+    physics roof (no finite pipeline achieves it).
+    """
+    require_positive("v_target", v_target)
+    roof = physics_roof(sensing_range_m, a_max)
+    if v_target >= roof:
+        raise InfeasibleDesignError(
+            f"target velocity {v_target:.3f} m/s is not below the physics "
+            f"roof {roof:.3f} m/s; no action rate can achieve it"
+        )
+    return sensing_range_m / v_target - v_target / (2.0 * a_max)
+
+
+def required_action_throughput(
+    v_target: float, sensing_range_m: float, a_max: float
+) -> float:
+    """The minimum action throughput (Hz) that permits ``v_target``."""
+    period = required_action_period(v_target, sensing_range_m, a_max)
+    if period <= 0:  # numerically at the roof
+        raise InfeasibleDesignError(
+            f"target velocity {v_target:.3f} m/s requires an unbounded "
+            "action throughput"
+        )
+    return 1.0 / period
+
+
+def stopping_distance(
+    velocity: float, t_action_s: float, a_max: float
+) -> float:
+    """Worst-case distance covered from obstacle visibility to full stop.
+
+    One full action period elapses at constant velocity (the decision
+    delay), followed by a constant-deceleration brake:
+    ``v * T + v^2 / (2 * a_max)``.  Eq. 4 is exactly the statement
+    ``stopping_distance(v_safe, T_action, a_max) == sensing_range``.
+    """
+    require_nonnegative("velocity", velocity)
+    require_nonnegative("t_action_s", t_action_s)
+    require_positive("a_max", a_max)
+    return velocity * t_action_s + velocity * velocity / (2.0 * a_max)

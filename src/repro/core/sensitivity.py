@@ -1,0 +1,117 @@
+"""Closed-form sensitivity analysis of the safety model.
+
+For architects deciding *where* to spend optimization effort, the
+partial derivatives of Eq. 4 say how much safe velocity one more meter
+of sensing range, one more m/s^2 of acceleration, or one more hertz of
+action throughput buys — and, chained through the thrust-margin model,
+what one gram of payload costs.  All derivatives are analytic (the
+test suite cross-checks them against finite differences).
+
+With ``s = sqrt(T^2 + 2 d / a)`` and ``v = a (s - T)``:
+
+* ``dv/dd = 1 / s``
+* ``dv/da = s - T - d / (a s)``
+* ``dv/dT = a (T / s - 1)``           (negative: slower is worse)
+* ``dv/df = -dv/dT / f^2``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..units import GRAVITY, require_positive
+from .model import F1Model
+from .physics import ThrustMarginModel
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Partial derivatives of safe velocity at one operating point.
+
+    Derivatives are in natural units (m/s per meter, per m/s^2, per Hz,
+    per gram); elasticities are the dimensionless ``(x / v) dv/dx`` —
+    the % velocity change per % parameter change, directly comparable
+    across knobs.
+    """
+
+    velocity: float
+    d_range: float
+    d_acceleration: float
+    d_throughput: float
+    d_payload_per_gram: float | None
+    elasticity_range: float
+    elasticity_acceleration: float
+    elasticity_throughput: float
+
+    def dominant_knob(self) -> str:
+        """Which parameter's relative improvement buys the most."""
+        candidates = {
+            "sensing range": self.elasticity_range,
+            "acceleration": self.elasticity_acceleration,
+            "action throughput": self.elasticity_throughput,
+        }
+        return max(candidates, key=lambda k: abs(candidates[k]))
+
+
+def velocity_partials(
+    t_action_s: float, sensing_range_m: float, a_max: float
+) -> tuple[float, float, float]:
+    """(dv/dd, dv/da, dv/dT) of Eq. 4 at the given point."""
+    require_positive("sensing_range_m", sensing_range_m)
+    require_positive("a_max", a_max)
+    if t_action_s < 0:
+        raise ValueError("t_action_s must be >= 0")
+    s = math.sqrt(t_action_s**2 + 2.0 * sensing_range_m / a_max)
+    dv_dd = 1.0 / s
+    dv_da = s - t_action_s - sensing_range_m / (a_max * s)
+    dv_dt = a_max * (t_action_s / s - 1.0)
+    return dv_dd, dv_da, dv_dt
+
+
+def analyze_sensitivity(
+    model: F1Model,
+    thrust_model: ThrustMarginModel | None = None,
+    total_mass_g: float | None = None,
+) -> SensitivityReport:
+    """Sensitivities of the model's operating point.
+
+    When ``thrust_model`` and ``total_mass_g`` are given, the payload
+    derivative is chained through ``da/dm = -g T / m^2`` (zero inside
+    the braking-floor regime, where extra grams are free — the flat
+    tail of Fig. 9).
+    """
+    f_action = model.action_throughput_hz
+    t_action = 1.0 / f_action
+    d, a = model.sensing_range_m, model.a_max
+    v = model.safe_velocity
+
+    dv_dd, dv_da, dv_dt = velocity_partials(t_action, d, a)
+    dv_df = -dv_dt / f_action**2
+
+    d_payload = None
+    if thrust_model is not None and total_mass_g is not None:
+        require_positive("total_mass_g", total_mass_g)
+        margin = (
+            GRAVITY
+            * (thrust_model.total_thrust_g - total_mass_g)
+            / total_mass_g
+        )
+        if margin > thrust_model.braking_floor:
+            da_dm = (
+                -GRAVITY * thrust_model.total_thrust_g / total_mass_g**2
+            )
+            d_payload = dv_da * da_dm
+        else:
+            d_payload = 0.0  # braking-floor regime: mass is free
+
+    return SensitivityReport(
+        velocity=v,
+        d_range=dv_dd,
+        d_acceleration=dv_da,
+        d_throughput=dv_df,
+        d_payload_per_gram=d_payload,
+        elasticity_range=dv_dd * d / v,
+        elasticity_acceleration=dv_da * a / v,
+        elasticity_throughput=dv_df * f_action / v,
+    )

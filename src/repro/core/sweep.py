@@ -1,0 +1,91 @@
+"""Throughput sweeps and the roofline curve container.
+
+The F-1 plot is built by sweeping action throughput over a logarithmic
+grid and evaluating Eq. 4 at each point; :class:`RooflineCurve` bundles
+the resulting arrays with the physics parameters that produced them so
+plotting and analysis code can stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..units import require_positive
+from .safety import physics_roof, safe_velocity_at_rate
+
+
+def throughput_grid(
+    f_min_hz: float, f_max_hz: float, points: int = 256
+) -> np.ndarray:
+    """A logarithmically spaced action-throughput grid (Hz)."""
+    require_positive("f_min_hz", f_min_hz)
+    require_positive("f_max_hz", f_max_hz)
+    if f_max_hz <= f_min_hz:
+        raise ValueError("f_max_hz must exceed f_min_hz")
+    if points < 2:
+        raise ValueError("points must be >= 2")
+    return np.logspace(np.log10(f_min_hz), np.log10(f_max_hz), points)
+
+
+@dataclass(frozen=True)
+class RooflineCurve:
+    """An evaluated F-1 curve: v_safe over a throughput grid."""
+
+    throughput_hz: np.ndarray
+    velocity: np.ndarray
+    sensing_range_m: float
+    a_max: float
+
+    def __post_init__(self) -> None:
+        if self.throughput_hz.shape != self.velocity.shape:
+            raise ValueError("throughput and velocity grids must match")
+
+    @classmethod
+    def evaluate(
+        cls,
+        sensing_range_m: float,
+        a_max: float,
+        f_min_hz: float = 0.1,
+        f_max_hz: float = 10_000.0,
+        points: int = 256,
+    ) -> "RooflineCurve":
+        """Sweep Eq. 4 over a log grid of action throughputs."""
+        grid = throughput_grid(f_min_hz, f_max_hz, points)
+        velocity = safe_velocity_at_rate(grid, sensing_range_m, a_max)
+        return cls(
+            throughput_hz=grid,
+            velocity=velocity,
+            sensing_range_m=sensing_range_m,
+            a_max=a_max,
+        )
+
+    @property
+    def roof(self) -> float:
+        """The physics roof of this curve."""
+        return physics_roof(self.sensing_range_m, self.a_max)
+
+    def __len__(self) -> int:
+        return len(self.throughput_hz)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        """Iterate (throughput, velocity) pairs."""
+        return zip(
+            (float(f) for f in self.throughput_hz),
+            (float(v) for v in self.velocity),
+        )
+
+    def clipped_below(self, ceiling_velocity: float) -> "RooflineCurve":
+        """A copy with velocities clipped to ``ceiling_velocity``.
+
+        Used to draw stage ceilings on top of the physics roofline.
+        """
+        require_positive("ceiling_velocity", ceiling_velocity)
+        return RooflineCurve(
+            throughput_hz=self.throughput_hz,
+            velocity=np.minimum(self.velocity, ceiling_velocity),
+            sensing_range_m=self.sensing_range_m,
+            a_max=self.a_max,
+        )

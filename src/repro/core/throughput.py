@@ -1,0 +1,131 @@
+"""Action throughput of the sensor-compute-control pipeline (Eq. 1-3).
+
+The pipeline's stages can run concurrently, so its steady-state
+throughput is set by the slowest stage (Eq. 3)::
+
+    f_action = min(1/T_sensor, 1/T_compute, 1/T_control)
+
+while the end-to-end latency of a single sample is bounded between the
+slowest single stage (fully overlapped, Eq. 1) and the sum of all
+stages (no overlap, Eq. 2).  :mod:`repro.pipeline` verifies these
+bounds with a discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence, Tuple
+
+from ..units import require_positive
+
+#: Typical inner-loop rate of a dedicated flight controller (Sec. II-D).
+DEFAULT_CONTROL_RATE_HZ = 1000.0
+
+
+def action_throughput(*stage_rates_hz: float) -> float:
+    """Eq. 3: pipeline throughput = min of the per-stage rates (Hz)."""
+    if not stage_rates_hz:
+        raise ValueError("at least one stage rate is required")
+    for rate in stage_rates_hz:
+        require_positive("stage rate", rate)
+    return min(stage_rates_hz)
+
+
+def pipeline_latency_bounds(
+    stage_latencies_s: Iterable[float],
+) -> Tuple[float, float]:
+    """Eq. 1-2: (lower, upper) bounds on end-to-end pipeline latency.
+
+    Lower bound: the largest single-stage latency (stages fully
+    overlapped).  Upper bound: the sum of all stage latencies (stages
+    strictly sequential).
+    """
+    latencies = list(stage_latencies_s)
+    if not latencies:
+        raise ValueError("at least one stage latency is required")
+    for latency in latencies:
+        require_positive("stage latency", latency)
+    return max(latencies), sum(latencies)
+
+
+@dataclass(frozen=True)
+class SensorComputeControl:
+    """The three-stage decision pipeline of an autonomous UAV.
+
+    Rates are in Hz.  ``f_control_hz`` defaults to the 1 kHz inner-loop
+    rate typical of dedicated flight controllers, which in practice is
+    never the bottleneck.
+    """
+
+    f_sensor_hz: float
+    f_compute_hz: float
+    f_control_hz: float = DEFAULT_CONTROL_RATE_HZ
+
+    def __post_init__(self) -> None:
+        require_positive("f_sensor_hz", self.f_sensor_hz)
+        require_positive("f_compute_hz", self.f_compute_hz)
+        require_positive("f_control_hz", self.f_control_hz)
+
+    @property
+    def action_throughput_hz(self) -> float:
+        """Eq. 3 throughput of the pipeline."""
+        return action_throughput(
+            self.f_sensor_hz, self.f_compute_hz, self.f_control_hz
+        )
+
+    @property
+    def action_period_s(self) -> float:
+        """Period of the slowest stage, ``1 / f_action``."""
+        return 1.0 / self.action_throughput_hz
+
+    @property
+    def stage_rates(self) -> Sequence[Tuple[str, float]]:
+        """(name, rate) pairs in pipeline order."""
+        return (
+            ("sensor", self.f_sensor_hz),
+            ("compute", self.f_compute_hz),
+            ("control", self.f_control_hz),
+        )
+
+    @property
+    def stage_latencies_s(self) -> Tuple[float, float, float]:
+        """Per-stage latencies ``1 / f`` in pipeline order."""
+        return (
+            1.0 / self.f_sensor_hz,
+            1.0 / self.f_compute_hz,
+            1.0 / self.f_control_hz,
+        )
+
+    @property
+    def bottleneck_stage(self) -> str:
+        """Name of the slowest stage (ties resolve in pipeline order)."""
+        return min(self.stage_rates, key=lambda pair: pair[1])[0]
+
+    @property
+    def latency_bounds_s(self) -> Tuple[float, float]:
+        """Eq. 1-2 bounds on end-to-end latency."""
+        return pipeline_latency_bounds(self.stage_latencies_s)
+
+    def with_compute(self, f_compute_hz: float) -> "SensorComputeControl":
+        """A copy with a different compute-stage throughput."""
+        return replace(self, f_compute_hz=f_compute_hz)
+
+    def with_sensor(self, f_sensor_hz: float) -> "SensorComputeControl":
+        """A copy with a different sensor-stage throughput."""
+        return replace(self, f_sensor_hz=f_sensor_hz)
+
+    def speedup_needed(self, target_hz: float) -> float:
+        """Multiplicative compute speedup needed to reach ``target_hz``.
+
+        Returns 1.0 when the pipeline already meets the target.  The
+        speedup applies to the compute stage only; if sensor or control
+        would still cap the pipeline below the target, the result is
+        ``inf`` to signal that no compute optimization suffices.
+        """
+        require_positive("target_hz", target_hz)
+        if self.action_throughput_hz >= target_hz:
+            return 1.0
+        if min(self.f_sensor_hz, self.f_control_hz) < target_hz:
+            return math.inf
+        return target_hz / self.f_compute_hz

@@ -1,0 +1,22 @@
+"""Automated design-space exploration over UAV component choices.
+
+The paper's conclusion calls out automated DSE as the F-1 model's
+natural application; this package provides it: enumerate
+(UAV x compute x algorithm) candidates, evaluate each through the F-1
+model, extract the Pareto frontier and select under constraints.
+"""
+
+from .explorer import EvaluatedCandidate, explore
+from .pareto import pareto_front
+from .selector import SelectionCriteria, select_best
+from .space import Candidate, DesignSpace
+
+__all__ = [
+    "EvaluatedCandidate",
+    "explore",
+    "pareto_front",
+    "SelectionCriteria",
+    "select_best",
+    "Candidate",
+    "DesignSpace",
+]

@@ -1,0 +1,73 @@
+"""Exhaustive evaluation of a design space through the F-1 model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.bounds import BoundKind
+from ..io.tables import format_table
+from .space import Candidate, DesignSpace
+
+
+@dataclass(frozen=True)
+class EvaluatedCandidate:
+    """A candidate with its F-1 metrics."""
+
+    candidate: Candidate
+    safe_velocity: float
+    roof_velocity: float
+    knee_hz: float
+    action_throughput_hz: float
+    bound: BoundKind
+    total_mass_g: float
+    compute_tdp_w: float
+
+    @property
+    def label(self) -> str:
+        c = self.candidate
+        return f"{c.uav_name}+{c.compute_name}+{c.algorithm_name}"
+
+
+def evaluate(candidate: Candidate) -> EvaluatedCandidate:
+    """Run one candidate through the F-1 model."""
+    model = candidate.uav.f1(candidate.f_compute_hz)
+    return EvaluatedCandidate(
+        candidate=candidate,
+        safe_velocity=model.safe_velocity,
+        roof_velocity=model.roof_velocity,
+        knee_hz=model.knee.throughput_hz,
+        action_throughput_hz=model.action_throughput_hz,
+        bound=model.bound,
+        total_mass_g=candidate.uav.total_mass_g,
+        compute_tdp_w=candidate.uav.compute.tdp_w,
+    )
+
+
+def explore(space: DesignSpace) -> List[EvaluatedCandidate]:
+    """Evaluate every candidate, sorted by safe velocity (descending)."""
+    results = [evaluate(candidate) for candidate in space.candidates()]
+    results.sort(key=lambda r: r.safe_velocity, reverse=True)
+    return results
+
+
+def results_table(results: List[EvaluatedCandidate]) -> str:
+    """Render exploration results as an aligned text table."""
+    return format_table(
+        (
+            "uav", "compute", "algorithm", "f_c (Hz)", "knee (Hz)",
+            "v_safe (m/s)", "bound",
+        ),
+        [
+            (
+                r.candidate.uav_name,
+                r.candidate.compute_name,
+                r.candidate.algorithm_name,
+                f"{r.candidate.f_compute_hz:.2f}",
+                f"{r.knee_hz:.1f}",
+                f"{r.safe_velocity:.2f}",
+                r.bound.value,
+            )
+            for r in results
+        ],
+    )

@@ -1,0 +1,65 @@
+"""Pareto-frontier extraction over evaluated candidates.
+
+Objectives are (name, direction) pairs; a candidate is dominated when
+another is at least as good on every objective and strictly better on
+one.  O(n^2) — design spaces here are hundreds of points, not millions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .explorer import EvaluatedCandidate
+
+#: An objective: extractor + True for maximize / False for minimize.
+Objective = Tuple[Callable[[EvaluatedCandidate], float], bool]
+
+#: Common objective extractors.
+MAX_VELOCITY: Objective = (lambda r: r.safe_velocity, True)
+MIN_MASS: Objective = (lambda r: r.total_mass_g, False)
+MIN_TDP: Objective = (lambda r: r.compute_tdp_w, False)
+
+
+def _dominates(
+    a: EvaluatedCandidate,
+    b: EvaluatedCandidate,
+    objectives: Sequence[Objective],
+) -> bool:
+    at_least_as_good = True
+    strictly_better = False
+    for extract, maximize in objectives:
+        va, vb = extract(a), extract(b)
+        if maximize:
+            if va < vb:
+                at_least_as_good = False
+                break
+            if va > vb:
+                strictly_better = True
+        else:
+            if va > vb:
+                at_least_as_good = False
+                break
+            if va < vb:
+                strictly_better = True
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    results: Sequence[EvaluatedCandidate],
+    objectives: Sequence[Objective] = (MAX_VELOCITY, MIN_TDP),
+) -> List[EvaluatedCandidate]:
+    """The non-dominated subset under the given objectives."""
+    if not objectives:
+        raise ConfigurationError("need at least one objective")
+    front = [
+        candidate
+        for candidate in results
+        if not any(
+            _dominates(other, candidate, objectives)
+            for other in results
+            if other is not candidate
+        )
+    ]
+    front.sort(key=lambda r: objectives[0][0](r), reverse=objectives[0][1])
+    return front

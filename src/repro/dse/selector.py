@@ -1,0 +1,58 @@
+"""Constrained best-candidate selection.
+
+Answers the paper's Sec. VI-D question directly: "given several
+onboard computers, algorithms and sensors, how do we select components
+to maximize the UAV's safe velocity?" — with optional mass/TDP/velocity
+constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import InfeasibleDesignError
+from .explorer import EvaluatedCandidate
+
+
+@dataclass(frozen=True)
+class SelectionCriteria:
+    """Constraints applied before picking the fastest design."""
+
+    max_total_mass_g: Optional[float] = None
+    max_compute_tdp_w: Optional[float] = None
+    min_safe_velocity: Optional[float] = None
+
+    def admits(self, result: EvaluatedCandidate) -> bool:
+        if (
+            self.max_total_mass_g is not None
+            and result.total_mass_g > self.max_total_mass_g
+        ):
+            return False
+        if (
+            self.max_compute_tdp_w is not None
+            and result.compute_tdp_w > self.max_compute_tdp_w
+        ):
+            return False
+        if (
+            self.min_safe_velocity is not None
+            and result.safe_velocity < self.min_safe_velocity
+        ):
+            return False
+        return True
+
+
+def select_best(
+    results: Sequence[EvaluatedCandidate],
+    criteria: Optional[SelectionCriteria] = None,
+) -> EvaluatedCandidate:
+    """The feasible candidate with the highest safe velocity."""
+    criteria = criteria or SelectionCriteria()
+    feasible: List[EvaluatedCandidate] = [
+        result for result in results if criteria.admits(result)
+    ]
+    if not feasible:
+        raise InfeasibleDesignError(
+            "no design satisfies the selection criteria"
+        )
+    return max(feasible, key=lambda result: result.safe_velocity)

@@ -1,0 +1,16 @@
+"""UAV body-dynamics models for the flight simulator."""
+
+from .body import LongitudinalBody
+from .integrator import euler_step, rk4_step
+from .motor import FirstOrderMotor
+from .quadrotor import PlanarQuadrotor, QuadrotorParams, QuadrotorState
+
+__all__ = [
+    "LongitudinalBody",
+    "euler_step",
+    "rk4_step",
+    "FirstOrderMotor",
+    "PlanarQuadrotor",
+    "QuadrotorParams",
+    "QuadrotorState",
+]

@@ -1,0 +1,92 @@
+"""Longitudinal (1-D) UAV body model for the obstacle-stop experiment.
+
+The validation flights are straight-line accelerate-cruise-brake
+maneuvers, so a longitudinal point mass captures the relevant physics:
+
+* commanded acceleration tracked through a first-order *pitch lag*
+  (the airframe must rotate before thrust tilts), the dominant
+  unmodeled effect the paper lists as an error source;
+* saturation at the vehicle's ``a_limit`` (from the Eq. 5 model,
+  optionally derated for in-flight vs static thrust);
+* quadratic aerodynamic drag, the paper's second listed error source.
+
+Velocity is non-negative: the experiment ends at a full stop, the
+vehicle never reverses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.physics import QuadraticDrag
+from ..units import require_nonnegative, require_positive
+
+
+class LongitudinalBody:
+    """Point-mass longitudinal dynamics with pitch lag and drag."""
+
+    def __init__(
+        self,
+        total_mass_g: float,
+        a_limit: float,
+        drag: Optional[QuadraticDrag] = None,
+        pitch_lag_s: float = 0.25,
+    ) -> None:
+        require_positive("total_mass_g", total_mass_g)
+        require_positive("a_limit", a_limit)
+        require_nonnegative("pitch_lag_s", pitch_lag_s)
+        self.total_mass_g = total_mass_g
+        self.a_limit = a_limit
+        self.drag = drag
+        self.pitch_lag_s = pitch_lag_s
+        self.t = 0.0
+        self.x = 0.0
+        self.v = 0.0
+        self._a_command = 0.0
+        self._a_tracked = 0.0
+
+    def command_acceleration(self, a_cmd: float) -> None:
+        """Set the commanded acceleration, clamped to +-``a_limit``."""
+        self._a_command = min(max(a_cmd, -self.a_limit), self.a_limit)
+
+    @property
+    def commanded_acceleration(self) -> float:
+        return self._a_command
+
+    @property
+    def tracked_acceleration(self) -> float:
+        """Acceleration currently realized through the pitch lag."""
+        return self._a_tracked
+
+    def step(self, dt: float, wind_ms: float = 0.0) -> None:
+        """Advance the body by ``dt`` seconds (semi-implicit Euler).
+
+        ``wind_ms`` is the along-track wind (+ = tailwind): drag acts
+        on the *airspeed* ``v - wind``, so a tailwind reduces the drag
+        assisting a brake.
+        """
+        require_positive("dt", dt)
+        if self.pitch_lag_s == 0.0:
+            self._a_tracked = self._a_command
+        else:
+            alpha = dt / (self.pitch_lag_s + dt)
+            self._a_tracked += alpha * (self._a_command - self._a_tracked)
+
+        a_net = self._a_tracked
+        if self.drag is not None:
+            airspeed = self.v - wind_ms
+            a_net -= self.drag.deceleration(airspeed, self.total_mass_g)
+
+        new_v = self.v + a_net * dt
+        if new_v < 0.0:
+            # Stop exactly at v = 0: find the sub-step where v crosses
+            # zero and freeze there (the vehicle hovers, not reverses).
+            new_v = 0.0
+        self.x += 0.5 * (self.v + new_v) * dt  # trapezoidal position
+        self.v = new_v
+        self.t += dt
+
+    @property
+    def stopped(self) -> bool:
+        """True once the vehicle has (re)come to rest while braking."""
+        return self.v == 0.0 and self._a_command <= 0.0

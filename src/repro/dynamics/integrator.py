@@ -1,0 +1,30 @@
+"""Fixed-step ODE integrators for the flight simulator.
+
+Both integrators advance a state vector ``y`` by ``dt`` under the
+dynamics ``f(t, y) -> dy/dt``.  RK4 is used by the planar quadrotor
+(whose attitude dynamics are stiff relative to the 1 ms step); the
+longitudinal model integrates analytically-friendly terms with
+semi-implicit Euler inside the body class itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+Dynamics = Callable[[float, np.ndarray], np.ndarray]
+
+
+def euler_step(f: Dynamics, t: float, y: np.ndarray, dt: float) -> np.ndarray:
+    """One explicit-Euler step."""
+    return y + dt * f(t, y)
+
+
+def rk4_step(f: Dynamics, t: float, y: np.ndarray, dt: float) -> np.ndarray:
+    """One classic Runge-Kutta 4 step."""
+    k1 = f(t, y)
+    k2 = f(t + dt / 2.0, y + dt / 2.0 * k1)
+    k3 = f(t + dt / 2.0, y + dt / 2.0 * k2)
+    k4 = f(t + dt, y + dt * k3)
+    return y + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)

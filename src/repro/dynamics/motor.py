@@ -1,0 +1,48 @@
+"""First-order motor/propeller thrust response.
+
+Spec-sheet pull is static; a real motor+ESC reaches a commanded thrust
+with a lag of tens of milliseconds.  The simulator models this as a
+first-order system with time constant ``tau_s`` and saturation at the
+rated pull.
+"""
+
+from __future__ import annotations
+
+from ..units import require_nonnegative, require_positive
+
+
+class FirstOrderMotor:
+    """One motor tracking thrust commands with a first-order lag."""
+
+    def __init__(
+        self,
+        max_thrust_g: float,
+        tau_s: float = 0.05,
+        initial_thrust_g: float = 0.0,
+    ) -> None:
+        require_positive("max_thrust_g", max_thrust_g)
+        require_nonnegative("tau_s", tau_s)
+        require_nonnegative("initial_thrust_g", initial_thrust_g)
+        self.max_thrust_g = max_thrust_g
+        self.tau_s = tau_s
+        self._thrust_g = min(initial_thrust_g, max_thrust_g)
+        self._command_g = self._thrust_g
+
+    @property
+    def thrust_g(self) -> float:
+        """Currently produced thrust (gram-force)."""
+        return self._thrust_g
+
+    def command(self, thrust_g: float) -> None:
+        """Set the thrust setpoint, clamped to [0, rated pull]."""
+        self._command_g = min(max(thrust_g, 0.0), self.max_thrust_g)
+
+    def step(self, dt: float) -> float:
+        """Advance the lag by ``dt`` and return the produced thrust."""
+        require_positive("dt", dt)
+        if self.tau_s == 0.0:
+            self._thrust_g = self._command_g
+        else:
+            alpha = dt / (self.tau_s + dt)  # semi-implicit, unconditionally stable
+            self._thrust_g += alpha * (self._command_g - self._thrust_g)
+        return self._thrust_g

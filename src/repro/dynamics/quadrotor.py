@@ -1,0 +1,144 @@
+"""Planar (x-z) quadrotor rigid-body model.
+
+A 6-state planar quadrotor — position (x, z), velocity (vx, vz), pitch
+``theta`` and pitch rate ``q`` — driven by the *front* and *rear* rotor
+pair thrusts.  This is the substrate beneath the cascaded flight
+controller (Sec. II-D): the 1 kHz inner loop stabilizes ``theta``
+while outer loops track velocity and altitude.
+
+Conventions: ``theta > 0`` pitches the nose down, accelerating the
+vehicle in +x.  Thrust commands are gram-force per rotor *pair* (two
+motors each), matching the component spec sheets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.physics import QuadraticDrag
+from ..units import GRAVITY, gram_force_to_newtons, require_positive
+from .integrator import rk4_step
+from .motor import FirstOrderMotor
+
+
+@dataclass(frozen=True)
+class QuadrotorParams:
+    """Physical parameters of the planar quadrotor."""
+
+    total_mass_g: float
+    arm_length_m: float
+    max_thrust_per_pair_g: float
+    inertia_kgm2: float | None = None  # default: slender-rod estimate
+    cd_area_m2: float = 0.05
+    motor_tau_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_positive("total_mass_g", self.total_mass_g)
+        require_positive("arm_length_m", self.arm_length_m)
+        require_positive("max_thrust_per_pair_g", self.max_thrust_per_pair_g)
+
+    @property
+    def mass_kg(self) -> float:
+        return self.total_mass_g / 1000.0
+
+    @property
+    def inertia(self) -> float:
+        """Pitch inertia (kg m^2); defaults to m * L^2 / 6."""
+        if self.inertia_kgm2 is not None:
+            return self.inertia_kgm2
+        return self.mass_kg * (2.0 * self.arm_length_m) ** 2 / 12.0
+
+    @property
+    def hover_thrust_per_pair_g(self) -> float:
+        """Per-pair thrust that exactly balances weight."""
+        return self.total_mass_g / 2.0
+
+
+@dataclass
+class QuadrotorState:
+    """Mutable planar state: positions, velocities, attitude."""
+
+    x: float = 0.0
+    z: float = 0.0
+    vx: float = 0.0
+    vz: float = 0.0
+    theta: float = 0.0  # pitch, rad (positive = nose down)
+    q: float = 0.0  # pitch rate, rad/s
+
+    def as_array(self) -> np.ndarray:
+        return np.array(
+            [self.x, self.z, self.vx, self.vz, self.theta, self.q]
+        )
+
+    @classmethod
+    def from_array(cls, y: np.ndarray) -> "QuadrotorState":
+        return cls(
+            x=float(y[0]),
+            z=float(y[1]),
+            vx=float(y[2]),
+            vz=float(y[3]),
+            theta=float(y[4]),
+            q=float(y[5]),
+        )
+
+
+class PlanarQuadrotor:
+    """The planar quadrotor with lagged motors and quadratic drag."""
+
+    def __init__(
+        self, params: QuadrotorParams, state: QuadrotorState | None = None
+    ) -> None:
+        self.params = params
+        self.state = state or QuadrotorState()
+        self.t = 0.0
+        hover = params.hover_thrust_per_pair_g
+        self._front = FirstOrderMotor(
+            params.max_thrust_per_pair_g,
+            tau_s=params.motor_tau_s,
+            initial_thrust_g=hover,
+        )
+        self._rear = FirstOrderMotor(
+            params.max_thrust_per_pair_g,
+            tau_s=params.motor_tau_s,
+            initial_thrust_g=hover,
+        )
+        self._drag = QuadraticDrag(cd_area_m2=params.cd_area_m2)
+
+    def command(self, front_pair_g: float, rear_pair_g: float) -> None:
+        """Set per-pair thrust setpoints (gram-force)."""
+        self._front.command(front_pair_g)
+        self._rear.command(rear_pair_g)
+
+    @property
+    def thrust_total_n(self) -> float:
+        """Instantaneous total thrust (N)."""
+        return gram_force_to_newtons(
+            self._front.thrust_g + self._rear.thrust_g
+        )
+
+    def _dynamics(self, _t: float, y: np.ndarray) -> np.ndarray:
+        params = self.params
+        _, _, vx, vz, theta, q = y
+        thrust_n = self.thrust_total_n
+        # Pitch torque from differential thrust (rear pushes nose down).
+        torque = (
+            gram_force_to_newtons(self._rear.thrust_g - self._front.thrust_g)
+            * params.arm_length_m
+        )
+        drag_x = self._drag.force_n(vx) / params.mass_kg
+        drag_z = self._drag.force_n(vz) / params.mass_kg
+        ax = thrust_n * np.sin(theta) / params.mass_kg - drag_x
+        az = thrust_n * np.cos(theta) / params.mass_kg - GRAVITY - drag_z
+        return np.array([vx, vz, ax, az, q, torque / params.inertia])
+
+    def step(self, dt: float) -> QuadrotorState:
+        """Advance motors and rigid body by ``dt`` (RK4)."""
+        require_positive("dt", dt)
+        self._front.step(dt)
+        self._rear.step(dt)
+        y = rk4_step(self._dynamics, self.t, self.state.as_array(), dt)
+        self.state = QuadrotorState.from_array(y)
+        self.t += dt
+        return self.state

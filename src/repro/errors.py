@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so that
+callers can catch one base type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A UAV or model configuration is inconsistent or out of range."""
+
+
+class InfeasibleDesignError(ReproError):
+    """The requested design cannot fly (e.g. thrust below weight with
+    no braking floor, or a commanded velocity above the physics roof)."""
+
+
+class CalibrationError(ReproError):
+    """Parameter fitting failed to converge or had insufficient data."""
+
+
+class SimulationError(ReproError):
+    """A simulation was configured or advanced incorrectly."""
+
+
+class UnknownComponentError(ReproError, KeyError):
+    """A named component (platform, algorithm, sensor) is not registered."""

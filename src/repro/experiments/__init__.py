@@ -1,0 +1,19 @@
+"""Per-figure/table reproduction experiments.
+
+Each module reproduces one data artifact from the paper and returns an
+:class:`~repro.experiments.base.ExperimentResult` holding the data
+table, paper-vs-measured comparisons and (when the artifact is a
+figure) a rendered chart.  ``repro-experiments`` runs them all and
+writes a markdown report plus SVGs.
+"""
+
+from .base import Comparison, ExperimentResult
+from .registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "Comparison",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

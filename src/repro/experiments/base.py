@@ -1,0 +1,72 @@
+"""Shared result container for reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..io.tables import format_table
+from ..viz.lineplot import LinePlot
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-reported quantity vs what this reproduction measures."""
+
+    quantity: str
+    paper: str
+    measured: str
+    note: str = ""
+
+    def matches(self, tolerance_note: str = "") -> str:  # pragma: no cover
+        return f"{self.quantity}: paper {self.paper} vs ours {self.measured}"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    table_headers: Sequence[str]
+    table_rows: Sequence[Sequence[object]]
+    comparisons: Sequence[Comparison] = field(default_factory=tuple)
+    figure: Optional[LinePlot] = None
+    notes: Sequence[str] = field(default_factory=tuple)
+
+    def data_table(self) -> str:
+        """The experiment's main table as text."""
+        return format_table(self.table_headers, self.table_rows)
+
+    def comparison_table(self) -> str:
+        """Paper-vs-measured table as text."""
+        if not self.comparisons:
+            return "(no paper-reported quantities for this artifact)"
+        return format_table(
+            ("quantity", "paper", "measured", "note"),
+            [
+                (c.quantity, c.paper, c.measured, c.note)
+                for c in self.comparisons
+            ],
+        )
+
+    def summary_text(self) -> str:
+        """Full text report for this experiment."""
+        lines: List[str] = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            "",
+            self.data_table(),
+            "",
+            "Paper vs measured:",
+            self.comparison_table(),
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def save_figure(self, path: str) -> Optional[str]:
+        """Write the figure SVG if this artifact has one."""
+        if self.figure is None:
+            return None
+        return self.figure.save(path)

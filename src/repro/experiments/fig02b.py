@@ -1,0 +1,86 @@
+"""Fig. 2b: UAV size class vs battery capacity vs endurance.
+
+Derives hover endurance from first principles (momentum-theory power
+against usable battery energy) for one representative vehicle per size
+class and compares against the paper's anchor values (nano 240 mAh /
+~7 min, micro 1300 mAh / ~15 min, mini 3830 mAh / ~30 min).
+"""
+
+from __future__ import annotations
+
+from ..compute.platforms import get_platform
+from ..missions.endurance import hover_endurance_min
+from ..uav.classes import CLASS_ENVELOPES, classify_size
+from ..uav.components import Battery, Frame, Motor, Sensor
+from ..uav.configuration import UAVConfiguration
+from ..uav.presets import asctec_pelican, nano_uav
+from .base import Comparison, ExperimentResult
+
+
+def _micro_uav() -> UAVConfiguration:
+    """A representative 250 mm-class micro-UAV."""
+    return UAVConfiguration(
+        name="micro-250",
+        frame=Frame(
+            name="micro-250",
+            base_mass_g=220.0,
+            size_mm=250.0,
+            rotor_radius_m=0.0635,
+            cd_area_m2=0.01,
+        ),
+        motor=Motor(name="micro-1306", rated_pull_g=160.0),
+        battery=Battery(
+            name="micro-1300", capacity_mah=1300.0, voltage_v=7.4,
+            mass_g=85.0,
+        ),
+        sensor=Sensor(name="micro-cam", framerate_hz=60.0, range_m=5.0),
+        compute=get_platform("raspi4"),
+    )
+
+
+def run() -> ExperimentResult:
+    """Reproduce the size/battery/endurance table."""
+    vehicles = (
+        ("nano", nano_uav()),
+        ("micro", _micro_uav()),
+        ("mini", asctec_pelican()),
+    )
+    rows = []
+    comparisons = []
+    anchors = {e.size_class.value: e for e in CLASS_ENVELOPES}
+    for class_name, uav in vehicles:
+        estimate = hover_endurance_min(uav)
+        anchor = anchors[class_name]
+        size_class = classify_size(uav.frame.size_mm)
+        rows.append(
+            (
+                class_name,
+                f"{uav.frame.size_mm:.0f}",
+                f"{uav.battery.capacity_mah:.0f}",
+                f"{estimate.hover_power_w:.1f}",
+                f"{estimate.endurance_min:.1f}",
+                f"{anchor.typical_endurance_min:.0f}",
+            )
+        )
+        comparisons.append(
+            Comparison(
+                f"{class_name} endurance",
+                f"~{anchor.typical_endurance_min:.0f} min "
+                f"@ {anchor.typical_battery_mah:.0f} mAh",
+                f"{estimate.endurance_min:.1f} min "
+                f"@ {uav.battery.capacity_mah:.0f} mAh",
+                "momentum-theory hover power",
+            )
+        )
+        assert size_class.value == class_name
+
+    return ExperimentResult(
+        experiment_id="fig02b",
+        title="Size, battery capacity and endurance by UAV class",
+        table_headers=(
+            "class", "size (mm)", "battery (mAh)", "hover power (W)",
+            "endurance (min)", "paper (min)",
+        ),
+        table_rows=rows,
+        comparisons=tuple(comparisons),
+    )

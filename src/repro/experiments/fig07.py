@@ -1,0 +1,111 @@
+"""Fig. 7: experimental validation — trajectories and model error
+(Sec. IV).
+
+Fig. 7a: UAV-A's position-vs-time trajectories for commanded
+velocities around the predicted safe velocity, showing which stop
+short of the obstacle.  Fig. 7b: the model-vs-flight error for all
+four drones.  Real flights and Vicon capture are replaced by the
+:mod:`repro.sim` co-simulation (see DESIGN.md Sec. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.obstacle_stop import ObstacleStopConfig, run_obstacle_stop
+from ..uav.presets import custom_s500
+from ..validation.flight_tests import (
+    PAPER_ERROR_PCT,
+    PAPER_PREDICTED_V,
+    VALIDATION_LOOP_RATE_HZ,
+    run_validation_campaign,
+)
+from ..viz.lineplot import LinePlot
+from .base import Comparison, ExperimentResult
+
+#: Commanded velocities for the Fig. 7a trajectory sweep (fractions of
+#: the predicted safe velocity, mirroring the paper's 1.5..2.5 m/s).
+TRAJECTORY_FRACTIONS = (0.75, 0.9, 1.0, 1.1, 1.25)
+
+
+def trajectory_sweep(trials_seed: int = 3) -> LinePlot:
+    """The Fig. 7a trajectory chart for UAV-A."""
+    uav = custom_s500("A")
+    predicted = uav.f1(VALIDATION_LOOP_RATE_HZ).velocity_at(
+        VALIDATION_LOOP_RATE_HZ
+    )
+    figure = LinePlot(
+        title="Fig. 7a: UAV-A flight trajectories (simulated)",
+        x_label="Time (s)",
+        y_label="Position (m)",
+    )
+    obstacle_drawn = False
+    for fraction in TRAJECTORY_FRACTIONS:
+        config = ObstacleStopConfig(
+            cruise_velocity=predicted * fraction,
+            f_action_hz=VALIDATION_LOOP_RATE_HZ,
+        )
+        flight = run_obstacle_stop(uav, config, seed=trials_seed)
+        stride = max(1, len(flight.times) // 200)
+        label = (
+            f"v={config.cruise_velocity:.2f} m/s"
+            f"{' (infraction)' if flight.infraction else ''}"
+        )
+        figure.add_series(
+            label,
+            list(flight.times[::stride]),
+            list(flight.positions[::stride]),
+        )
+        if not obstacle_drawn:
+            figure.add_hline(
+                flight.obstacle_position_m, label="obstacle", color="#aa0000"
+            )
+            obstacle_drawn = True
+    return figure
+
+
+def run(trials: int = 3, seed: int = 7) -> ExperimentResult:
+    """Reproduce the Fig. 7 validation artifacts."""
+    campaign = run_validation_campaign(trials=trials, seed=seed)
+    figure = trajectory_sweep()
+
+    rows = []
+    comparisons = []
+    for variant, row in sorted(campaign.items()):
+        rows.append(
+            (
+                f"UAV-{variant}",
+                f"{row.predicted_velocity:.2f}",
+                f"{row.observed_velocity:.2f}",
+                f"{row.error_pct:.1f}%",
+                f"{PAPER_ERROR_PCT[variant]:.1f}%",
+            )
+        )
+        comparisons.append(
+            Comparison(
+                f"UAV-{variant} predicted safe velocity",
+                f"{PAPER_PREDICTED_V[variant]:.2f} m/s",
+                f"{row.predicted_velocity:.2f} m/s",
+            )
+        )
+    errors = [row.error_pct for row in campaign.values()]
+    comparisons.append(
+        Comparison(
+            "model error band",
+            "5.1% .. 9.5% (optimistic)",
+            f"{min(errors):.1f}% .. {max(errors):.1f}% (optimistic)",
+            "simulated flights stand in for the paper's real flights",
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id="fig07",
+        title="Experimental validation of the F-1 model",
+        table_headers=(
+            "drone", "predicted (m/s)", "observed (m/s)",
+            "error (ours)", "error (paper)",
+        ),
+        table_rows=rows,
+        comparisons=tuple(comparisons),
+        figure=figure,
+    )

@@ -1,0 +1,61 @@
+"""Fig. 12: heatsink weight vs TDP (Sec. VI-A).
+
+Sweeps the fitted heatsink law and checks the paper's three anchors:
+162 g at 30 W, ~halved at 15 W, and "~20x in TDP -> ~16.2x in heatsink
+weight" down to ~10 g.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.heatsink import heatsink_mass_g
+from ..viz.lineplot import LinePlot
+from .base import Comparison, ExperimentResult
+
+TDP_SWEEP_W = np.linspace(1.0, 35.0, 69)
+
+
+def run() -> ExperimentResult:
+    """Reproduce the heatsink-vs-TDP relationship."""
+    masses = [heatsink_mass_g(t) for t in TDP_SWEEP_W]
+
+    figure = LinePlot(
+        title="Fig. 12: heatsink mass vs TDP",
+        x_label="TDP (W)",
+        y_label="Heatsink Mass (g)",
+    )
+    figure.add_series("fitted power law", list(TDP_SWEEP_W), masses)
+    for tdp, label in ((30.0, "AGX 30 W"), (15.0, "AGX 15 W"), (1.5, "1.5 W")):
+        figure.add_marker(tdp, heatsink_mass_g(tdp), label=label)
+
+    m30 = heatsink_mass_g(30.0)
+    m15 = heatsink_mass_g(15.0)
+    m1_5 = heatsink_mass_g(1.5)
+
+    rows = [
+        (f"{tdp:.1f}", f"{heatsink_mass_g(tdp):.1f}")
+        for tdp in (1.5, 5.0, 7.5, 15.0, 30.0)
+    ]
+
+    comparisons = (
+        Comparison("heatsink @ 30 W", "162 g", f"{m30:.1f} g"),
+        Comparison(
+            "heatsink @ 15 W", "81 g (halved)", f"{m15:.1f} g",
+            "power-law fit vs the paper's 'half'",
+        ),
+        Comparison(
+            "20x TDP reduction",
+            "~16.2x heatsink reduction (to ~10 g)",
+            f"{m30 / m1_5:.1f}x (to {m1_5:.1f} g)",
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Heatsink weight vs TDP",
+        table_headers=("TDP (W)", "heatsink (g)"),
+        table_rows=rows,
+        comparisons=comparisons,
+        figure=figure,
+    )

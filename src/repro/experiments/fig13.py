@@ -1,0 +1,107 @@
+"""Fig. 13: case study B — autonomy algorithms on Pelican + TX2
+(Sec. VI-B).
+
+Fixed UAV and computer; swap the algorithm.  The SPA package-delivery
+pipeline manages only 1.1 Hz and is hard compute-bound (2.3 m/s); the
+E2E networks blow past the 43 Hz knee and are physics-bound, i.e.
+over-provisioned (TrailNet 1.27x, DroNet 4.13x in the paper).
+"""
+
+from __future__ import annotations
+
+from ..autonomy.workloads import get_algorithm
+from ..compute.platforms import get_platform
+from ..core.bounds import BoundKind
+from ..skyline.plotting import roofline_figure
+from ..uav.presets import PELICAN_SENSING_RANGE_M, asctec_pelican
+from .base import Comparison, ExperimentResult
+
+ALGORITHM_NAMES = ("spa-package-delivery", "trailnet", "dronet")
+
+
+def run() -> ExperimentResult:
+    """Reproduce Fig. 13b and the Sec. VI-B quantities."""
+    tx2 = get_platform("jetson-tx2")
+    uav = asctec_pelican(tx2, sensor_range_m=PELICAN_SENSING_RANGE_M)
+
+    entries = []
+    rows = []
+    models = {}
+    for name in ALGORITHM_NAMES:
+        algorithm = get_algorithm(name)
+        f_compute = algorithm.throughput_on(tx2)
+        model = uav.f1(f_compute)
+        models[name] = model
+        entries.append((f"{name} ({f_compute:.1f} Hz)", model))
+        rows.append(
+            (
+                name,
+                f"{f_compute:.1f}",
+                f"{model.knee.throughput_hz:.1f}",
+                f"{model.safe_velocity:.2f}",
+                model.bound.value,
+                f"{model.compute_overprovision_factor:.2f}x",
+            )
+        )
+
+    spa = models["spa-package-delivery"]
+    trailnet = models["trailnet"]
+    dronet = models["dronet"]
+    knee_hz = spa.knee.throughput_hz
+
+    figure = roofline_figure(
+        entries,
+        title="Fig. 13b: AscTec Pelican + TX2 — SPA vs TrailNet vs DroNet",
+        f_min_hz=0.5,
+        f_max_hz=1000.0,
+    )
+
+    comparisons = (
+        Comparison("knee-point throughput", "43 Hz", f"{knee_hz:.1f} Hz"),
+        Comparison(
+            "SPA safe velocity",
+            "2.3 m/s",
+            f"{spa.safe_velocity:.2f} m/s",
+            "compute-bound ceiling at 1.1 Hz",
+        ),
+        Comparison(
+            "SPA bound classification",
+            "compute-bound",
+            spa.bound.value,
+        ),
+        Comparison(
+            "SPA speedup needed to reach the knee",
+            "39x",
+            f"{spa.optimality().required_speedup:.1f}x",
+        ),
+        Comparison(
+            "TrailNet over-provisioning",
+            "1.27x",
+            f"{trailnet.compute_overprovision_factor:.2f}x",
+        ),
+        Comparison(
+            "DroNet over-provisioning",
+            "4.13x",
+            f"{dronet.compute_overprovision_factor:.2f}x",
+        ),
+        Comparison(
+            "E2E bound classification",
+            "physics-bound",
+            f"{trailnet.bound.value} / {dronet.bound.value}",
+            "compute exceeds the knee; the 60 Hz sensor also does",
+        ),
+    )
+
+    assert spa.bound is BoundKind.COMPUTE  # sanity: the case study's point
+
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Case study B: autonomy algorithm choice (SPA vs E2E)",
+        table_headers=(
+            "algorithm", "f_c (Hz)", "knee (Hz)", "v_safe (m/s)",
+            "bound", "over-prov",
+        ),
+        table_rows=rows,
+        comparisons=comparisons,
+        figure=figure,
+    )

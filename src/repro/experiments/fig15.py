@@ -1,0 +1,130 @@
+"""Fig. 15: case study D — full UAV system characterization
+(Sec. VI-D).
+
+Crosses two UAVs (DJI Spark, AscTec Pelican) with onboard computers
+(NCS, TX2, Ras-Pi) and algorithms (DroNet, TrailNet, CAD2RL, VGG16),
+classifying every design point as compute- or physics-bound and
+extracting the paper's headline speedup targets for the Ras-Pi.
+"""
+
+from __future__ import annotations
+
+from ..dse.explorer import explore
+from ..dse.space import DesignSpace
+from ..skyline.plotting import roofline_figure
+from ..uav.presets import PELICAN_SENSING_RANGE_M, asctec_pelican, dji_spark
+from ..autonomy.workloads import get_algorithm
+from ..compute.platforms import get_platform
+from .base import Comparison, ExperimentResult
+
+COMPUTES = ("intel-ncs", "jetson-tx2", "raspi4")
+ALGORITHMS = ("dronet", "trailnet", "cad2rl", "vgg16")
+
+
+def run() -> ExperimentResult:
+    """Reproduce the Fig. 15b characterization."""
+    space = DesignSpace(
+        uav_names=("dji-spark", "asctec-pelican"),
+        compute_names=COMPUTES,
+        algorithm_names=ALGORITHMS,
+    )
+    results = explore(space)
+
+    rows = [
+        (
+            r.candidate.uav_name,
+            r.candidate.compute_name,
+            r.candidate.algorithm_name,
+            f"{r.candidate.f_compute_hz:.2f}",
+            f"{r.knee_hz:.1f}",
+            f"{r.safe_velocity:.2f}",
+            r.bound.value,
+        )
+        for r in results
+    ]
+
+    # The paper's quoted targets: DroNet/TrailNet/CAD2RL on Pelican+RasPi.
+    # Fig. 15 draws a single roofline per UAV type (payload fixed at the
+    # TX2 build), so the speedup targets use that fixed knee; the
+    # exploration table above recomputes weight-aware knees per design.
+    tx2 = get_platform("jetson-tx2")
+    raspi = get_platform("raspi4")
+    pelican_knee_hz = (
+        asctec_pelican(tx2, sensor_range_m=PELICAN_SENSING_RANGE_M)
+        .f1(1.0)
+        .knee.throughput_hz
+    )
+    speedups = {}
+    for algo_name in ("dronet", "trailnet", "cad2rl"):
+        f_c = get_algorithm(algo_name).throughput_on(raspi)
+        speedups[algo_name] = pelican_knee_hz / f_c
+
+    spark_tx2 = dji_spark(tx2)
+    f_dronet_tx2 = get_algorithm("dronet").throughput_on(tx2)
+    spark_model = spark_tx2.f1(f_dronet_tx2)
+
+    # Rooflines for the two UAV types (with their default computers).
+    figure = roofline_figure(
+        (
+            (
+                "Roofline: DJI Spark (+TX2)",
+                spark_model,
+            ),
+            (
+                "Roofline: AscTec Pelican (+TX2)",
+                asctec_pelican(
+                    tx2, sensor_range_m=PELICAN_SENSING_RANGE_M
+                ).f1(f_dronet_tx2),
+            ),
+        ),
+        title="Fig. 15b: full-system characterization",
+        f_min_hz=1.0,
+        f_max_hz=1000.0,
+    )
+
+    comparisons = (
+        Comparison(
+            "Ras-Pi DroNet speedup needed (Pelican)",
+            "3.3x",
+            f"{speedups['dronet']:.1f}x",
+        ),
+        Comparison(
+            "Ras-Pi TrailNet speedup needed (Pelican)",
+            "110x",
+            f"{speedups['trailnet']:.0f}x",
+        ),
+        Comparison(
+            "Ras-Pi CAD2RL speedup needed (Pelican)",
+            "660x",
+            f"{speedups['cad2rl']:.0f}x",
+        ),
+        Comparison(
+            "Spark + TX2 knee",
+            "30 Hz",
+            f"{spark_model.knee.throughput_hz:.1f} Hz",
+        ),
+        Comparison(
+            "Spark + TX2 DroNet over-provisioning",
+            "6x",
+            f"{spark_model.compute_overprovision_factor:.1f}x",
+        ),
+    )
+
+    notes = (
+        "the stylized Fig. 1/15 sketch draws the Pelican roofline above "
+        "the Spark's; the paper's quantitative anchors (43 Hz vs 30 Hz "
+        "knees) pin the presets instead, which puts the short-sensor "
+        "Pelican roof below the Spark roof",
+    )
+
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Case study D: full UAV system characterization",
+        table_headers=(
+            "uav", "compute", "algorithm", "f_c (Hz)", "knee (Hz)",
+            "v_safe (m/s)", "bound",
+        ),
+        table_rows=rows,
+        comparisons=comparisons,
+        figure=figure,
+    )

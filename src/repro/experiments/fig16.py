@@ -1,0 +1,110 @@
+"""Fig. 16: pitfalls of isolated accelerator metrics (Sec. VII).
+
+PULP-DroNet (6 Hz @ 64 mW) and Navion (172 FPS SLAM @ 2 mW) are both
+impressive in isolation, yet on a nano-UAV both are *compute-bound*:
+PULP needs 4.33x more end-to-end throughput to hit the 26 Hz knee, and
+Navion's SPA pipeline — whose other stages it does not accelerate —
+lands at 1.23 Hz, 21.1x short.
+"""
+
+from __future__ import annotations
+
+from ..autonomy.spa import mavbench_package_delivery, mavbench_with_navion
+from ..autonomy.workloads import get_algorithm
+from ..compute.platforms import get_platform
+from ..skyline.plotting import roofline_figure
+from ..uav.presets import nano_uav
+from .base import Comparison, ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Reproduce Fig. 16c and the Sec. VII speedup targets."""
+    tx2 = get_platform("jetson-tx2")
+
+    # PULP-DroNet: E2E DroNet on the GAP8 at 6 Hz.
+    pulp = get_platform("pulp-gap8")
+    uav_pulp = nano_uav(pulp)
+    f_pulp = get_algorithm("dronet").throughput_on(pulp)
+    model_pulp = uav_pulp.f1(f_pulp)
+
+    # Navion: SPA pipeline with only the SLAM stage accelerated.  The
+    # remaining stages run on a TX2-class host in the paper's estimate.
+    spa_base = mavbench_package_delivery()
+    spa_navion = mavbench_with_navion()
+    f_navion = spa_navion.throughput_on(tx2)
+    uav_navion = nano_uav(get_platform("navion"))
+    model_navion = uav_navion.f1(f_navion)
+
+    knee_hz = model_pulp.knee.throughput_hz
+
+    figure = roofline_figure(
+        (
+            (f"PULP-DroNet ({f_pulp:.0f} Hz)", model_pulp),
+            (f"Navion SPA ({f_navion:.2f} Hz)", model_navion),
+        ),
+        title="Fig. 16c: nano-UAV with PULP-DroNet and Navion",
+        f_min_hz=0.5,
+        f_max_hz=200.0,
+    )
+
+    rows = (
+        (
+            "pulp-dronet (E2E)",
+            f"{f_pulp:.2f}",
+            f"{model_pulp.knee.throughput_hz:.1f}",
+            f"{model_pulp.safe_velocity:.2f}",
+            model_pulp.bound.value,
+            f"{model_pulp.optimality().required_speedup:.2f}x",
+        ),
+        (
+            "navion SPA (SLAM accel)",
+            f"{f_navion:.2f}",
+            f"{model_navion.knee.throughput_hz:.1f}",
+            f"{model_navion.safe_velocity:.2f}",
+            model_navion.bound.value,
+            f"{model_navion.optimality().required_speedup:.1f}x",
+        ),
+    )
+
+    comparisons = (
+        Comparison("nano-UAV knee", "26 Hz", f"{knee_hz:.1f} Hz"),
+        Comparison(
+            "PULP speedup needed",
+            "4.33x",
+            f"{model_pulp.optimality().required_speedup:.2f}x",
+        ),
+        Comparison(
+            "SPA latency with Navion SLAM",
+            "810 ms (1.23 Hz)",
+            f"{spa_navion.latency_on(tx2) * 1000:.0f} ms "
+            f"({f_navion:.2f} Hz)",
+        ),
+        Comparison(
+            "Navion pipeline speedup needed",
+            "21.1x",
+            f"{model_navion.optimality().required_speedup:.1f}x",
+        ),
+        Comparison(
+            "SPA latency without Navion",
+            "909 ms (1.1 Hz)",
+            f"{spa_base.latency_on(tx2) * 1000:.0f} ms "
+            f"({spa_base.throughput_on(tx2):.2f} Hz)",
+        ),
+        Comparison(
+            "both accelerators compute-bound",
+            "yes",
+            f"{model_pulp.bound.value} / {model_navion.bound.value}",
+        ),
+    )
+
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Accelerator pitfalls on a nano-UAV (PULP, Navion)",
+        table_headers=(
+            "accelerator", "f_action (Hz)", "knee (Hz)", "v_safe (m/s)",
+            "bound", "speedup needed",
+        ),
+        table_rows=rows,
+        comparisons=comparisons,
+        figure=figure,
+    )

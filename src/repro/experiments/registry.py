@@ -1,0 +1,53 @@
+"""Registry and lookup of all reproduction experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import UnknownComponentError
+from . import (
+    fig02b,
+    fig05,
+    fig07,
+    fig09,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    tables,
+)
+from .base import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig02b": fig02b.run,
+    "fig05": fig05.run,
+    "fig07": fig07.run,
+    "fig09": fig09.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "table3": tables.run_table3,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Look up an experiment runner by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise UnknownComponentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)()

@@ -1,0 +1,10 @@
+"""I/O helpers: text tables and configuration serialization."""
+
+from .serialization import configuration_from_dict, configuration_to_dict
+from .tables import format_table
+
+__all__ = [
+    "configuration_from_dict",
+    "configuration_to_dict",
+    "format_table",
+]

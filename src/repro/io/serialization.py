@@ -1,0 +1,68 @@
+"""JSON-friendly (de)serialization of UAV configurations.
+
+Round-trips every component dataclass through plain dicts so Skyline
+sessions and DSE sweeps can be saved, diffed and re-loaded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..errors import ConfigurationError
+from ..uav.components import (
+    Battery,
+    ComputePlatform,
+    FlightControllerBoard,
+    Frame,
+    Motor,
+    Sensor,
+)
+from ..uav.configuration import UAVConfiguration
+
+_COMPONENT_TYPES = {
+    "frame": Frame,
+    "motor": Motor,
+    "battery": Battery,
+    "sensor": Sensor,
+    "compute": ComputePlatform,
+    "flight_controller": FlightControllerBoard,
+}
+
+_SCALAR_FIELDS = (
+    "name",
+    "compute_redundancy",
+    "extra_payload_g",
+    "payload_override_g",
+    "braking_pitch_deg",
+)
+
+
+def _dataclass_to_dict(obj: Any) -> Dict[str, Any]:
+    return {
+        field_name: getattr(obj, field_name)
+        for field_name in obj.__dataclass_fields__  # type: ignore[attr-defined]
+    }
+
+
+def configuration_to_dict(uav: UAVConfiguration) -> Dict[str, Any]:
+    """Serialize a configuration to a JSON-compatible dict."""
+    data: Dict[str, Any] = {
+        key: _dataclass_to_dict(getattr(uav, key))
+        for key in _COMPONENT_TYPES
+    }
+    for field_name in _SCALAR_FIELDS:
+        data[field_name] = getattr(uav, field_name)
+    return data
+
+
+def configuration_from_dict(data: Dict[str, Any]) -> UAVConfiguration:
+    """Rebuild a configuration from :func:`configuration_to_dict` output."""
+    kwargs: Dict[str, Any] = {}
+    for key, cls in _COMPONENT_TYPES.items():
+        if key not in data:
+            raise ConfigurationError(f"missing component section {key!r}")
+        kwargs[key] = cls(**data[key])
+    for field_name in _SCALAR_FIELDS:
+        if field_name in data:
+            kwargs[field_name] = data[field_name]
+    return UAVConfiguration(**kwargs)

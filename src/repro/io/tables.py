@@ -1,0 +1,65 @@
+"""Monospace table rendering for reports and experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats use ``float_format``; everything else is ``str()``-ed.
+    Column widths adapt to content; numeric-looking columns are
+    right-aligned.
+    """
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match "
+                f"{len(headers)} headers"
+            )
+
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def numeric_column(index: int) -> bool:
+        values = [row[index] for row in rendered]
+        return bool(values) and all(
+            v.replace(".", "", 1).replace("-", "", 1).replace("%", "", 1)
+            .replace("x", "", 1).isdigit()
+            or v in ("yes", "no", "-", "")
+            for v in values
+        )
+
+    aligns = [numeric_column(i) for i in range(len(headers))]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        cells = [
+            value.rjust(widths[i]) if aligns[i] else value.ljust(widths[i])
+            for i, value in enumerate(row)
+        ]
+        return "| " + " | ".join(cells) + " |"
+
+    separator = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = [fmt_row(list(headers)), separator]
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

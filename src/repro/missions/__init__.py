@@ -1,0 +1,31 @@
+"""Mission-level modeling: power, endurance, waypoint missions."""
+
+from .endurance import EnduranceEstimate, hover_endurance_min
+from .energy import (
+    forward_flight_power_w,
+    hover_power_w,
+    system_power_w,
+)
+from .mission import Mission, MissionResult, Waypoint, fly_mission
+from .monte_carlo import (
+    MonteCarloConfig,
+    MonteCarloResult,
+    mission_success_probability,
+)
+from .planner import WaypointGraph
+
+__all__ = [
+    "EnduranceEstimate",
+    "hover_endurance_min",
+    "forward_flight_power_w",
+    "hover_power_w",
+    "system_power_w",
+    "Mission",
+    "MissionResult",
+    "Waypoint",
+    "fly_mission",
+    "MonteCarloConfig",
+    "MonteCarloResult",
+    "mission_success_probability",
+    "WaypointGraph",
+]

@@ -1,0 +1,43 @@
+"""Hover endurance from battery energy and system power (Fig. 2b).
+
+The paper's Fig. 2b relates UAV size class to battery capacity and
+endurance (nano: 240 mAh / ~7 min ... mini: 3830 mAh / ~30 min).  The
+estimate here derives endurance from first principles — momentum-theory
+hover power against usable battery energy — and the experiment module
+checks that the derived values land in the paper's bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..uav.configuration import UAVConfiguration
+from ..units import require_nonnegative
+from .energy import DEFAULT_AVIONICS_W, system_power_w
+
+
+@dataclass(frozen=True)
+class EnduranceEstimate:
+    """Endurance with the power breakdown that produced it."""
+
+    uav_name: str
+    battery_wh: float
+    usable_wh: float
+    hover_power_w: float
+    endurance_min: float
+
+
+def hover_endurance_min(
+    uav: UAVConfiguration, avionics_w: float = DEFAULT_AVIONICS_W
+) -> EnduranceEstimate:
+    """Hovering endurance of a configuration, minutes."""
+    require_nonnegative("avionics_w", avionics_w)
+    power = system_power_w(uav, velocity=0.0, avionics_w=avionics_w)
+    usable = uav.battery.usable_energy_wh
+    return EnduranceEstimate(
+        uav_name=uav.name,
+        battery_wh=uav.battery.energy_wh,
+        usable_wh=usable,
+        hover_power_w=power,
+        endurance_min=usable / power * 60.0,
+    )

@@ -1,0 +1,100 @@
+"""Rotorcraft power models (actuator-disk momentum theory).
+
+Hover power is the induced power of the actuator disks divided by a
+figure of merit, plus avionics and compute.  Forward flight adds
+parasitic drag power and slightly reduces induced power (modeled with
+the standard high-speed approximation).  These feed the endurance
+table (Fig. 2b) and the mission simulator, quantifying the paper's
+claim that a higher safe velocity lowers mission time *and* energy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..uav.configuration import UAVConfiguration
+from ..units import AIR_DENSITY, GRAVITY, require_nonnegative, require_positive
+
+#: Figure of merit: small rotors are aerodynamically poor.
+DEFAULT_FIGURE_OF_MERIT = 0.55
+
+#: Electrical efficiency of ESC + motor.
+DEFAULT_DRIVE_EFFICIENCY = 0.75
+
+#: Constant avionics draw (radio, FC, sensors), watts.
+DEFAULT_AVIONICS_W = 1.5
+
+
+def hover_power_w(
+    total_mass_g: float,
+    disk_area_m2: float,
+    figure_of_merit: float = DEFAULT_FIGURE_OF_MERIT,
+    drive_efficiency: float = DEFAULT_DRIVE_EFFICIENCY,
+    air_density: float = AIR_DENSITY,
+) -> float:
+    """Electrical hover power via momentum theory.
+
+    ``P = T^1.5 / sqrt(2 rho A) / FM / eta`` with ``T`` in newtons.
+    """
+    require_positive("total_mass_g", total_mass_g)
+    require_positive("disk_area_m2", disk_area_m2)
+    require_positive("figure_of_merit", figure_of_merit)
+    require_positive("drive_efficiency", drive_efficiency)
+    thrust_n = total_mass_g / 1000.0 * GRAVITY
+    ideal = thrust_n**1.5 / math.sqrt(2.0 * air_density * disk_area_m2)
+    return ideal / figure_of_merit / drive_efficiency
+
+
+def forward_flight_power_w(
+    total_mass_g: float,
+    disk_area_m2: float,
+    velocity: float,
+    cd_area_m2: float,
+    figure_of_merit: float = DEFAULT_FIGURE_OF_MERIT,
+    drive_efficiency: float = DEFAULT_DRIVE_EFFICIENCY,
+    air_density: float = AIR_DENSITY,
+) -> float:
+    """Electrical power in steady forward flight at ``velocity``.
+
+    Induced power shrinks as ``v_h^2 / v`` once translation is fast
+    (Glauert's high-speed approximation, blended smoothly), while
+    parasitic power grows as ``1/2 rho CdA v^3``.
+    """
+    require_nonnegative("velocity", velocity)
+    hover = hover_power_w(
+        total_mass_g,
+        disk_area_m2,
+        figure_of_merit,
+        drive_efficiency,
+        air_density,
+    )
+    if velocity == 0.0:
+        return hover
+    thrust_n = total_mass_g / 1000.0 * GRAVITY
+    # Hover induced velocity at the disk.
+    v_h = math.sqrt(thrust_n / (2.0 * air_density * disk_area_m2))
+    # Induced-velocity ratio from momentum theory (exact solution).
+    mu = velocity / v_h
+    vi_ratio = 1.0 / math.sqrt(0.5 * (mu**2 + math.sqrt(mu**4 + 4.0)))
+    induced = hover * vi_ratio
+    parasitic = (
+        0.5 * air_density * cd_area_m2 * velocity**3 / drive_efficiency
+    )
+    return induced + parasitic
+
+
+def system_power_w(
+    uav: UAVConfiguration,
+    velocity: float = 0.0,
+    avionics_w: float = DEFAULT_AVIONICS_W,
+) -> float:
+    """Total electrical power: propulsion + compute TDP + avionics."""
+    require_nonnegative("avionics_w", avionics_w)
+    propulsion = forward_flight_power_w(
+        total_mass_g=uav.total_mass_g,
+        disk_area_m2=uav.frame.disk_area_m2,
+        velocity=velocity,
+        cd_area_m2=uav.frame.cd_area_m2,
+    )
+    compute = uav.compute.tdp_w * uav.compute_redundancy
+    return propulsion + compute + avionics_w

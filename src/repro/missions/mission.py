@@ -1,0 +1,194 @@
+"""Mission traversal: time and energy at the F-1 safe velocity.
+
+A mission is a sequence of legs (waypoint-to-waypoint segments plus
+hover dwells).  The UAV cruises each leg at ``min(v_cruise, v_safe)``
+with trapezoidal accelerate/decelerate ramps at its ``a_max``; energy
+integrates the forward-flight power model plus compute TDP.  This is
+the quantitative backing for the paper's Sec. I claim (via MAVBench):
+a faster-deciding UAV finishes sooner *and* spends less energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError, InfeasibleDesignError
+from ..uav.configuration import UAVConfiguration
+from ..units import require_nonnegative, require_positive
+from .energy import forward_flight_power_w, system_power_w
+from .planner import WaypointGraph
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """One mission stop: fly to (x, y), optionally dwell (hover)."""
+
+    x: float
+    y: float
+    dwell_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative("dwell_s", self.dwell_s)
+
+
+@dataclass(frozen=True)
+class Mission:
+    """A named sequence of waypoints."""
+
+    name: str
+    waypoints: Sequence[Waypoint]
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ConfigurationError("a mission needs at least two waypoints")
+
+    @property
+    def length_m(self) -> float:
+        """Total path length."""
+        import math
+
+        return sum(
+            math.hypot(b.x - a.x, b.y - a.y)
+            for a, b in zip(self.waypoints, self.waypoints[1:])
+        )
+
+    @classmethod
+    def from_route(
+        cls,
+        graph: WaypointGraph,
+        route: Sequence[str],
+        name: str = "route",
+        dwell_s: float = 0.0,
+    ) -> "Mission":
+        """Build a mission from a planned waypoint-graph route."""
+        points = [
+            Waypoint(x=pos[0], y=pos[1], dwell_s=dwell_s)
+            for pos in (graph.position(n) for n in route)
+        ]
+        return cls(name=name, waypoints=points)
+
+
+@dataclass(frozen=True)
+class LegProfile:
+    """Time/energy of one leg's trapezoidal velocity profile."""
+
+    distance_m: float
+    cruise_velocity: float
+    time_s: float
+    energy_wh: float
+
+
+@dataclass(frozen=True)
+class MissionResult:
+    """Aggregate mission outcome."""
+
+    mission: Mission
+    uav_name: str
+    velocity_cap: float
+    legs: Sequence[LegProfile]
+    hover_time_s: float
+    hover_energy_wh: float
+
+    @property
+    def time_s(self) -> float:
+        return sum(leg.time_s for leg in self.legs) + self.hover_time_s
+
+    @property
+    def energy_wh(self) -> float:
+        return sum(leg.energy_wh for leg in self.legs) + self.hover_energy_wh
+
+    @property
+    def average_velocity(self) -> float:
+        """Mission-average ground speed (m/s)."""
+        if self.time_s == 0.0:
+            return 0.0
+        return self.mission.length_m / self.time_s
+
+
+def _leg_profile(
+    uav: UAVConfiguration, distance_m: float, v_cap: float
+) -> LegProfile:
+    """Trapezoidal (or triangular) profile over one leg."""
+    a = uav.max_acceleration
+    # Distance needed to reach v_cap and brake back to zero.
+    ramp = v_cap**2 / a
+    if ramp <= distance_m:
+        cruise_d = distance_m - ramp
+        time_s = 2.0 * v_cap / a + cruise_d / v_cap
+        v_peak = v_cap
+    else:
+        v_peak = (distance_m * a) ** 0.5
+        cruise_d = 0.0
+        time_s = 2.0 * v_peak / a
+    # Energy: cruise at v_peak for the cruise portion, ramps at ~v/2.
+    cruise_power = forward_flight_power_w(
+        uav.total_mass_g,
+        uav.frame.disk_area_m2,
+        v_peak,
+        uav.frame.cd_area_m2,
+    )
+    ramp_power = forward_flight_power_w(
+        uav.total_mass_g,
+        uav.frame.disk_area_m2,
+        v_peak / 2.0,
+        uav.frame.cd_area_m2,
+    )
+    compute_w = uav.compute.tdp_w * uav.compute_redundancy + 1.5
+    ramp_time = time_s - (cruise_d / v_peak if v_peak > 0 else 0.0)
+    cruise_time = time_s - ramp_time
+    energy_wh = (
+        (cruise_power + compute_w) * cruise_time
+        + (ramp_power + compute_w) * ramp_time
+    ) / 3600.0
+    return LegProfile(
+        distance_m=distance_m,
+        cruise_velocity=v_peak,
+        time_s=time_s,
+        energy_wh=energy_wh,
+    )
+
+
+def fly_mission(
+    uav: UAVConfiguration,
+    mission: Mission,
+    safe_velocity: float,
+    v_cruise_desired: Optional[float] = None,
+    enforce_battery: bool = True,
+) -> MissionResult:
+    """Fly ``mission`` capped at the F-1 safe velocity.
+
+    ``safe_velocity`` comes from the UAV's F-1 model (the caller picks
+    the operating point); the vehicle never exceeds it.  Raises
+    :class:`InfeasibleDesignError` when the battery cannot cover the
+    mission and ``enforce_battery`` is set.
+    """
+    import math
+
+    require_positive("safe_velocity", safe_velocity)
+    v_cap = min(safe_velocity, v_cruise_desired or safe_velocity)
+
+    legs: List[LegProfile] = []
+    for a, b in zip(mission.waypoints, mission.waypoints[1:]):
+        distance = math.hypot(b.x - a.x, b.y - a.y)
+        if distance > 0:
+            legs.append(_leg_profile(uav, distance, v_cap))
+
+    hover_time = sum(w.dwell_s for w in mission.waypoints)
+    hover_energy = system_power_w(uav, velocity=0.0) * hover_time / 3600.0
+
+    result = MissionResult(
+        mission=mission,
+        uav_name=uav.name,
+        velocity_cap=v_cap,
+        legs=legs,
+        hover_time_s=hover_time,
+        hover_energy_wh=hover_energy,
+    )
+    if enforce_battery and result.energy_wh > uav.battery.usable_energy_wh:
+        raise InfeasibleDesignError(
+            f"mission '{mission.name}' needs {result.energy_wh:.1f} Wh but "
+            f"battery '{uav.battery.name}' provides only "
+            f"{uav.battery.usable_energy_wh:.1f} Wh usable"
+        )
+    return result

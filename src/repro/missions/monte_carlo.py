@@ -1,0 +1,130 @@
+"""Monte-Carlo mission robustness: velocity margin under uncertainty.
+
+The F-1 model gives a deterministic safe velocity; real missions face
+gusts, battery variance and compute-unit failures.  This study samples
+those uncertainties jointly and estimates the probability a mission
+completes (a) without an emergency velocity violation, (b) within the
+battery, and (c) with the compute arrangement alive — combining the
+wind, energy and redundancy substrates into one number an operator can
+set a dispatch threshold on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..redundancy.modular import RedundancyScheme
+from ..redundancy.reliability import ReliabilityModel, mission_reliability
+from ..uav.configuration import UAVConfiguration
+from ..units import require_positive
+from .mission import Mission, fly_mission
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Uncertainty model for the mission study."""
+
+    samples: int = 500
+    gust_sigma_ms: float = 1.0
+    battery_capacity_cv: float = 0.05  # coefficient of variation
+    compute_failure_rate_per_hour: float = 1e-4
+    velocity_margin_sigma: float = 2.0  # gusts held back, in sigmas
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.samples < 1:
+            raise ValueError("samples must be >= 1")
+        require_positive(
+            "compute_failure_rate_per_hour",
+            self.compute_failure_rate_per_hour,
+        )
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Estimated mission-outcome probabilities."""
+
+    samples: int
+    p_complete: float
+    p_energy_shortfall: float
+    p_velocity_infeasible: float
+    p_compute_loss: float
+    mean_time_s: float
+    mean_energy_wh: float
+
+
+def mission_success_probability(
+    uav: UAVConfiguration,
+    mission: Mission,
+    safe_velocity: float,
+    config: MonteCarloConfig | None = None,
+    scheme: RedundancyScheme = RedundancyScheme.SIMPLEX,
+) -> MonteCarloResult:
+    """Sample the mission under gust/battery/compute uncertainty.
+
+    Per sample: the flyable velocity is the F-1 safe velocity minus a
+    ``velocity_margin_sigma``-scaled draw of the gust level (a mission
+    aborts if nothing positive remains); battery capacity is drawn
+    log-normally around nameplate; the compute arrangement survives
+    with the redundancy-scheme reliability over the sampled duration.
+    """
+    require_positive("safe_velocity", safe_velocity)
+    config = config or MonteCarloConfig()
+    rng = np.random.default_rng(config.seed)
+    reliability = ReliabilityModel(
+        failure_rate_per_hour=config.compute_failure_rate_per_hour
+    )
+
+    completed = 0
+    energy_shortfalls = 0
+    velocity_infeasible = 0
+    compute_losses = 0
+    times = []
+    energies = []
+
+    for _ in range(config.samples):
+        gust_level = abs(rng.normal(0.0, config.gust_sigma_ms))
+        usable_velocity = safe_velocity - (
+            config.velocity_margin_sigma * gust_level
+        )
+        if usable_velocity <= 0.05:
+            velocity_infeasible += 1
+            continue
+
+        outcome = fly_mission(
+            uav,
+            mission,
+            safe_velocity=usable_velocity,
+            enforce_battery=False,
+        )
+        times.append(outcome.time_s)
+        energies.append(outcome.energy_wh)
+
+        capacity_factor = float(
+            rng.lognormal(mean=0.0, sigma=config.battery_capacity_cv)
+        )
+        available_wh = uav.battery.usable_energy_wh * capacity_factor
+        if outcome.energy_wh > available_wh:
+            energy_shortfalls += 1
+            continue
+
+        mission_hours = outcome.time_s / 3600.0
+        p_alive = mission_reliability(scheme, reliability, mission_hours)
+        if rng.random() > p_alive:
+            compute_losses += 1
+            continue
+
+        completed += 1
+
+    n = config.samples
+    return MonteCarloResult(
+        samples=n,
+        p_complete=completed / n,
+        p_energy_shortfall=energy_shortfalls / n,
+        p_velocity_infeasible=velocity_infeasible / n,
+        p_compute_loss=compute_losses / n,
+        mean_time_s=float(np.mean(times)) if times else 0.0,
+        mean_energy_wh=float(np.mean(energies)) if energies else 0.0,
+    )

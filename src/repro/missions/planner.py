@@ -1,0 +1,91 @@
+"""Waypoint graphs and route planning for mission studies.
+
+A :class:`WaypointGraph` is a networkx graph of named 2-D waypoints;
+routes are shortest paths by Euclidean distance.  Mission studies use
+it to build package-delivery-style routes whose traversal time and
+energy depend on the UAV's safe velocity — connecting the F-1 model's
+output to mission-level metrics (the MAVBench argument the paper
+leans on).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+
+Point = Tuple[float, float]
+
+
+class WaypointGraph:
+    """Named waypoints with distance-weighted edges."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    def add_waypoint(self, name: str, x: float, y: float) -> None:
+        """Register a waypoint at (x, y) meters."""
+        if name in self._graph:
+            raise ConfigurationError(f"duplicate waypoint {name!r}")
+        self._graph.add_node(name, pos=(float(x), float(y)))
+
+    def connect(self, a: str, b: str) -> None:
+        """Add a traversable corridor between two waypoints."""
+        for node in (a, b):
+            if node not in self._graph:
+                raise ConfigurationError(f"unknown waypoint {node!r}")
+        self._graph.add_edge(a, b, weight=self.distance(a, b))
+
+    def position(self, name: str) -> Point:
+        return self._graph.nodes[name]["pos"]
+
+    def distance(self, a: str, b: str) -> float:
+        """Euclidean distance between two waypoints (m)."""
+        ax, ay = self.position(a)
+        bx, by = self.position(b)
+        return math.hypot(bx - ax, by - ay)
+
+    def shortest_route(self, start: str, goal: str) -> List[str]:
+        """Shortest waypoint sequence from ``start`` to ``goal``."""
+        try:
+            return nx.shortest_path(
+                self._graph, start, goal, weight="weight"
+            )
+        except nx.NetworkXNoPath:
+            raise ConfigurationError(
+                f"no route between {start!r} and {goal!r}"
+            ) from None
+
+    def route_length_m(self, route: Sequence[str]) -> float:
+        """Total length of a waypoint sequence."""
+        return sum(
+            self.distance(a, b) for a, b in zip(route, route[1:])
+        )
+
+    @property
+    def waypoints(self) -> Dict[str, Point]:
+        return {name: data["pos"] for name, data in self._graph.nodes(data=True)}
+
+    @classmethod
+    def grid(
+        cls, columns: int, rows: int, spacing_m: float = 50.0
+    ) -> "WaypointGraph":
+        """A rectangular street-grid of waypoints (urban delivery map)."""
+        if columns < 2 or rows < 2:
+            raise ConfigurationError("grid needs at least 2x2 waypoints")
+        graph = cls()
+        for col in range(columns):
+            for row in range(rows):
+                graph.add_waypoint(
+                    f"wp-{col}-{row}", col * spacing_m, row * spacing_m
+                )
+        for col in range(columns):
+            for row in range(rows):
+                if col + 1 < columns:
+                    graph.connect(f"wp-{col}-{row}", f"wp-{col + 1}-{row}")
+                if row + 1 < rows:
+                    graph.connect(f"wp-{col}-{row}", f"wp-{col}-{row + 1}")
+        return graph

@@ -1,0 +1,18 @@
+"""Discrete-event simulation of the sensor-compute-control pipeline."""
+
+from .des import DiscreteEventSimulator
+from .jitter import GaussianJitter, JitterModel, NoJitter, UniformJitter
+from .pipeline_sim import PipelineStats, simulate_pipeline
+from .analysis import BottleneckCheck, verify_bottleneck_law
+
+__all__ = [
+    "DiscreteEventSimulator",
+    "GaussianJitter",
+    "JitterModel",
+    "NoJitter",
+    "UniformJitter",
+    "PipelineStats",
+    "simulate_pipeline",
+    "BottleneckCheck",
+    "verify_bottleneck_law",
+]

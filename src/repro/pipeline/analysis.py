@@ -1,0 +1,90 @@
+"""Cross-checking the DES pipeline against the analytic bottleneck law.
+
+:func:`verify_bottleneck_law` runs both execution modes of the
+discrete-event pipeline and compares the measured throughput/latency
+against Eq. 1-3, returning a structured report the test-suite and
+benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.throughput import SensorComputeControl
+from .jitter import JitterModel
+from .pipeline_sim import PipelineStats, simulate_pipeline
+
+
+@dataclass(frozen=True)
+class BottleneckCheck:
+    """Analytic vs simulated pipeline behaviour for one rate triple."""
+
+    pipeline: SensorComputeControl
+    overlapped: PipelineStats
+    sequential: PipelineStats
+
+    @property
+    def analytic_throughput_hz(self) -> float:
+        """Eq. 3 prediction."""
+        return self.pipeline.action_throughput_hz
+
+    @property
+    def analytic_latency_bounds_s(self) -> tuple[float, float]:
+        """Eq. 1-2 latency bounds (max, sum of stage latencies)."""
+        return self.pipeline.latency_bounds_s
+
+    @property
+    def overlapped_error(self) -> float:
+        """Relative error of the DES vs Eq. 3 in overlapped mode."""
+        analytic = self.analytic_throughput_hz
+        return abs(self.overlapped.action_throughput_hz - analytic) / analytic
+
+    @property
+    def sequential_throughput_hz(self) -> float:
+        """The Eq. 2 regime's throughput ``1 / sum(latencies)``."""
+        _, upper = self.analytic_latency_bounds_s
+        return 1.0 / upper
+
+    @property
+    def sequential_error(self) -> float:
+        """Relative error of the DES vs ``1/sum`` in sequential mode."""
+        analytic = self.sequential_throughput_hz
+        return abs(self.sequential.action_throughput_hz - analytic) / analytic
+
+
+def verify_bottleneck_law(
+    f_sensor_hz: float,
+    f_compute_hz: float,
+    f_control_hz: float = 1000.0,
+    duration_s: float = 30.0,
+    jitter: Optional[JitterModel] = None,
+    seed: int = 0,
+) -> BottleneckCheck:
+    """Run both DES modes for one rate triple and bundle the evidence."""
+    pipeline = SensorComputeControl(
+        f_sensor_hz=f_sensor_hz,
+        f_compute_hz=f_compute_hz,
+        f_control_hz=f_control_hz,
+    )
+    overlapped = simulate_pipeline(
+        f_sensor_hz,
+        f_compute_hz,
+        f_control_hz,
+        duration_s=duration_s,
+        overlapped=True,
+        jitter=jitter,
+        seed=seed,
+    )
+    sequential = simulate_pipeline(
+        f_sensor_hz,
+        f_compute_hz,
+        f_control_hz,
+        duration_s=duration_s,
+        overlapped=False,
+        jitter=jitter,
+        seed=seed,
+    )
+    return BottleneckCheck(
+        pipeline=pipeline, overlapped=overlapped, sequential=sequential
+    )

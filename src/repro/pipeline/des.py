@@ -1,0 +1,88 @@
+"""A minimal discrete-event simulation engine.
+
+Events are ``(time, sequence, callback)`` triples on a heap; callbacks
+may schedule further events.  The engine is deliberately tiny — just
+enough to model the three-stage decision pipeline and the multi-rate
+co-simulation — but is generic and reusable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class DiscreteEventSimulator:
+    """A heap-scheduled event loop with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (s)."""
+        return self._now
+
+    def schedule(self, delay_s: float, callback: Callback) -> None:
+        """Schedule ``callback`` to fire ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise SimulationError(
+                f"cannot schedule into the past (delay {delay_s})"
+            )
+        heapq.heappush(
+            self._queue, (self._now + delay_s, next(self._sequence), callback)
+        )
+
+    def schedule_at(self, time_s: float, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute simulation time ``time_s``."""
+        self.schedule(time_s - self._now, callback)
+
+    def every(
+        self,
+        period_s: float,
+        callback: Callback,
+        start_s: float = 0.0,
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Fire ``callback`` periodically, optionally with per-cycle
+        jitter: ``jitter()`` returns the multiplicative factor applied
+        to each period (e.g. 1.05 = 5 % late)."""
+        if period_s <= 0:
+            raise SimulationError(f"period must be > 0, got {period_s}")
+
+        def tick() -> None:
+            callback()
+            factor = jitter() if jitter is not None else 1.0
+            self.schedule(period_s * factor, tick)
+
+        self.schedule_at(start_s, tick)
+
+    def run_until(self, t_end_s: float) -> None:
+        """Run events in time order until the clock reaches ``t_end_s``."""
+        if t_end_s < self._now:
+            raise SimulationError(
+                f"t_end {t_end_s} is before current time {self._now}"
+            )
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue and self._queue[0][0] <= t_end_s:
+                time_s, _, callback = heapq.heappop(self._queue)
+                self._now = time_s
+                callback()
+            self._now = t_end_s
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

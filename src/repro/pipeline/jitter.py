@@ -1,0 +1,64 @@
+"""Timing-jitter models for pipeline stages.
+
+Real sensor drivers, inference runtimes and control loops do not tick
+perfectly; jitter models perturb each cycle's period multiplicatively.
+A sample of 1.0 is a perfect period, 1.1 is 10 % late.  Samples are
+clamped positive so time always advances.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import require_nonnegative
+
+_MIN_FACTOR = 0.05
+
+
+class JitterModel(ABC):
+    """Per-cycle multiplicative period perturbation."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one positive period multiplier."""
+
+
+@dataclass(frozen=True)
+class NoJitter(JitterModel):
+    """Deterministic ticking (the analytic model's assumption)."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class UniformJitter(JitterModel):
+    """Uniform jitter in ``[1 - half_width, 1 + half_width]``."""
+
+    half_width: float = 0.1
+
+    def __post_init__(self) -> None:
+        require_nonnegative("half_width", self.half_width)
+        if self.half_width >= 1.0:
+            raise ValueError("half_width must be < 1 to keep periods > 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(
+            rng.uniform(1.0 - self.half_width, 1.0 + self.half_width)
+        )
+
+
+@dataclass(frozen=True)
+class GaussianJitter(JitterModel):
+    """Gaussian jitter with standard deviation ``sigma`` (clamped)."""
+
+    sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_nonnegative("sigma", self.sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return max(_MIN_FACTOR, float(rng.normal(1.0, self.sigma)))

@@ -1,0 +1,20 @@
+"""Modular redundancy: payload effects, voting, reliability math."""
+
+from .modular import RedundancyScheme, apply_redundancy
+from .reliability import (
+    ReliabilityModel,
+    mission_reliability,
+    mttf_hours,
+)
+from .voter import FaultyChannel, MajorityVoter, VoteOutcome
+
+__all__ = [
+    "RedundancyScheme",
+    "apply_redundancy",
+    "ReliabilityModel",
+    "mission_reliability",
+    "mttf_hours",
+    "FaultyChannel",
+    "MajorityVoter",
+    "VoteOutcome",
+]

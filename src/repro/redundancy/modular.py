@@ -1,0 +1,76 @@
+"""Modular-redundancy schemes and their system-level costs (Sec. VI-C).
+
+Redundancy replicates the onboard computer (dual- or triple-modular);
+a validator/voter combines outputs before the flight controller.  The
+F-1-relevant consequence is *payload*: every replica adds its module
+plus heatsink mass, lowering ``a_max`` and with it the entire
+roofline.  The voter also adds a (small) latency to the compute stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..uav.configuration import UAVConfiguration
+from ..units import require_nonnegative
+
+
+class RedundancyScheme(Enum):
+    """Replication arrangements the paper discusses."""
+
+    SIMPLEX = 1
+    DMR = 2
+    TMR = 3
+
+    @property
+    def replicas(self) -> int:
+        return self.value
+
+    @property
+    def tolerates_detected_faults(self) -> int:
+        """Faults that can be *detected* (mismatch seen by validator)."""
+        return self.value - 1
+
+    @property
+    def tolerates_masked_faults(self) -> int:
+        """Faults that can be *masked* (majority still correct)."""
+        return max(0, (self.value - 1) // 2)
+
+
+@dataclass(frozen=True)
+class RedundantDesign:
+    """A UAV design point under a redundancy scheme."""
+
+    scheme: RedundancyScheme
+    uav: UAVConfiguration
+    voter_latency_s: float
+
+    @property
+    def added_payload_g(self) -> float:
+        """Payload added relative to the simplex arrangement."""
+        return self.uav.compute.flight_mass_g * (self.scheme.replicas - 1)
+
+    def compute_throughput_with_voter(self, f_compute_hz: float) -> float:
+        """Effective compute rate after the voter's serialization.
+
+        Replicas run in parallel on the same input, so the decision
+        latency is one replica's latency plus the vote.
+        """
+        if self.voter_latency_s == 0.0:
+            return f_compute_hz
+        return 1.0 / (1.0 / f_compute_hz + self.voter_latency_s)
+
+
+def apply_redundancy(
+    uav: UAVConfiguration,
+    scheme: RedundancyScheme,
+    voter_latency_s: float = 0.0,
+) -> RedundantDesign:
+    """Re-configure ``uav`` under ``scheme`` (replicated computers)."""
+    require_nonnegative("voter_latency_s", voter_latency_s)
+    return RedundantDesign(
+        scheme=scheme,
+        uav=uav.with_redundancy(scheme.replicas),
+        voter_latency_s=voter_latency_s,
+    )

@@ -1,0 +1,103 @@
+"""Analytic reliability of simplex / DMR / TMR compute arrangements.
+
+Classic exponential-failure math: each replica fails independently at
+rate ``lambda``.  Simplex survives while its single unit does; DMR
+(detect-and-safe-stop) survives a mission while *at least one* unit
+works but can only continue the mission while *both* agree, so for
+mission-completion purposes it is modeled as fail-stop with coverage;
+TMR completes while >= 2 of 3 work.  These closed forms quantify the
+paper's "redundancy improves safety at the cost of performance"
+trade-off from Sec. VI-C.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..units import require_nonnegative, require_positive
+from .modular import RedundancyScheme
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Exponential per-unit failure model."""
+
+    failure_rate_per_hour: float
+
+    def __post_init__(self) -> None:
+        require_positive("failure_rate_per_hour", self.failure_rate_per_hour)
+
+    def unit_reliability(self, mission_hours: float) -> float:
+        """Probability one unit survives a mission."""
+        require_nonnegative("mission_hours", mission_hours)
+        return math.exp(-self.failure_rate_per_hour * mission_hours)
+
+
+def mission_reliability(
+    scheme: RedundancyScheme,
+    model: ReliabilityModel,
+    mission_hours: float,
+) -> float:
+    """Probability the arrangement completes the mission correctly.
+
+    * SIMPLEX: ``R``.
+    * DMR: both units must agree to keep flying the mission, but a
+      detected divergence triggers a safe abort rather than a crash;
+      mission *completion* requires both alive: ``R^2``.  (Safety —
+      not crashing — is ``1 - (1-R)^2``; see :func:`safety_probability`.)
+    * TMR: at least 2 of 3 alive: ``3R^2 - 2R^3``.
+    """
+    reliability = model.unit_reliability(mission_hours)
+    if scheme is RedundancyScheme.SIMPLEX:
+        return reliability
+    if scheme is RedundancyScheme.DMR:
+        return reliability**2
+    if scheme is RedundancyScheme.TMR:
+        return _clamp01(3.0 * reliability**2 - 2.0 * reliability**3)
+    raise AssertionError(f"unhandled scheme {scheme}")
+
+
+def _clamp01(p: float) -> float:
+    """Guard polynomial round-off so probabilities stay in [0, 1]."""
+    return min(max(p, 0.0), 1.0)
+
+
+def safety_probability(
+    scheme: RedundancyScheme,
+    model: ReliabilityModel,
+    mission_hours: float,
+) -> float:
+    """Probability the vehicle avoids an *unsafe* outcome.
+
+    A simplex failure is unsafe (undetected wrong actions); DMR detects
+    any single failure and aborts safely, so it is unsafe only if both
+    fail: ``1 - (1-R)^2``.  TMR additionally masks one failure and is
+    unsafe only when two or more fail within the mission.
+    """
+    reliability = model.unit_reliability(mission_hours)
+    failure = 1.0 - reliability
+    if scheme is RedundancyScheme.SIMPLEX:
+        return reliability
+    if scheme is RedundancyScheme.DMR:
+        return _clamp01(1.0 - failure**2)
+    if scheme is RedundancyScheme.TMR:
+        # Safe while the majority is alive: P(>= 2 of 3 alive).
+        return _clamp01(reliability**3 + 3.0 * reliability**2 * failure)
+    raise AssertionError(f"unhandled scheme {scheme}")
+
+
+def mttf_hours(scheme: RedundancyScheme, model: ReliabilityModel) -> float:
+    """Mean time to (mission) failure of the arrangement, in hours.
+
+    Integrals of the reliability curves: simplex ``1/λ``, DMR (series
+    for completion) ``1/(2λ)``, TMR ``5/(6λ)``.
+    """
+    lam = model.failure_rate_per_hour
+    if scheme is RedundancyScheme.SIMPLEX:
+        return 1.0 / lam
+    if scheme is RedundancyScheme.DMR:
+        return 1.0 / (2.0 * lam)
+    if scheme is RedundancyScheme.TMR:
+        return 5.0 / (6.0 * lam)
+    raise AssertionError(f"unhandled scheme {scheme}")

@@ -1,0 +1,105 @@
+"""A majority voter over replicated decision channels, with fault
+injection.
+
+Models the validate-then-control arrangement of Fig. 14a ("similar to
+Tesla's FSD stack"): replicas compute an action from the same sensor
+input; the voter compares them.  DMR can only *detect* a divergence
+(and falls back to a safe action); TMR can *mask* a single fault by
+majority.  Fault injection flips a channel's output with a
+per-decision probability, letting tests measure detected, masked and
+silent-failure rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import require_in_range
+
+Action = int  # discretized high-level action (e.g. steering bin)
+
+
+class VoteOutcome(Enum):
+    """Result of one voting round."""
+
+    UNANIMOUS = "unanimous"
+    MASKED = "masked"  # majority correct despite a divergence
+    DETECTED = "detected"  # divergence seen, no majority -> safe action
+    SILENT_FAULT = "silent-fault"  # agreeing but wrong (undetectable)
+
+
+@dataclass
+class FaultyChannel:
+    """One replica: correct policy output corrupted with probability p."""
+
+    fault_probability: float
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        require_in_range("fault_probability", self.fault_probability, 0.0, 1.0)
+
+    def output(self, correct_action: Action) -> Action:
+        if self.rng.random() < self.fault_probability:
+            # A fault produces an arbitrary wrong action.
+            return correct_action + int(self.rng.integers(1, 10))
+        return correct_action
+
+
+class MajorityVoter:
+    """Majority vote with divergence detection across N channels."""
+
+    def __init__(self, channels: Sequence[FaultyChannel]) -> None:
+        if len(channels) < 1:
+            raise ConfigurationError("need at least one channel")
+        self.channels = list(channels)
+
+    def vote(
+        self, correct_action: Action, safe_action: Action = 0
+    ) -> tuple[Action, VoteOutcome]:
+        """One decision round: returns (action taken, outcome class)."""
+        outputs: List[Action] = [
+            channel.output(correct_action) for channel in self.channels
+        ]
+        values, counts = np.unique(np.asarray(outputs), return_counts=True)
+        top = int(values[np.argmax(counts)])
+        top_count = int(counts.max())
+        n = len(outputs)
+
+        if top_count == n:
+            outcome = (
+                VoteOutcome.UNANIMOUS
+                if top == correct_action
+                else VoteOutcome.SILENT_FAULT
+            )
+            return top, outcome
+        if top_count > n // 2:
+            return top, VoteOutcome.MASKED
+        # No majority: divergence detected, take the safe action.
+        return safe_action, VoteOutcome.DETECTED
+
+
+def fault_injection_campaign(
+    replicas: int,
+    fault_probability: float,
+    decisions: int = 10_000,
+    seed: int = 0,
+    safe_action: Action = 0,
+    correct_action_fn: Callable[[int], Action] = lambda i: 1 + (i % 5),
+) -> dict[VoteOutcome, int]:
+    """Run ``decisions`` voting rounds and tally outcome classes."""
+    if replicas < 1:
+        raise ConfigurationError("need at least one replica")
+    rng = np.random.default_rng(seed)
+    voter = MajorityVoter(
+        [FaultyChannel(fault_probability, rng) for _ in range(replicas)]
+    )
+    tally = {outcome: 0 for outcome in VoteOutcome}
+    for index in range(decisions):
+        _, outcome = voter.vote(correct_action_fn(index), safe_action)
+        tally[outcome] += 1
+    return tally

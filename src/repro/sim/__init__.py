@@ -1,0 +1,22 @@
+"""Multi-rate flight co-simulation and the obstacle-stop experiment."""
+
+from .corridor import CorridorWorld, NavigationResult, navigate_corridor
+from .obstacle_stop import FlightResult, ObstacleStopConfig, run_obstacle_stop
+from .planar_validation import PlanarFlightResult, run_planar_obstacle_stop
+from .wind import OrnsteinUhlenbeckGust
+from .trials import SafeVelocitySearch, TrialOutcome, find_observed_safe_velocity
+
+__all__ = [
+    "CorridorWorld",
+    "NavigationResult",
+    "navigate_corridor",
+    "OrnsteinUhlenbeckGust",
+    "FlightResult",
+    "ObstacleStopConfig",
+    "run_obstacle_stop",
+    "PlanarFlightResult",
+    "run_planar_obstacle_stop",
+    "SafeVelocitySearch",
+    "TrialOutcome",
+    "find_observed_safe_velocity",
+]

@@ -1,0 +1,123 @@
+"""Planar-quadrotor cross-validation of the obstacle-stop experiment.
+
+The longitudinal simulator (:mod:`repro.sim.obstacle_stop`) abstracts
+attitude dynamics into a first-order lag.  This module re-flies the
+same maneuver on the full planar rigid body under the 1 kHz cascaded
+flight controller, with the offboard layer rate-limiting the velocity
+setpoint to the vehicle's Eq. 5 acceleration (the way PX4's
+``MPC_ACC_HOR`` limits translation).  Agreement between the two
+simulators bounds the error introduced by the 1-D abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..control.flight_controller import CascadedFlightController
+from ..dynamics.quadrotor import PlanarQuadrotor, QuadrotorParams
+from ..errors import SimulationError
+from ..uav.configuration import UAVConfiguration
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class PlanarFlightResult:
+    """Outcome of one planar-quadrotor obstacle-stop flight."""
+
+    stop_position_m: float
+    obstacle_position_m: float
+    peak_velocity: float
+    max_altitude_error_m: float
+    infraction: bool
+
+    @property
+    def margin_m(self) -> float:
+        return self.obstacle_position_m - self.stop_position_m
+
+
+def run_planar_obstacle_stop(
+    uav: UAVConfiguration,
+    cruise_velocity: float,
+    f_action_hz: float = 10.0,
+    approach_distance_m: float = 12.0,
+    detection_noise_m: float = 0.05,
+    dt_s: float = 0.002,
+    seed: int = 0,
+    timeout_s: float = 120.0,
+) -> PlanarFlightResult:
+    """Fly accelerate-cruise-detect-brake on the planar rigid body."""
+    require_positive("cruise_velocity", cruise_velocity)
+    sensing_range = uav.sensor.range_m
+    if approach_distance_m <= sensing_range:
+        raise SimulationError(
+            "the approach must start outside the sensing range"
+        )
+
+    rng = np.random.default_rng(seed)
+    params = QuadrotorParams(
+        total_mass_g=uav.total_mass_g,
+        arm_length_m=uav.frame.size_mm / 2000.0,
+        max_thrust_per_pair_g=uav.total_thrust_g / 2.0,
+        cd_area_m2=uav.frame.cd_area_m2,
+    )
+    quad = PlanarQuadrotor(params)
+    controller = CascadedFlightController(quad, loop_rate_hz=1.0 / dt_s)
+
+    a_limit = uav.max_acceleration
+    sensor_period = uav.sensor.sample_period_s
+    action_period = 1.0 / f_action_hz
+    next_sensor_t = float(rng.uniform(0.0, sensor_period))
+    next_action_t = float(rng.uniform(0.0, action_period))
+
+    obstacle_x = approach_distance_m
+    detected = False
+    braking = False
+    setpoint = 0.0
+    peak_v = 0.0
+    max_alt_error = 0.0
+
+    t = 0.0
+    while t < timeout_s:
+        if t >= next_sensor_t:
+            next_sensor_t += sensor_period
+            distance = obstacle_x - quad.state.x
+            if distance + rng.normal(0.0, detection_noise_m) <= sensing_range:
+                detected = True
+        if t >= next_action_t:
+            next_action_t += action_period
+            if detected:
+                braking = True
+
+        # Offboard layer: ramp the setpoint at the Eq. 5 acceleration.
+        target = 0.0 if braking else cruise_velocity
+        step = a_limit * dt_s
+        if setpoint < target:
+            setpoint = min(setpoint + step, target)
+        else:
+            setpoint = max(setpoint - step, target)
+        controller.set_velocity(setpoint)
+
+        controller.update()
+        quad.step(dt_s)
+        t += dt_s
+
+        peak_v = max(peak_v, quad.state.vx)
+        max_alt_error = max(max_alt_error, abs(quad.state.z))
+
+        if braking and setpoint == 0.0 and abs(quad.state.vx) < 0.02:
+            break
+    else:
+        raise SimulationError(
+            f"planar flight did not terminate within {timeout_s} s"
+        )
+
+    stop_x = quad.state.x
+    return PlanarFlightResult(
+        stop_position_m=stop_x,
+        obstacle_position_m=obstacle_x,
+        peak_velocity=peak_v,
+        max_altitude_error_m=max_alt_error,
+        infraction=stop_x > obstacle_x,
+    )

@@ -1,0 +1,120 @@
+"""Repeated-trial campaigns and observed-safe-velocity search.
+
+Mirrors the paper's methodology (Sec. IV): for each candidate cruise
+velocity, fly five trials with different noise realizations; a
+velocity is *unsafe* if **any** trial ends in an infraction ("with
+2 m/s, UAV-A had infractions twice out of five trials.  But we still
+consider this velocity to be unsafe").  The observed safe velocity is
+the fastest candidate below the first unsafe one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..uav.configuration import UAVConfiguration
+from .obstacle_stop import FlightResult, ObstacleStopConfig, run_obstacle_stop
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """All trials flown at one candidate velocity."""
+
+    velocity: float
+    flights: Sequence[FlightResult]
+
+    @property
+    def infractions(self) -> int:
+        return sum(1 for flight in self.flights if flight.infraction)
+
+    @property
+    def safe(self) -> bool:
+        """The paper's criterion: safe only with zero infractions."""
+        return self.infractions == 0
+
+
+@dataclass(frozen=True)
+class SafeVelocitySearch:
+    """Result of a velocity sweep: outcomes plus the located boundary."""
+
+    outcomes: Sequence[TrialOutcome]
+    observed_safe_velocity: float
+
+    def outcome_at(self, velocity: float) -> TrialOutcome:
+        for outcome in self.outcomes:
+            if abs(outcome.velocity - velocity) < 1e-9:
+                return outcome
+        raise KeyError(velocity)
+
+
+def run_trials(
+    uav: UAVConfiguration,
+    config: ObstacleStopConfig,
+    trials: int = 5,
+    seed: int = 0,
+) -> TrialOutcome:
+    """Fly ``trials`` independent noise realizations of one profile."""
+    if trials < 1:
+        raise SimulationError("need at least one trial")
+    flights = [
+        run_obstacle_stop(uav, config, seed=seed * 1000 + trial)
+        for trial in range(trials)
+    ]
+    return TrialOutcome(velocity=config.cruise_velocity, flights=flights)
+
+
+def find_observed_safe_velocity(
+    uav: UAVConfiguration,
+    f_action_hz: float = 10.0,
+    velocities: Optional[Sequence[float]] = None,
+    predicted_velocity: Optional[float] = None,
+    trials: int = 5,
+    seed: int = 0,
+    base_config: Optional[ObstacleStopConfig] = None,
+) -> SafeVelocitySearch:
+    """Sweep candidate velocities and locate the observed safe velocity.
+
+    When ``velocities`` is omitted, a grid of 5 % steps spanning 60 % to
+    120 % of ``predicted_velocity`` (the F-1 prediction used as the
+    seed value, exactly the paper's procedure) is used.
+    """
+    if velocities is None:
+        if predicted_velocity is None:
+            raise SimulationError(
+                "provide either an explicit velocity grid or the "
+                "F-1-predicted velocity to seed one"
+            )
+        velocities = [
+            predicted_velocity * factor
+            for factor in np.arange(0.60, 1.2001, 0.05)
+        ]
+    velocities = sorted(velocities)
+
+    template = base_config or ObstacleStopConfig(
+        cruise_velocity=velocities[0], f_action_hz=f_action_hz
+    )
+
+    outcomes: List[TrialOutcome] = []
+    observed = 0.0
+    for velocity in velocities:
+        config = replace(
+            template, cruise_velocity=velocity, f_action_hz=f_action_hz
+        )
+        outcome = run_trials(uav, config, trials=trials, seed=seed)
+        outcomes.append(outcome)
+        if outcome.safe:
+            observed = velocity
+        else:
+            break  # paper stops at the first unsafe velocity
+    if observed == 0.0:
+        raise SimulationError(
+            "even the slowest candidate velocity had infractions; "
+            "widen the grid downward"
+        )
+    return SafeVelocitySearch(
+        outcomes=outcomes, observed_safe_velocity=observed
+    )

@@ -1,0 +1,63 @@
+"""Along-track wind gusts for the flight simulator.
+
+The paper motivates the 1 kHz flight-controller loop with disturbance
+rejection against "sudden winds"; this module provides the disturbance
+side: a first-order Gauss-Markov (Ornstein-Uhlenbeck) gust process, the
+standard lightweight stand-in for a Dryden turbulence channel.  The
+wind speed is along the flight track: positive values are tailwind
+(they reduce aerodynamic drag and *lengthen* stopping distances —
+the dangerous direction for the obstacle-stop experiment).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..units import require_nonnegative, require_positive
+
+
+class OrnsteinUhlenbeckGust:
+    """First-order Gauss-Markov gust: ``dw = -w/tau dt + sigma dW``.
+
+    ``sigma_ms`` is the stationary standard deviation of the wind
+    speed (m/s), ``tau_s`` its correlation time.  The discrete update
+    uses the exact conditional distribution, so statistics do not
+    depend on the step size.
+    """
+
+    def __init__(
+        self,
+        sigma_ms: float,
+        tau_s: float = 1.5,
+        mean_ms: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        require_nonnegative("sigma_ms", sigma_ms)
+        require_positive("tau_s", tau_s)
+        self.sigma_ms = sigma_ms
+        self.tau_s = tau_s
+        self.mean_ms = mean_ms
+        self._rng = rng or np.random.default_rng()
+        self._wind = mean_ms
+
+    @property
+    def wind_ms(self) -> float:
+        """Current along-track wind speed (+ = tailwind)."""
+        return self._wind
+
+    def step(self, dt: float) -> float:
+        """Advance the process by ``dt`` and return the new wind."""
+        require_positive("dt", dt)
+        if self.sigma_ms == 0.0:
+            self._wind = self.mean_ms
+            return self._wind
+        decay = math.exp(-dt / self.tau_s)
+        noise_std = self.sigma_ms * math.sqrt(1.0 - decay * decay)
+        self._wind = (
+            self.mean_ms
+            + (self._wind - self.mean_ms) * decay
+            + noise_std * float(self._rng.normal())
+        )
+        return self._wind

@@ -1,0 +1,21 @@
+"""Skyline: the interactive F-1 exploration tool (Sec. V), as a
+scriptable API + CLI instead of the paper's web page."""
+
+from .analysis import AnalysisResult, analyze_design
+from .knobs import Knobs
+from .plotting import roofline_figure
+from .report import render_report
+from .sweep import SweepResult, sweep_knob
+from .tool import Skyline, SkylineReport
+
+__all__ = [
+    "AnalysisResult",
+    "analyze_design",
+    "Knobs",
+    "roofline_figure",
+    "render_report",
+    "SweepResult",
+    "sweep_knob",
+    "Skyline",
+    "SkylineReport",
+]

@@ -1,0 +1,104 @@
+"""Skyline's automatic analysis and optimization tips (Sec. V-D).
+
+Given a UAV's F-1 model, produce what the web tool's analysis pane
+showed: the knee, the achievable safe velocity, which bound applies,
+and concrete optimization guidance — including the Sec. VI-A TDP
+reduction scenario evaluated quantitatively (halve the TDP, shrink the
+heatsink, recompute the roofline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.bounds import BoundKind
+from ..core.model import F1Model
+from ..core.optimality import DesignStatus, OptimalityReport
+from ..uav.configuration import UAVConfiguration
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything the analysis pane displays."""
+
+    model: F1Model
+    bound: BoundKind
+    optimality: OptimalityReport
+    tips: List[str]
+    tdp_scenario: Optional[str]
+
+
+def _tdp_reduction_scenario(
+    uav: UAVConfiguration, f_compute_hz: float
+) -> Optional[str]:
+    """Quantify halving the compute TDP (Sec. VI-A's optimization)."""
+    compute = uav.compute
+    if not compute.needs_heatsink or compute.tdp_w < 2.0:
+        return None
+    lighter = compute.with_tdp(compute.tdp_w / 2.0)
+    candidate = uav.with_compute(lighter, name=uav.name)
+    before = uav.f1(f_compute_hz)
+    after = candidate.f1(f_compute_hz)
+    saved = uav.compute_payload_g - candidate.compute_payload_g
+    gain = (after.roof_velocity / before.roof_velocity - 1.0) * 100.0
+    return (
+        f"halving TDP to {lighter.tdp_w:g} W saves {saved:.0f} g of "
+        f"heatsink, raising the physics roof by {gain:.0f}% "
+        f"({before.roof_velocity:.2f} -> {after.roof_velocity:.2f} m/s)"
+    )
+
+
+def analyze_design(
+    uav: UAVConfiguration, f_compute_hz: float
+) -> AnalysisResult:
+    """Run the full analysis for one (UAV, compute throughput) pair."""
+    model = uav.f1(f_compute_hz)
+    bound = model.bound
+    optimality = model.optimality()
+    knee = model.knee
+    tips: List[str] = []
+
+    if bound is BoundKind.COMPUTE:
+        speedup = knee.throughput_hz / model.pipeline.f_compute_hz
+        tips.append(
+            f"compute-bound: improve the algorithm/platform throughput by "
+            f"{speedup:.1f}x (from {model.pipeline.f_compute_hz:.2f} Hz to "
+            f"the {knee.throughput_hz:.1f} Hz knee) to unlock "
+            f"{knee.velocity:.2f} m/s"
+        )
+    elif bound is BoundKind.SENSOR:
+        tips.append(
+            f"sensor-bound: the {model.pipeline.f_sensor_hz:.0f} Hz sensor "
+            f"caps the pipeline below the {knee.throughput_hz:.1f} Hz knee; "
+            "no compute optimization helps until the sensor is upgraded"
+        )
+    elif bound is BoundKind.CONTROL:
+        tips.append(
+            "control-bound: raise the flight-controller loop rate — an "
+            "unusual situation worth double-checking"
+        )
+    else:  # PHYSICS
+        tips.append(
+            "physics-bound: faster decisions cannot raise the safe "
+            "velocity; improve thrust-to-weight or shed payload instead"
+        )
+        if optimality.status is DesignStatus.OVER_PROVISIONED:
+            tips.append(
+                f"compute is over-provisioned by "
+                f"{model.compute_overprovision_factor:.1f}x — trade the "
+                "excess throughput for a lower TDP (smaller heatsink, "
+                "lighter payload, higher roof)"
+            )
+
+    scenario = _tdp_reduction_scenario(uav, f_compute_hz)
+    if scenario is not None and bound is BoundKind.PHYSICS:
+        tips.append(scenario)
+
+    return AnalysisResult(
+        model=model,
+        bound=bound,
+        optimality=optimality,
+        tips=tips,
+        tdp_scenario=scenario,
+    )

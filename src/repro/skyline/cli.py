@@ -1,0 +1,150 @@
+"""Command-line interface for the Skyline tool.
+
+Examples::
+
+    repro-skyline analyze --uav dji-spark --compute intel-ncs \\
+        --algorithm dronet --plot spark.svg
+    repro-skyline analyze --uav asctec-pelican --runtime 0.909
+    repro-skyline sweep --knob compute_tdp_w --values 1 5 15 30
+    repro-skyline list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..autonomy.workloads import ALGORITHMS
+from ..compute.platforms import PLATFORMS
+from ..errors import ReproError
+from ..uav.registry import UAV_PRESETS
+from .tool import Skyline
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-skyline",
+        description="F-1 roofline analysis for autonomous UAVs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="characterize one UAV + compute + algorithm"
+    )
+    analyze.add_argument(
+        "--uav", required=True, choices=sorted(UAV_PRESETS),
+        help="UAV preset",
+    )
+    analyze.add_argument(
+        "--compute", choices=sorted(PLATFORMS),
+        help="onboard computer (default: the preset's)",
+    )
+    group = analyze.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS),
+        help="pre-configured autonomy algorithm",
+    )
+    group.add_argument(
+        "--runtime", type=float,
+        help="compute runtime knob (seconds per decision)",
+    )
+    analyze.add_argument(
+        "--sensor-range", type=float, help="sensor range override (m)"
+    )
+    analyze.add_argument(
+        "--sensor-fps", type=float, help="sensor framerate override (Hz)"
+    )
+    analyze.add_argument("--plot", help="write the F-1 chart to this SVG path")
+    analyze.add_argument(
+        "--ascii", action="store_true", help="print a terminal chart"
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one Table II knob over a value range"
+    )
+    from .sweep import SWEEPABLE_KNOBS
+
+    sweep.add_argument(
+        "--knob", required=True, choices=sorted(SWEEPABLE_KNOBS)
+    )
+    sweep.add_argument(
+        "--values", required=True, type=float, nargs="+",
+        help="knob values to evaluate",
+    )
+    sweep.add_argument("--plot", help="write the sweep chart to this SVG")
+
+    sub.add_parser("list", help="list presets, platforms and algorithms")
+    return parser
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    session = Skyline.from_preset(
+        args.uav,
+        compute_name=args.compute,
+        sensor_range_m=args.sensor_range,
+        sensor_framerate_hz=args.sensor_fps,
+    )
+    if args.algorithm is not None:
+        report = session.evaluate_algorithm(args.algorithm)
+    else:
+        report = session.evaluate_throughput(
+            1.0 / args.runtime, label=f"runtime={args.runtime:g}s"
+        )
+    print(report.text())
+    if args.ascii:
+        print()
+        print(session.ascii())
+    if args.plot:
+        session.figure().save(args.plot)
+        print(f"\nF-1 chart written to {args.plot}")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from .knobs import Knobs
+    from .sweep import sweep_knob
+
+    result = sweep_knob(Knobs(), args.knob, args.values)
+    print(result.table())
+    crossovers = result.crossover_values()
+    if crossovers:
+        print(f"\nbound changes at {args.knob} = "
+              + ", ".join(f"{v:g}" for v in crossovers))
+    if args.plot:
+        result.figure().save(args.plot)
+        print(f"sweep chart written to {args.plot}")
+    return 0
+
+
+def _run_list() -> int:
+    print("UAV presets:")
+    for name in sorted(UAV_PRESETS):
+        print(f"  {name}")
+    print("\nCompute platforms:")
+    for name, platform in sorted(PLATFORMS.items()):
+        print(f"  {name:<16s} {platform.tdp_w:7.3f} W  "
+              f"{platform.flight_mass_g:7.1f} g flight mass")
+    print("\nAutonomy algorithms:")
+    for name in sorted(ALGORITHMS):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "analyze":
+            return _run_analyze(args)
+        if args.command == "sweep":
+            return _run_sweep(args)
+        return _run_list()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

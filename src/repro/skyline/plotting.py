@@ -1,0 +1,61 @@
+"""Shared F-1 figure construction (Skyline's visualization area).
+
+Builds the paper-style roofline chart — log-x action throughput vs
+safe velocity — for one or more UAV design points, with knee markers,
+stage ceilings and operating points.  Used by the Skyline tool, the
+examples and every figure-reproduction experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.model import F1Model
+from ..viz.lineplot import PALETTE, LinePlot
+
+
+def roofline_figure(
+    entries: Sequence[Tuple[str, F1Model]],
+    title: str = "F-1 roofline",
+    f_min_hz: float = 0.5,
+    f_max_hz: float = 1000.0,
+    mark_knees: bool = True,
+    mark_operating_points: bool = True,
+    operating_labels: Optional[Sequence[str]] = None,
+    points: int = 192,
+) -> LinePlot:
+    """Build the F-1 chart for several (label, model) design points."""
+    plot = LinePlot(
+        title=title,
+        x_label="Action Throughput (Hz)",
+        y_label="Safe Velocity (m/s)",
+        log_x=True,
+    )
+    for index, (label, model) in enumerate(entries):
+        curve = model.curve(f_min_hz=f_min_hz, f_max_hz=f_max_hz, points=points)
+        color = PALETTE[index % len(PALETTE)]
+        plot.add_series(
+            label,
+            list(curve.throughput_hz),
+            list(curve.velocity),
+            color=color,
+        )
+        if mark_knees:
+            knee = model.knee
+            if f_min_hz <= knee.throughput_hz <= f_max_hz:
+                plot.add_marker(
+                    knee.throughput_hz,
+                    knee.velocity,
+                    label="knee" if index == 0 else "",
+                    color=color,
+                )
+        if mark_operating_points:
+            f_op, v_op = model.operating_point
+            if f_min_hz <= f_op <= f_max_hz:
+                op_label = (
+                    operating_labels[index]
+                    if operating_labels is not None
+                    else f"{f_op:.0f} Hz"
+                )
+                plot.add_marker(f_op, v_op, label=op_label, color=color)
+    return plot

@@ -1,0 +1,59 @@
+"""Text rendering of a Skyline report (the analysis pane)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..io.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .tool import SkylineReport
+
+
+def render_report(report: "SkylineReport") -> str:
+    """Multi-section text report for one evaluated design point."""
+    uav = report.uav
+    model = report.analysis.model
+    knee = model.knee
+
+    config_table = format_table(
+        ("parameter", "value"),
+        (
+            ("UAV", uav.name),
+            ("all-up mass", f"{uav.total_mass_g:.0f} g"),
+            ("rated thrust", f"{uav.total_thrust_g:.0f} g"),
+            ("max acceleration", f"{uav.max_acceleration:.3f} m/s^2"),
+            ("sensor", f"{uav.sensor.framerate_hz:.0f} Hz / "
+                       f"{uav.sensor.range_m:.1f} m"),
+            ("compute", uav.compute.name),
+            ("compute payload", f"{uav.compute_payload_g:.0f} g "
+                                f"(x{uav.compute_redundancy})"),
+            ("algorithm", report.algorithm_name),
+            ("compute throughput", f"{report.f_compute_hz:.2f} Hz"),
+        ),
+    )
+
+    result_table = format_table(
+        ("metric", "value"),
+        (
+            ("physics roof", f"{model.roof_velocity:.2f} m/s"),
+            ("knee point", f"{knee.throughput_hz:.1f} Hz -> "
+                           f"{knee.velocity:.2f} m/s"),
+            ("action throughput", f"{model.action_throughput_hz:.2f} Hz"),
+            ("safe velocity", f"{model.safe_velocity:.2f} m/s"),
+            ("bound", report.analysis.bound.value),
+            ("verdict", report.analysis.optimality.status.value),
+        ),
+    )
+
+    lines = [
+        f"=== Skyline analysis: {uav.name} / {report.algorithm_name} ===",
+        "",
+        config_table,
+        "",
+        result_table,
+        "",
+        "Optimization tips:",
+    ]
+    lines.extend(f"  - {tip}" for tip in report.analysis.tips)
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Knob sweeps: the exploratory studies the web tool's sliders enabled.
+
+Sweep any Table II knob over a range of values and collect the F-1
+consequences (safe velocity, knee, bound) into a table + figure, ready
+for the kind of what-if exploration Sec. V demonstrates interactively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import List, Sequence
+
+from ..core.bounds import BoundKind
+from ..errors import ConfigurationError
+from ..io.tables import format_table
+from ..viz.lineplot import LinePlot
+from .knobs import Knobs
+
+#: Knobs that may be swept (all numeric fields of :class:`Knobs`).
+SWEEPABLE_KNOBS = tuple(
+    f.name for f in fields(Knobs) if f.name != "rotor_count"
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated knob value."""
+
+    value: float
+    safe_velocity: float
+    roof_velocity: float
+    knee_hz: float
+    action_throughput_hz: float
+    bound: BoundKind
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All points of one knob sweep."""
+
+    knob: str
+    base: Knobs
+    points: Sequence[SweepPoint]
+
+    def table(self) -> str:
+        """Aligned text table of the sweep."""
+        return format_table(
+            (self.knob, "v_safe (m/s)", "roof (m/s)", "knee (Hz)", "bound"),
+            [
+                (
+                    f"{p.value:g}",
+                    f"{p.safe_velocity:.2f}",
+                    f"{p.roof_velocity:.2f}",
+                    f"{p.knee_hz:.1f}",
+                    p.bound.value,
+                )
+                for p in self.points
+            ],
+        )
+
+    def figure(self) -> LinePlot:
+        """Safe velocity (and roof) vs the swept knob."""
+        plot = LinePlot(
+            title=f"Sweep: {self.knob}",
+            x_label=self.knob,
+            y_label="Velocity (m/s)",
+        )
+        xs = [p.value for p in self.points]
+        plot.add_series("v_safe", xs, [p.safe_velocity for p in self.points])
+        plot.add_series(
+            "physics roof", xs, [p.roof_velocity for p in self.points],
+            dash="6,4",
+        )
+        return plot
+
+    def crossover_values(self) -> List[float]:
+        """Knob values where the bound classification changes."""
+        crossovers = []
+        for previous, current in zip(self.points, self.points[1:]):
+            if previous.bound is not current.bound:
+                crossovers.append(current.value)
+        return crossovers
+
+
+def sweep_knob(
+    base: Knobs, knob: str, values: Sequence[float]
+) -> SweepResult:
+    """Evaluate the F-1 model at each value of one knob."""
+    if knob not in SWEEPABLE_KNOBS:
+        known = ", ".join(SWEEPABLE_KNOBS)
+        raise ConfigurationError(
+            f"cannot sweep {knob!r}; sweepable knobs: {known}"
+        )
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    points = []
+    for value in values:
+        knobs = replace(base, **{knob: value})
+        uav = knobs.build_uav()
+        model = uav.f1(knobs.f_compute_hz)
+        points.append(
+            SweepPoint(
+                value=value,
+                safe_velocity=model.safe_velocity,
+                roof_velocity=model.roof_velocity,
+                knee_hz=model.knee.throughput_hz,
+                action_throughput_hz=model.action_throughput_hz,
+                bound=model.bound,
+            )
+        )
+    return SweepResult(knob=knob, base=base, points=points)

@@ -1,0 +1,41 @@
+"""UAV component models, full-vehicle configurations and presets."""
+
+from .budget import BudgetLine, MassBudget, mass_budget
+from .classes import SizeClass, classify_size
+from .components import (
+    Battery,
+    ComputePlatform,
+    FlightControllerBoard,
+    Frame,
+    Motor,
+    Sensor,
+)
+from .configuration import UAVConfiguration
+from .presets import (
+    asctec_pelican,
+    custom_s500,
+    dji_spark,
+    nano_uav,
+)
+from .registry import UAV_PRESETS, get_preset
+
+__all__ = [
+    "BudgetLine",
+    "MassBudget",
+    "mass_budget",
+    "SizeClass",
+    "classify_size",
+    "Battery",
+    "ComputePlatform",
+    "FlightControllerBoard",
+    "Frame",
+    "Motor",
+    "Sensor",
+    "UAVConfiguration",
+    "asctec_pelican",
+    "custom_s500",
+    "dji_spark",
+    "nano_uav",
+    "UAV_PRESETS",
+    "get_preset",
+]

@@ -1,0 +1,117 @@
+"""Mass-budget breakdown of a UAV configuration.
+
+SWaP engineering starts from a gram-by-gram budget; this module
+itemizes one (frame, flight controller, battery, sensor, compute
+module / carrier / heatsink per replica, extra payload), reports each
+item's share of the all-up mass, and quantifies the thrust margin the
+budget leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..io.tables import format_table
+from .configuration import UAVConfiguration
+
+
+@dataclass(frozen=True)
+class BudgetLine:
+    """One itemized mass contribution."""
+
+    item: str
+    mass_g: float
+    fraction: float
+
+
+@dataclass(frozen=True)
+class MassBudget:
+    """The full breakdown plus thrust-margin headroom."""
+
+    uav_name: str
+    lines: Sequence[BudgetLine]
+    total_mass_g: float
+    total_thrust_g: float
+
+    @property
+    def thrust_margin_g(self) -> float:
+        """Rated thrust minus all-up weight (can be negative)."""
+        return self.total_thrust_g - self.total_mass_g
+
+    @property
+    def compute_fraction(self) -> float:
+        """Share of all-up mass spent on computing (incl. thermals)."""
+        return sum(
+            line.fraction
+            for line in self.lines
+            if line.item.startswith("compute")
+        )
+
+    def table(self) -> str:
+        """Aligned text rendering of the budget."""
+        rows = [
+            (line.item, f"{line.mass_g:.1f}", f"{line.fraction:.1%}")
+            for line in self.lines
+        ]
+        rows.append(("TOTAL", f"{self.total_mass_g:.1f}", "100.0%"))
+        return format_table(("item", "mass (g)", "share"), rows)
+
+
+def mass_budget(uav: UAVConfiguration) -> MassBudget:
+    """Itemize a configuration's all-up mass.
+
+    When the configuration uses a Table-I style payload override, the
+    non-itemizable remainder (mounting, cabling, compute batteries) is
+    reported as one ``payload (unitemized)`` line so the budget always
+    sums to the all-up mass.
+    """
+    total = uav.total_mass_g
+    lines: List[BudgetLine] = []
+
+    def add(item: str, mass_g: float) -> None:
+        if mass_g > 0:
+            lines.append(
+                BudgetLine(item=item, mass_g=mass_g, fraction=mass_g / total)
+            )
+
+    add("frame + motors + ESCs", uav.frame.base_mass_g)
+    add("flight controller", uav.flight_controller.mass_g)
+
+    if uav.payload_override_g is not None:
+        itemized = uav.compute_payload_g
+        add(
+            f"compute x{uav.compute_redundancy} ({uav.compute.name})",
+            itemized,
+        )
+        add(
+            "payload (unitemized: batteries, mounting)",
+            uav.payload_override_g - itemized,
+        )
+        add("extra payload", uav.extra_payload_g)
+    else:
+        add(f"battery ({uav.battery.name})", uav.battery.mass_g)
+        add(f"sensor ({uav.sensor.name})", uav.sensor.mass_g)
+        per_replica_suffix = (
+            f" x{uav.compute_redundancy}" if uav.compute_redundancy > 1 else ""
+        )
+        add(
+            f"compute module{per_replica_suffix}",
+            uav.compute.mass_g * uav.compute_redundancy,
+        )
+        add(
+            f"compute carrier{per_replica_suffix}",
+            uav.compute.carrier_mass_g * uav.compute_redundancy,
+        )
+        add(
+            f"compute heatsink{per_replica_suffix}",
+            uav.compute.heatsink_mass_g * uav.compute_redundancy,
+        )
+        add("extra payload", uav.extra_payload_g)
+
+    return MassBudget(
+        uav_name=uav.name,
+        lines=lines,
+        total_mass_g=total,
+        total_thrust_g=uav.total_thrust_g,
+    )

@@ -1,0 +1,79 @@
+"""UAV size classes and their SWaP envelopes (Fig. 2b of the paper).
+
+The paper buckets quadcopters into nano / micro / mini classes whose
+frame size dictates battery capacity and endurance.  The class table
+below carries the paper's Fig. 2b anchor values; :func:`classify_size`
+assigns a frame to a class by its size in millimeters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..units import require_positive
+
+
+class SizeClass(Enum):
+    """Paper's UAV size taxonomy."""
+
+    NANO = "nano"
+    MICRO = "micro"
+    MINI = "mini"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ClassEnvelope:
+    """Typical SWaP envelope of one size class (Fig. 2b anchors)."""
+
+    size_class: SizeClass
+    max_size_mm: float
+    typical_battery_mah: float
+    typical_battery_voltage_v: float
+    typical_endurance_min: float
+
+
+#: Fig. 2b anchor rows: size boundary, battery capacity, endurance.
+CLASS_ENVELOPES = (
+    ClassEnvelope(
+        size_class=SizeClass.NANO,
+        max_size_mm=100.0,
+        typical_battery_mah=240.0,
+        typical_battery_voltage_v=3.7,
+        typical_endurance_min=7.0,
+    ),
+    ClassEnvelope(
+        size_class=SizeClass.MICRO,
+        max_size_mm=300.0,
+        typical_battery_mah=1300.0,
+        typical_battery_voltage_v=7.4,
+        typical_endurance_min=15.0,
+    ),
+    ClassEnvelope(
+        size_class=SizeClass.MINI,
+        max_size_mm=float("inf"),
+        typical_battery_mah=3830.0,
+        typical_battery_voltage_v=11.1,
+        typical_endurance_min=30.0,
+    ),
+)
+
+
+def classify_size(size_mm: float) -> SizeClass:
+    """Assign a frame size (mm) to the paper's nano/micro/mini classes."""
+    require_positive("size_mm", size_mm)
+    for envelope in CLASS_ENVELOPES:
+        if size_mm <= envelope.max_size_mm:
+            return envelope.size_class
+    raise AssertionError("unreachable: MINI envelope is unbounded")
+
+
+def envelope_for(size_class: SizeClass) -> ClassEnvelope:
+    """The SWaP envelope for a given size class."""
+    for envelope in CLASS_ENVELOPES:
+        if envelope.size_class is size_class:
+            return envelope
+    raise KeyError(size_class)

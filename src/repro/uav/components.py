@@ -1,0 +1,186 @@
+"""Dataclasses for the physical components of an autonomous UAV.
+
+Masses are grams, thrust is gram-force (spec-sheet "pull"), rates are
+Hz.  :class:`ComputePlatform` sizes its own heatsink from TDP via the
+paper's Fig. 12 relationship (see :mod:`repro.core.heatsink`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.heatsink import heatsink_mass_g
+from ..units import (
+    mah_to_wh,
+    require_fraction,
+    require_nonnegative,
+    require_positive,
+)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Mechanical frame, inclusive of motors and ESCs (the Table I
+    "base weight" convention)."""
+
+    name: str
+    base_mass_g: float
+    size_mm: float
+    rotor_count: int = 4
+    rotor_radius_m: float = 0.127
+    cd_area_m2: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_positive("base_mass_g", self.base_mass_g)
+        require_positive("size_mm", self.size_mm)
+        require_positive("rotor_radius_m", self.rotor_radius_m)
+        require_nonnegative("cd_area_m2", self.cd_area_m2)
+        if self.rotor_count < 3:
+            raise ValueError("a multirotor needs at least 3 rotors")
+
+    @property
+    def disk_area_m2(self) -> float:
+        """Total actuator-disk area of all rotors (for power models)."""
+        import math
+
+        return self.rotor_count * math.pi * self.rotor_radius_m**2
+
+
+@dataclass(frozen=True)
+class Motor:
+    """One motor/propeller unit, characterized by its rated pull."""
+
+    name: str
+    rated_pull_g: float
+    kv: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        require_positive("rated_pull_g", self.rated_pull_g)
+        if self.kv is not None:
+            require_positive("kv", self.kv)
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """An exteroceptive sensor: frame rate, detection range, mass."""
+
+    name: str
+    framerate_hz: float
+    range_m: float
+    mass_g: float = 0.0
+    fov_deg: float = 90.0
+
+    def __post_init__(self) -> None:
+        require_positive("framerate_hz", self.framerate_hz)
+        require_positive("range_m", self.range_m)
+        require_nonnegative("mass_g", self.mass_g)
+        require_positive("fov_deg", self.fov_deg)
+
+    @property
+    def sample_period_s(self) -> float:
+        """Time between successive frames, ``1 / framerate``."""
+        return 1.0 / self.framerate_hz
+
+    def with_range(self, range_m: float) -> "Sensor":
+        """A copy with a different detection range."""
+        return replace(self, range_m=range_m)
+
+    def with_framerate(self, framerate_hz: float) -> "Sensor":
+        """A copy with a different frame rate."""
+        return replace(self, framerate_hz=framerate_hz)
+
+
+@dataclass(frozen=True)
+class Battery:
+    """Flight battery.  ``usable_fraction`` reserves charge for landing."""
+
+    name: str
+    capacity_mah: float
+    voltage_v: float
+    mass_g: float = 0.0
+    usable_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        require_positive("capacity_mah", self.capacity_mah)
+        require_positive("voltage_v", self.voltage_v)
+        require_nonnegative("mass_g", self.mass_g)
+        require_fraction("usable_fraction", self.usable_fraction)
+
+    @property
+    def energy_wh(self) -> float:
+        """Nameplate energy content, Wh."""
+        return mah_to_wh(self.capacity_mah, self.voltage_v)
+
+    @property
+    def usable_energy_wh(self) -> float:
+        """Energy available to the mission after the landing reserve."""
+        return self.energy_wh * self.usable_fraction
+
+
+@dataclass(frozen=True)
+class FlightControllerBoard:
+    """The dedicated low-level flight controller (Sec. II-D)."""
+
+    name: str
+    mass_g: float = 0.0
+    loop_rate_hz: float = 1000.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative("mass_g", self.mass_g)
+        require_positive("loop_rate_hz", self.loop_rate_hz)
+
+
+@dataclass(frozen=True)
+class ComputePlatform:
+    """An onboard computer: mass, thermal and performance envelope.
+
+    ``mass_g`` is the bare module; ``carrier_mass_g`` covers carrier
+    board / enclosure; the heatsink is sized from TDP automatically
+    when ``needs_heatsink``.  ``peak_gflops`` and
+    ``mem_bandwidth_gbs`` feed the classic-roofline latency estimator.
+    """
+
+    name: str
+    mass_g: float
+    tdp_w: float
+    peak_gflops: float
+    mem_bandwidth_gbs: float
+    carrier_mass_g: float = 0.0
+    idle_power_w: float = 0.5
+    needs_heatsink: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        require_positive("mass_g", self.mass_g)
+        require_positive("tdp_w", self.tdp_w)
+        require_positive("peak_gflops", self.peak_gflops)
+        require_positive("mem_bandwidth_gbs", self.mem_bandwidth_gbs)
+        require_nonnegative("carrier_mass_g", self.carrier_mass_g)
+        require_nonnegative("idle_power_w", self.idle_power_w)
+
+    @property
+    def heatsink_mass_g(self) -> float:
+        """Heatsink mass implied by TDP (0 when none is needed)."""
+        if not self.needs_heatsink:
+            return 0.0
+        return heatsink_mass_g(self.tdp_w)
+
+    @property
+    def flight_mass_g(self) -> float:
+        """All-in payload mass: module + carrier + heatsink."""
+        return self.mass_g + self.carrier_mass_g + self.heatsink_mass_g
+
+    def with_tdp(self, tdp_w: float, name: Optional[str] = None) -> "ComputePlatform":
+        """The same platform re-binned at a different TDP.
+
+        Models the paper's Sec. VI-A scenario: an architectural
+        optimization halves TDP without (for simplicity) changing
+        throughput, shrinking the heatsink and thus the payload.
+        """
+        require_positive("tdp_w", tdp_w)
+        return replace(
+            self,
+            tdp_w=tdp_w,
+            name=name or f"{self.name}-{tdp_w:g}w",
+        )

@@ -1,0 +1,230 @@
+"""Preset UAV configurations used by the paper.
+
+Custom S500 builds A-D follow Table I exactly.  The DJI Spark, AscTec
+Pelican and nano-UAV presets are reverse-engineered from the paper's
+reported case-study quantities, because the Skyline tool's internal
+presets were never published; DESIGN.md Sec. 5 derives every constant:
+
+* Spark total thrust (786 g) from "AGX at 15 W raises safe velocity by
+  75 %" (Sec. VI-A).
+* Pelican base mass (1131.9 g) and thrust (1711 g) jointly from
+  "SPA ceiling 2.3 m/s @ 1.1 Hz", "knee 43 Hz" (Sec. VI-B) and
+  "dual-TX2 redundancy costs 33 %" (Sec. VI-C).
+* Nano-UAV thrust from "knee 26 Hz" with a 6 m sensor (Sec. VII).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..compute.platforms import get_platform
+from ..errors import ConfigurationError
+from .components import (
+    Battery,
+    ComputePlatform,
+    FlightControllerBoard,
+    Frame,
+    Motor,
+    Sensor,
+)
+from .configuration import UAVConfiguration
+
+# ---------------------------------------------------------------------------
+# Custom S500 validation drones (Table I)
+# ---------------------------------------------------------------------------
+
+#: Table I payload weights (batteries + onboard compute), grams.
+S500_PAYLOAD_G = {"A": 590.0, "B": 800.0, "C": 640.0, "D": 690.0}
+
+#: Table I onboard compute per variant.
+S500_COMPUTE = {"A": "raspi4", "B": "upboard", "C": "raspi4", "D": "raspi4"}
+
+#: Obstacle distance assumed in the paper's validation flights (m).
+S500_SENSING_RANGE_M = 3.0
+
+_S500_FRAME = Frame(
+    name="s500",
+    base_mass_g=1030.0,  # motors + ESCs + frame, Table I
+    size_mm=500.0,
+    rotor_radius_m=0.127,  # 10-inch props
+    cd_area_m2=0.09,
+)
+
+_S500_MOTOR = Motor(name="readytosky-2210", rated_pull_g=435.0, kv=920.0)
+
+_S500_BATTERY = Battery(
+    name="3s-5000",
+    capacity_mah=5000.0,
+    voltage_v=11.1,
+    mass_g=420.0,
+)
+
+_S500_FC = FlightControllerBoard(name="nxp-fmuk66", mass_g=0.0)
+
+
+def custom_s500(variant: str = "A") -> UAVConfiguration:
+    """One of the four Table I validation drones (variant 'A'..'D').
+
+    The payload override reproduces Table I's published payload weights
+    (which include the compute's separate battery and mounting, not
+    itemized per component).
+    """
+    key = variant.upper()
+    if key not in S500_PAYLOAD_G:
+        raise ConfigurationError(
+            f"unknown S500 variant {variant!r}; expected one of A, B, C, D"
+        )
+    sensor = Sensor(
+        name="validation-rig",
+        framerate_hz=30.0,
+        range_m=S500_SENSING_RANGE_M,
+        mass_g=0.0,
+    )
+    return UAVConfiguration(
+        name=f"uav-{key.lower()}",
+        frame=_S500_FRAME,
+        motor=_S500_MOTOR,
+        battery=_S500_BATTERY,
+        sensor=sensor,
+        compute=get_platform(S500_COMPUTE[key]),
+        flight_controller=_S500_FC,
+        payload_override_g=S500_PAYLOAD_G[key],
+    )
+
+
+# ---------------------------------------------------------------------------
+# DJI Spark (Sec. VI-A / VI-D case studies)
+# ---------------------------------------------------------------------------
+
+#: Calibrated total rated thrust (g); see module docstring.
+SPARK_TOTAL_THRUST_G = 785.96
+
+#: Default obstacle-detection range assumed for the Spark (m).
+SPARK_SENSING_RANGE_M = 10.0
+
+
+def dji_spark(
+    compute: Optional[ComputePlatform] = None,
+    sensor_framerate_hz: float = 60.0,
+) -> UAVConfiguration:
+    """DJI Spark form factor carrying a user-chosen onboard computer."""
+    platform = compute or get_platform("intel-ncs")
+    return UAVConfiguration(
+        name=f"dji-spark+{platform.name}",
+        frame=Frame(
+            name="dji-spark",
+            base_mass_g=205.0,  # stock airframe w/o battery
+            size_mm=170.0,
+            rotor_radius_m=0.06,
+            cd_area_m2=0.015,
+        ),
+        motor=Motor(name="spark-1504s", rated_pull_g=SPARK_TOTAL_THRUST_G / 4),
+        battery=Battery(
+            name="spark-1480",
+            capacity_mah=1480.0,
+            voltage_v=11.4,
+            mass_g=95.0,
+        ),
+        sensor=Sensor(
+            name="spark-camera",
+            framerate_hz=sensor_framerate_hz,
+            range_m=SPARK_SENSING_RANGE_M,
+            mass_g=0.0,
+        ),
+        compute=platform,
+        flight_controller=FlightControllerBoard(name="spark-fc", mass_g=0.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# AscTec Pelican (Sec. VI-B / VI-C / VI-D case studies)
+# ---------------------------------------------------------------------------
+
+#: Calibrated base mass (g) and total rated thrust (g); see docstring.
+PELICAN_BASE_MASS_G = 1131.9
+PELICAN_TOTAL_THRUST_G = 1711.0
+
+#: Sensor ranges used by the paper's Pelican case studies (m).
+PELICAN_SENSING_RANGE_M = 3.0  # Sec. VI-B / VI-D
+PELICAN_RGBD_RANGE_M = 4.5  # Sec. VI-C (RGB-D camera)
+
+
+def asctec_pelican(
+    compute: Optional[ComputePlatform] = None,
+    sensor_range_m: float = PELICAN_SENSING_RANGE_M,
+    sensor_framerate_hz: float = 60.0,
+) -> UAVConfiguration:
+    """AscTec Pelican form factor carrying a user-chosen computer."""
+    platform = compute or get_platform("jetson-tx2")
+    battery_mass = 353.0
+    return UAVConfiguration(
+        name=f"asctec-pelican+{platform.name}",
+        frame=Frame(
+            name="asctec-pelican",
+            base_mass_g=PELICAN_BASE_MASS_G - battery_mass,
+            size_mm=651.0,
+            rotor_radius_m=0.127,
+            cd_area_m2=0.08,
+        ),
+        motor=Motor(
+            name="pelican-rotor", rated_pull_g=PELICAN_TOTAL_THRUST_G / 4
+        ),
+        battery=Battery(
+            name="pelican-3830",
+            capacity_mah=3830.0,
+            voltage_v=11.1,
+            mass_g=battery_mass,
+        ),
+        sensor=Sensor(
+            name="rgbd-camera",
+            framerate_hz=sensor_framerate_hz,
+            range_m=sensor_range_m,
+            mass_g=0.0,
+        ),
+        compute=platform,
+        flight_controller=FlightControllerBoard(name="pelican-fc", mass_g=0.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Nano-UAV (Sec. VII accelerator case study)
+# ---------------------------------------------------------------------------
+
+#: Calibrated total rated thrust (g) for a 26 Hz knee at d = 6 m.
+NANO_TOTAL_THRUST_G = 40.102
+
+#: Sensor range assumed for the nano-UAV (m).
+NANO_SENSING_RANGE_M = 6.0
+
+
+def nano_uav(
+    compute: Optional[ComputePlatform] = None,
+    sensor_framerate_hz: float = 60.0,
+) -> UAVConfiguration:
+    """CrazyFlie-class nano-UAV carrying a milliwatt accelerator."""
+    platform = compute or get_platform("pulp-gap8")
+    return UAVConfiguration(
+        name=f"nano-uav+{platform.name}",
+        frame=Frame(
+            name="crazyflie-class",
+            base_mass_g=21.0,  # airframe w/o battery
+            size_mm=92.0,
+            rotor_radius_m=0.023,
+            cd_area_m2=0.0015,
+        ),
+        motor=Motor(name="nano-coreless", rated_pull_g=NANO_TOTAL_THRUST_G / 4),
+        battery=Battery(
+            name="nano-240",
+            capacity_mah=240.0,
+            voltage_v=3.7,
+            mass_g=7.0,
+        ),
+        sensor=Sensor(
+            name="nano-camera",
+            framerate_hz=sensor_framerate_hz,
+            range_m=NANO_SENSING_RANGE_M,
+            mass_g=0.0,
+        ),
+        compute=platform,
+        flight_controller=FlightControllerBoard(name="crazyflie-fc", mass_g=0.0),
+    )

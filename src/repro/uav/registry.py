@@ -1,0 +1,37 @@
+"""Named registry of UAV preset factories.
+
+Skyline's pre-configured UAV menu.  Each entry is a zero-argument
+factory returning a fresh :class:`UAVConfiguration` with its default
+onboard computer; callers swap the computer with
+:meth:`UAVConfiguration.with_compute`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import UnknownComponentError
+from .configuration import UAVConfiguration
+from .presets import asctec_pelican, custom_s500, dji_spark, nano_uav
+
+UAV_PRESETS: Dict[str, Callable[[], UAVConfiguration]] = {
+    "dji-spark": dji_spark,
+    "asctec-pelican": asctec_pelican,
+    "nano-uav": nano_uav,
+    "custom-s500-a": lambda: custom_s500("A"),
+    "custom-s500-b": lambda: custom_s500("B"),
+    "custom-s500-c": lambda: custom_s500("C"),
+    "custom-s500-d": lambda: custom_s500("D"),
+}
+
+
+def get_preset(name: str) -> UAVConfiguration:
+    """Instantiate a preset by name, with a helpful error if absent."""
+    try:
+        factory = UAV_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(UAV_PRESETS))
+        raise UnknownComponentError(
+            f"unknown UAV preset {name!r}; known: {known}"
+        ) from None
+    return factory()

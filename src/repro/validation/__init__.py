@@ -1,0 +1,14 @@
+"""Model-vs-flight validation: campaigns, error analysis, calibration."""
+
+from .calibration import fit_acceleration, fit_sensing_range
+from .error_analysis import ErrorBreakdown, decompose_error
+from .flight_tests import ValidationRow, run_validation_campaign
+
+__all__ = [
+    "fit_acceleration",
+    "fit_sensing_range",
+    "ErrorBreakdown",
+    "decompose_error",
+    "ValidationRow",
+    "run_validation_campaign",
+]

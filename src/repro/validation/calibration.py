@@ -1,0 +1,94 @@
+"""Fitting F-1 parameters from observed flight data.
+
+The inverse problem of validation: given observed (action period,
+safe velocity) samples from flights, recover the effective ``a_max``
+or sensing range.  Closed forms follow from the stopping-distance
+identity ``v*T + v^2/(2a) = d``; multi-sample fits use least squares.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..core.safety import safe_velocity
+from ..errors import CalibrationError
+from ..units import require_positive
+
+
+def fit_acceleration(
+    samples: Sequence[Tuple[float, float]],
+    sensing_range_m: float,
+) -> float:
+    """Recover ``a_max`` from (t_action_s, observed_v) samples.
+
+    One sample has the closed form ``a = v^2 / (2 (d - v T))``; several
+    samples are reconciled by least squares on Eq. 4.
+    """
+    require_positive("sensing_range_m", sensing_range_m)
+    if not samples:
+        raise CalibrationError("need at least one (T_action, v) sample")
+    for t_action, velocity in samples:
+        if velocity <= 0:
+            raise CalibrationError(f"non-positive velocity {velocity}")
+        if sensing_range_m - velocity * t_action <= 0:
+            raise CalibrationError(
+                f"sample (T={t_action}, v={velocity}) violates the "
+                f"stopping identity for d={sensing_range_m}: the vehicle "
+                "covers the whole sensing range during the reaction delay"
+            )
+
+    closed_forms = [
+        velocity**2 / (2.0 * (sensing_range_m - velocity * t_action))
+        for t_action, velocity in samples
+    ]
+    if len(samples) == 1:
+        return closed_forms[0]
+
+    t = np.array([sample[0] for sample in samples])
+    v = np.array([sample[1] for sample in samples])
+
+    def residual(a: np.ndarray) -> np.ndarray:
+        return safe_velocity(t, sensing_range_m, float(a[0])) - v
+
+    result = optimize.least_squares(
+        residual, x0=[float(np.median(closed_forms))], bounds=(1e-6, np.inf)
+    )
+    if not result.success:
+        raise CalibrationError(f"least-squares fit failed: {result.message}")
+    return float(result.x[0])
+
+
+def fit_sensing_range(
+    samples: Sequence[Tuple[float, float]],
+    a_max: float,
+) -> float:
+    """Recover the effective sensing range from (T_action, v) samples.
+
+    Closed form per sample: ``d = v T + v^2 / (2 a)``; multiple samples
+    are averaged by least squares on Eq. 4.
+    """
+    require_positive("a_max", a_max)
+    if not samples:
+        raise CalibrationError("need at least one (T_action, v) sample")
+    closed_forms = [
+        velocity * t_action + velocity**2 / (2.0 * a_max)
+        for t_action, velocity in samples
+    ]
+    if len(samples) == 1:
+        return closed_forms[0]
+
+    t = np.array([sample[0] for sample in samples])
+    v = np.array([sample[1] for sample in samples])
+
+    def residual(d: np.ndarray) -> np.ndarray:
+        return safe_velocity(t, float(d[0]), a_max) - v
+
+    result = optimize.least_squares(
+        residual, x0=[float(np.median(closed_forms))], bounds=(1e-6, np.inf)
+    )
+    if not result.success:
+        raise CalibrationError(f"least-squares fit failed: {result.message}")
+    return float(result.x[0])

@@ -1,0 +1,91 @@
+"""Attribution of the model-vs-flight error to its physical sources.
+
+Sec. IV of the paper lists three error sources: linearization near the
+knee, unmodeled drag, and mechanical effects (here: pitch lag).  The
+simulator can switch each effect off individually, so the error can be
+decomposed by ablation: re-run the safe-velocity search with one
+effect removed and attribute the recovered velocity to that effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..sim.obstacle_stop import ObstacleStopConfig
+from ..sim.trials import find_observed_safe_velocity
+from ..uav.configuration import UAVConfiguration
+
+
+@dataclass(frozen=True)
+class ErrorBreakdown:
+    """Observed safe velocities under selective idealization."""
+
+    predicted_velocity: float
+    observed_full: float
+    observed_no_lag: float
+    observed_no_derate: float
+    observed_ideal: float
+
+    @property
+    def total_error_pct(self) -> float:
+        return (
+            (self.predicted_velocity - self.observed_full)
+            / self.predicted_velocity
+            * 100.0
+        )
+
+    @property
+    def lag_contribution_pct(self) -> float:
+        """Error recovered by removing pitch lag."""
+        return (
+            (self.observed_no_lag - self.observed_full)
+            / self.predicted_velocity
+            * 100.0
+        )
+
+    @property
+    def derate_contribution_pct(self) -> float:
+        """Error recovered by removing the in-flight thrust derate."""
+        return (
+            (self.observed_no_derate - self.observed_full)
+            / self.predicted_velocity
+            * 100.0
+        )
+
+
+def decompose_error(
+    uav: UAVConfiguration,
+    predicted_velocity: float,
+    f_action_hz: float = 10.0,
+    trials: int = 3,
+    seed: int = 11,
+) -> ErrorBreakdown:
+    """Ablate simulator effects one at a time and report contributions."""
+    base = ObstacleStopConfig(
+        cruise_velocity=predicted_velocity, f_action_hz=f_action_hz
+    )
+
+    def observed(config: ObstacleStopConfig) -> float:
+        return find_observed_safe_velocity(
+            uav,
+            f_action_hz=f_action_hz,
+            predicted_velocity=predicted_velocity,
+            trials=trials,
+            seed=seed,
+            base_config=config,
+        ).observed_safe_velocity
+
+    return ErrorBreakdown(
+        predicted_velocity=predicted_velocity,
+        observed_full=observed(base),
+        observed_no_lag=observed(replace(base, pitch_lag_s=0.0)),
+        observed_no_derate=observed(replace(base, accel_derate=1.0)),
+        observed_ideal=observed(
+            replace(
+                base,
+                pitch_lag_s=0.0,
+                accel_derate=1.0,
+                detection_noise_m=0.0,
+            )
+        ),
+    )

@@ -1,0 +1,84 @@
+"""The Sec. IV validation campaign: UAV-A through UAV-D.
+
+For each Table I drone the campaign computes the F-1-predicted safe
+velocity at the 10 Hz action loop, then flies the simulated
+obstacle-stop sweep (five trials per candidate velocity) to find the
+observed safe velocity, and reports the model error — the simulated
+stand-in for the paper's Fig. 7b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.obstacle_stop import ObstacleStopConfig
+from ..sim.trials import SafeVelocitySearch, find_observed_safe_velocity
+from ..uav.presets import S500_PAYLOAD_G, custom_s500
+
+#: The paper's ROS loop rate during validation (Sec. IV).
+VALIDATION_LOOP_RATE_HZ = 10.0
+
+#: Paper-reported values for comparison (Sec. IV / Fig. 9).
+PAPER_PREDICTED_V = {"A": 2.13, "B": 1.51, "C": 1.58, "D": 1.53}
+PAPER_ERROR_PCT = {"A": 9.5, "B": 7.2, "C": 5.1, "D": 6.45}
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One drone's predicted-vs-observed safe velocity."""
+
+    variant: str
+    total_mass_g: float
+    a_max: float
+    predicted_velocity: float
+    observed_velocity: float
+    search: SafeVelocitySearch
+
+    @property
+    def error_pct(self) -> float:
+        """Optimism of the model: (predicted - observed) / predicted."""
+        return (
+            (self.predicted_velocity - self.observed_velocity)
+            / self.predicted_velocity
+            * 100.0
+        )
+
+
+def predicted_safe_velocity(
+    variant: str, f_action_hz: float = VALIDATION_LOOP_RATE_HZ
+) -> float:
+    """The F-1 prediction for one Table I drone at the loop rate."""
+    uav = custom_s500(variant)
+    return uav.f1(f_action_hz).velocity_at(f_action_hz)
+
+
+def run_validation_campaign(
+    f_action_hz: float = VALIDATION_LOOP_RATE_HZ,
+    trials: int = 5,
+    seed: int = 7,
+    variants: Optional[List[str]] = None,
+    base_config: Optional[ObstacleStopConfig] = None,
+) -> Dict[str, ValidationRow]:
+    """Run the full A-D campaign; returns variant -> row."""
+    rows: Dict[str, ValidationRow] = {}
+    for variant in variants or sorted(S500_PAYLOAD_G):
+        uav = custom_s500(variant)
+        predicted = uav.f1(f_action_hz).velocity_at(f_action_hz)
+        search = find_observed_safe_velocity(
+            uav,
+            f_action_hz=f_action_hz,
+            predicted_velocity=predicted,
+            trials=trials,
+            seed=seed,
+            base_config=base_config,
+        )
+        rows[variant] = ValidationRow(
+            variant=variant,
+            total_mass_g=uav.total_mass_g,
+            a_max=uav.max_acceleration,
+            predicted_velocity=predicted,
+            observed_velocity=search.observed_safe_velocity,
+            search=search,
+        )
+    return rows

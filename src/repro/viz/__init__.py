@@ -1,0 +1,24 @@
+"""Plotting substrate: pure-Python SVG figures and ASCII plots.
+
+Matplotlib is not available in this environment, so the library ships
+its own renderer.  :class:`LinePlot` covers everything the paper's
+figures need — log/linear axes, multiple series, horizontal ceilings,
+vertical knee markers, point annotations — and renders to standalone
+SVG files; :func:`ascii_plot` gives a terminal-friendly view used by
+the Skyline CLI.
+"""
+
+from .ascii_plot import ascii_plot
+from .axes import Axis, LinearScale, LogScale
+from .lineplot import LinePlot, Series
+from .svg import SvgCanvas
+
+__all__ = [
+    "ascii_plot",
+    "Axis",
+    "LinearScale",
+    "LogScale",
+    "LinePlot",
+    "Series",
+    "SvgCanvas",
+]

@@ -1,0 +1,96 @@
+"""Terminal (ASCII) line plots for the Skyline CLI.
+
+Renders one or more series onto a character grid with optional log-x.
+Deliberately simple: the SVG renderer is the faithful output; this is
+the quick look the interactive web tool's chart becomes in a TTY.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+_GLYPHS = "*o+x#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ConfigurationError("log axis requires positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Render ``(label, xs, ys)`` series to a text chart.
+
+    Returns a multi-line string; each series uses its own glyph, listed
+    in the legend below the chart.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart must be at least 16x4 characters")
+
+    xs_all: List[float] = []
+    ys_all: List[float] = []
+    for _, xs, ys in series:
+        if len(xs) != len(ys):
+            raise ConfigurationError("x and y lengths differ")
+        xs_all.extend(_transform(x, log_x) for x in xs)
+        ys_all.extend(ys)
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, xs, ys) in enumerate(series):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in zip(xs, ys):
+            tx = _transform(x, log_x)
+            col = int((tx - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = f"{y_hi:8.2f} |"
+    bottom_label = f"{y_lo:8.2f} |"
+    mid_pad = " " * 9 + "|"
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label
+        elif row_index == height - 1:
+            prefix = bottom_label
+        else:
+            prefix = mid_pad
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "-" * width)
+    left = f"{10**x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    right = f"{10**x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    axis_note = f"{x_label}{' (log)' if log_x else ''}"
+    lines.append(
+        " " * 10 + left + axis_note.center(width - len(left) - len(right)) + right
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {label}"
+        for i, (label, _, _) in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.append(" " * 10 + f"y: {y_label}")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Axis scales and tick generation for the plotting layer.
+
+:class:`LinearScale` produces 1-2-5 ticks; :class:`LogScale` produces
+decade ticks — the F-1 plot's x-axis is log throughput, its y-axis
+linear velocity, exactly this pair.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+
+class Scale(ABC):
+    """Maps data coordinates to the unit interval [0, 1]."""
+
+    @abstractmethod
+    def normalize(self, value: float) -> float:
+        """Data value -> [0, 1] position along the axis."""
+
+    @abstractmethod
+    def ticks(self) -> List[float]:
+        """Nicely spaced tick values covering the domain."""
+
+    @abstractmethod
+    def format_tick(self, value: float) -> str:
+        """Human-friendly tick label."""
+
+
+@dataclass(frozen=True)
+class LinearScale(Scale):
+    """A linear axis over [lo, hi] with ~1-2-5 spaced ticks."""
+
+    lo: float
+    hi: float
+    target_ticks: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.hi > self.lo:
+            raise ConfigurationError(
+                f"linear scale needs hi > lo, got [{self.lo}, {self.hi}]"
+            )
+
+    def normalize(self, value: float) -> float:
+        return (value - self.lo) / (self.hi - self.lo)
+
+    def _step(self) -> float:
+        raw = (self.hi - self.lo) / max(self.target_ticks - 1, 1)
+        magnitude = 10.0 ** math.floor(math.log10(raw))
+        for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+            if raw <= multiple * magnitude:
+                return multiple * magnitude
+        return 10.0 * magnitude
+
+    def ticks(self) -> List[float]:
+        step = self._step()
+        first = math.ceil(self.lo / step) * step
+        values = []
+        value = first
+        while value <= self.hi + step * 1e-9:
+            values.append(round(value, 10))
+            value += step
+        return values
+
+    def format_tick(self, value: float) -> str:
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:g}"
+
+
+@dataclass(frozen=True)
+class LogScale(Scale):
+    """A log10 axis over [lo, hi] with decade ticks."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo <= 0 or self.hi <= self.lo:
+            raise ConfigurationError(
+                f"log scale needs 0 < lo < hi, got [{self.lo}, {self.hi}]"
+            )
+
+    def normalize(self, value: float) -> float:
+        return (math.log10(value) - math.log10(self.lo)) / (
+            math.log10(self.hi) - math.log10(self.lo)
+        )
+
+    def ticks(self) -> List[float]:
+        first = math.ceil(math.log10(self.lo) - 1e-9)
+        last = math.floor(math.log10(self.hi) + 1e-9)
+        return [10.0**exp for exp in range(first, last + 1)]
+
+    def format_tick(self, value: float) -> str:
+        if value >= 1:
+            return f"{value:g}"
+        return f"{value:.10f}".rstrip("0")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """An axis: label, scale, and pixel range mapping helpers."""
+
+    label: str
+    scale: Scale
+
+    def to_pixels(
+        self, value: float, pixel_range: Tuple[float, float]
+    ) -> float:
+        """Map a data value to a pixel coordinate (handles inverted
+        ranges, e.g. SVG y grows downward)."""
+        start, end = pixel_range
+        fraction = min(max(self.scale.normalize(value), -0.05), 1.05)
+        return start + fraction * (end - start)

@@ -1,0 +1,278 @@
+"""Declarative line plots rendered to SVG.
+
+A :class:`LinePlot` holds series, markers and annotations in data
+coordinates; :meth:`render` lays out margins, axes, grid, legend and
+draws everything through :class:`SvgCanvas`.  This covers every data
+figure in the paper: rooflines with ceilings (h-lines), knee markers
+(points), operating points, and payload/TDP sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .axes import Axis, LinearScale, LogScale
+from .svg import SvgCanvas
+
+#: Default qualitative palette (colorblind-safe-ish).
+PALETTE = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+    "#17becf",
+    "#7f7f7f",
+)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One polyline in data coordinates."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+    color: Optional[str] = None
+    dash: Optional[str] = None
+    width: float = 2.0
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r}: x and y lengths differ "
+                f"({len(self.x)} vs {len(self.y)})"
+            )
+        if len(self.x) < 2:
+            raise ConfigurationError(
+                f"series {self.label!r} needs at least two points"
+            )
+
+
+@dataclass(frozen=True)
+class Marker:
+    """A labeled point in data coordinates."""
+
+    x: float
+    y: float
+    label: str = ""
+    color: str = "#222222"
+    radius: float = 4.0
+
+
+@dataclass(frozen=True)
+class HLine:
+    """A horizontal annotation line (ceiling)."""
+
+    y: float
+    label: str = ""
+    color: str = "#888888"
+    dash: str = "6,4"
+
+
+@dataclass(frozen=True)
+class VLine:
+    """A vertical annotation line (knee throughput)."""
+
+    x: float
+    label: str = ""
+    color: str = "#888888"
+    dash: str = "6,4"
+
+
+@dataclass
+class LinePlot:
+    """A single-panel line chart."""
+
+    title: str
+    x_label: str
+    y_label: str
+    log_x: bool = False
+    log_y: bool = False
+    width: int = 720
+    height: int = 480
+    series: List[Series] = field(default_factory=list)
+    markers: List[Marker] = field(default_factory=list)
+    hlines: List[HLine] = field(default_factory=list)
+    vlines: List[VLine] = field(default_factory=list)
+
+    _MARGIN_LEFT = 70
+    _MARGIN_RIGHT = 20
+    _MARGIN_TOP = 40
+    _MARGIN_BOTTOM = 55
+
+    def add_series(
+        self,
+        label: str,
+        x: Sequence[float],
+        y: Sequence[float],
+        color: Optional[str] = None,
+        dash: Optional[str] = None,
+        width: float = 2.0,
+    ) -> None:
+        """Append a polyline series."""
+        self.series.append(
+            Series(label=label, x=list(x), y=list(y), color=color, dash=dash, width=width)
+        )
+
+    def add_marker(
+        self, x: float, y: float, label: str = "", color: str = "#222222"
+    ) -> None:
+        """Append a labeled point."""
+        self.markers.append(Marker(x=x, y=y, label=label, color=color))
+
+    def add_hline(self, y: float, label: str = "", color: str = "#888888") -> None:
+        """Append a horizontal ceiling line."""
+        self.hlines.append(HLine(y=y, label=label, color=color))
+
+    def add_vline(self, x: float, label: str = "", color: str = "#888888") -> None:
+        """Append a vertical marker line."""
+        self.vlines.append(VLine(x=x, label=label, color=color))
+
+    # ------------------------------------------------------------------
+    def _data_extent(self) -> Tuple[float, float, float, float]:
+        xs: List[float] = []
+        ys: List[float] = []
+        for series in self.series:
+            xs.extend(series.x)
+            ys.extend(series.y)
+        xs.extend(marker.x for marker in self.markers)
+        ys.extend(marker.y for marker in self.markers)
+        xs.extend(vline.x for vline in self.vlines)
+        ys.extend(hline.y for hline in self.hlines)
+        if not xs:
+            raise ConfigurationError("nothing to plot")
+        return min(xs), max(xs), min(ys), max(ys)
+
+    def _axes(self) -> Tuple[Axis, Axis]:
+        x_lo, x_hi, y_lo, y_hi = self._data_extent()
+        if self.log_x:
+            x_axis = Axis(self.x_label, LogScale(x_lo, x_hi))
+        else:
+            pad = 0.05 * (x_hi - x_lo or 1.0)
+            x_axis = Axis(self.x_label, LinearScale(x_lo - pad, x_hi + pad))
+        if self.log_y:
+            y_axis = Axis(self.y_label, LogScale(y_lo, y_hi))
+        else:
+            hi = y_hi + 0.08 * (y_hi - min(y_lo, 0.0) or 1.0)
+            lo = min(y_lo, 0.0)
+            y_axis = Axis(self.y_label, LinearScale(lo, hi))
+        return x_axis, y_axis
+
+    def render(self) -> SvgCanvas:
+        """Lay out and draw the figure."""
+        canvas = SvgCanvas(self.width, self.height)
+        x_axis, y_axis = self._axes()
+        x_px = (self._MARGIN_LEFT, self.width - self._MARGIN_RIGHT)
+        y_px = (self.height - self._MARGIN_BOTTOM, self._MARGIN_TOP)
+
+        plot_w = x_px[1] - x_px[0]
+        plot_h = y_px[0] - y_px[1]
+        canvas.rect(x_px[0], y_px[1], plot_w, plot_h, stroke="#333333")
+
+        # Grid + ticks.
+        for tick in x_axis.scale.ticks():
+            px = x_axis.to_pixels(tick, x_px)
+            canvas.line(px, y_px[0], px, y_px[1], stroke="#dddddd")
+            canvas.text(
+                px,
+                y_px[0] + 18,
+                x_axis.scale.format_tick(tick),
+                size=11,
+                anchor="middle",
+            )
+        for tick in y_axis.scale.ticks():
+            py = y_axis.to_pixels(tick, y_px)
+            canvas.line(x_px[0], py, x_px[1], py, stroke="#dddddd")
+            canvas.text(
+                x_px[0] - 8,
+                py + 4,
+                y_axis.scale.format_tick(tick),
+                size=11,
+                anchor="end",
+            )
+
+        # Axis labels + title.
+        canvas.text(
+            (x_px[0] + x_px[1]) / 2,
+            self.height - 12,
+            self.x_label,
+            size=13,
+            anchor="middle",
+        )
+        canvas.text(
+            18,
+            (y_px[0] + y_px[1]) / 2,
+            self.y_label,
+            size=13,
+            anchor="middle",
+            rotate=-90.0,
+        )
+        canvas.text(
+            (x_px[0] + x_px[1]) / 2,
+            24,
+            self.title,
+            size=15,
+            anchor="middle",
+            bold=True,
+        )
+
+        # Annotation lines.
+        for hline in self.hlines:
+            py = y_axis.to_pixels(hline.y, y_px)
+            canvas.line(
+                x_px[0], py, x_px[1], py, stroke=hline.color, dash=hline.dash
+            )
+            if hline.label:
+                canvas.text(
+                    x_px[1] - 4, py - 5, hline.label, size=11, anchor="end",
+                    fill=hline.color,
+                )
+        for vline in self.vlines:
+            px = x_axis.to_pixels(vline.x, x_px)
+            canvas.line(
+                px, y_px[0], px, y_px[1], stroke=vline.color, dash=vline.dash
+            )
+            if vline.label:
+                canvas.text(
+                    px + 5, y_px[1] + 14, vline.label, size=11,
+                    fill=vline.color,
+                )
+
+        # Series.
+        for index, series in enumerate(self.series):
+            color = series.color or PALETTE[index % len(PALETTE)]
+            points = [
+                (x_axis.to_pixels(x, x_px), y_axis.to_pixels(y, y_px))
+                for x, y in zip(series.x, series.y)
+            ]
+            canvas.polyline(
+                points, stroke=color, width=series.width, dash=series.dash
+            )
+
+        # Markers.
+        for marker in self.markers:
+            px = x_axis.to_pixels(marker.x, x_px)
+            py = y_axis.to_pixels(marker.y, y_px)
+            canvas.circle(px, py, marker.radius, fill=marker.color)
+            if marker.label:
+                canvas.text(px + 7, py - 7, marker.label, size=11)
+
+        # Legend.
+        legend_y = y_px[1] + 16
+        for index, series in enumerate(self.series):
+            color = series.color or PALETTE[index % len(PALETTE)]
+            lx = x_px[0] + 10
+            ly = legend_y + index * 16
+            canvas.line(lx, ly - 4, lx + 22, ly - 4, stroke=color, width=3)
+            canvas.text(lx + 28, ly, series.label, size=11)
+
+        return canvas
+
+    def save(self, path: str) -> str:
+        """Render and write the SVG; returns ``path``."""
+        self.render().save(path)
+        return path

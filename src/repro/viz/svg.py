@@ -1,0 +1,144 @@
+"""Minimal SVG document builder.
+
+Emits standalone SVG 1.1 with only the primitives the plotting layer
+needs: lines, polylines, rects, circles, text and dashed variants.
+Coordinates are in CSS pixels with the origin at the top-left.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..units import require_positive
+
+Point = Tuple[float, float]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SvgCanvas:
+    """An append-only SVG element buffer with fixed pixel dimensions."""
+
+    def __init__(self, width: int, height: int, background: str = "white"):
+        require_positive("width", width)
+        require_positive("height", height)
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        width: float = 1.0,
+        dash: str | None = None,
+        opacity: float = 1.0,
+    ) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}" opacity="{_fmt(opacity)}"'
+            f"{dash_attr} />"
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Point],
+        stroke: str = "black",
+        width: float = 1.5,
+        dash: str | None = None,
+    ) -> None:
+        if len(points) < 2:
+            return
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}"{dash_attr} '
+            'stroke-linejoin="round" />'
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "none",
+        stroke: str = "black",
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(width)}" '
+            f'height="{_fmt(height)}" fill="{fill}" stroke="{stroke}" '
+            f'opacity="{_fmt(opacity)}" />'
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "black",
+        stroke: str = "none",
+    ) -> None:
+        self._elements.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill="{fill}" stroke="{stroke}" />'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 12,
+        anchor: str = "start",
+        fill: str = "#222222",
+        rotate: float | None = None,
+        bold: bool = False,
+    ) -> None:
+        transform = (
+            f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"'
+            if rotate is not None
+            else ""
+        )
+        weight = ' font-weight="bold"' if bold else ""
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="Helvetica, Arial, sans-serif"{weight}'
+            f"{transform}>{_escape(content)}</text>"
+        )
+
+    def to_svg(self) -> str:
+        """Serialize the document."""
+        body = "\n  ".join(self._elements)
+        return (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n  {body}\n</svg>\n'
+        )
+
+    def save(self, path: str) -> None:
+        """Write the SVG document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_svg())

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compute.platforms import get_platform
+from repro.uav.presets import asctec_pelican, custom_s500, dji_spark, nano_uav
+
+
+@pytest.fixture
+def uav_a():
+    """Table I UAV-A (Ras-Pi4, 590 g payload)."""
+    return custom_s500("A")
+
+
+@pytest.fixture
+def spark_ncs():
+    """DJI Spark carrying the Intel NCS."""
+    return dji_spark(get_platform("intel-ncs"))
+
+
+@pytest.fixture
+def spark_agx():
+    """DJI Spark carrying the Nvidia AGX at 30 W."""
+    return dji_spark(get_platform("jetson-agx-30w"))
+
+
+@pytest.fixture
+def pelican_tx2():
+    """AscTec Pelican carrying a TX2 with the case-B 3 m sensor."""
+    return asctec_pelican(get_platform("jetson-tx2"), sensor_range_m=3.0)
+
+
+@pytest.fixture
+def nano_pulp():
+    """Nano-UAV carrying the PULP GAP8."""
+    return nano_uav(get_platform("pulp-gap8"))

@@ -1,0 +1,170 @@
+"""Tests for autonomy algorithm models: networks, E2E, SPA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autonomy.base import Paradigm
+from repro.autonomy.e2e import E2EAlgorithm
+from repro.autonomy.networks import (
+    cad2rl_network,
+    dronet_network,
+    trailnet_network,
+    vgg16_network,
+)
+from repro.autonomy.nn_estimator import Conv2d, Dense, LayerStack, Pool2d
+from repro.autonomy.spa import (
+    NAVION_SLAM_LATENCY_S,
+    mavbench_package_delivery,
+    mavbench_with_navion,
+)
+from repro.autonomy.workloads import ALGORITHMS, get_algorithm
+from repro.compute.platforms import get_platform
+from repro.errors import ConfigurationError, UnknownComponentError
+
+
+class TestLayerStack:
+    def test_shape_propagation(self):
+        stack = LayerStack(
+            "tiny", input_shape=(3, 32, 32),
+            layers=[Conv2d(8, kernel=3), Pool2d(2), Dense(10)],
+        )
+        assert stack.output_shape.channels == 10
+        assert stack.layers[0].output_shape.height == 32  # same padding
+        assert stack.layers[1].output_shape.height == 16
+
+    def test_conv_flops_formula(self):
+        stack = LayerStack(
+            "one-conv", input_shape=(1, 8, 8),
+            layers=[Conv2d(4, kernel=3, stride=1)],
+        )
+        # 2 * k^2 * Cin * Cout * Hout * Wout = 2*9*1*4*8*8
+        assert stack.total_flops == pytest.approx(2 * 9 * 4 * 64)
+
+    def test_dense_params(self):
+        stack = LayerStack(
+            "fc", input_shape=(1, 1, 100), layers=[Dense(10)]
+        )
+        assert stack.total_params == 100 * 10 + 10
+
+    def test_stride_reduction_error(self):
+        with pytest.raises(ValueError):
+            LayerStack(
+                "bad", input_shape=(1, 2, 2),
+                layers=[Conv2d(4, kernel=5, stride=5, padding=0)],
+            )
+
+    def test_summary_mentions_totals(self):
+        text = dronet_network().summary()
+        assert "GFLOP" in text
+        assert "dronet" in text
+
+
+class TestNetworks:
+    def test_vgg16_flops_anchor(self):
+        # VGG16 is ~15.5 GFLOPs (30.9 GFLOP with MAC=2FLOP counting).
+        assert vgg16_network().gflops == pytest.approx(30.9, rel=0.05)
+
+    def test_vgg16_params_anchor(self):
+        assert vgg16_network().total_params == pytest.approx(138e6, rel=0.03)
+
+    def test_relative_sizes(self):
+        # DroNet is tiny; TrailNet mid; VGG16 huge.
+        assert dronet_network().gflops < trailnet_network().gflops
+        assert trailnet_network().gflops < vgg16_network().gflops
+        assert cad2rl_network().gflops < vgg16_network().gflops
+
+    def test_networks_cached(self):
+        assert dronet_network() is dronet_network()
+
+
+class TestE2E:
+    def test_measured_throughput_preferred(self):
+        algo = E2EAlgorithm("dronet", dronet_network())
+        assert algo.throughput_on(get_platform("jetson-tx2")) == 178.0
+
+    def test_estimation_fallback(self):
+        algo = E2EAlgorithm("dronet", dronet_network())
+        rate = algo.throughput_on(get_platform("cortex-m4"))
+        assert 0.0 < rate < 5.0
+
+    def test_paradigm_and_describe(self):
+        algo = E2EAlgorithm("dronet", dronet_network())
+        assert algo.paradigm is Paradigm.E2E
+        assert "E2E" in algo.describe()
+
+
+class TestSPA:
+    def test_total_latency_anchor(self):
+        tx2 = get_platform("jetson-tx2")
+        spa = mavbench_package_delivery()
+        assert spa.latency_on(tx2) == pytest.approx(0.9091, abs=1e-3)
+        assert spa.throughput_on(tx2) == pytest.approx(1.1, abs=0.002)
+
+    def test_navion_replacement_anchor(self):
+        tx2 = get_platform("jetson-tx2")
+        accelerated = mavbench_with_navion()
+        assert accelerated.latency_on(tx2) == pytest.approx(0.809, abs=0.002)
+        assert accelerated.throughput_on(tx2) == pytest.approx(1.236, abs=0.005)
+
+    def test_navion_stage_is_fixed_function(self):
+        accelerated = mavbench_with_navion()
+        slam = accelerated.stage("slam")
+        assert slam.fixed_function
+        assert slam.latency_s == pytest.approx(NAVION_SLAM_LATENCY_S)
+        # Fixed-function latency ignores the host platform.
+        assert slam.latency_on(get_platform("raspi4")) == pytest.approx(
+            NAVION_SLAM_LATENCY_S
+        )
+
+    def test_stage_scaling_on_slower_host(self):
+        raspi = get_platform("raspi4")
+        tx2 = get_platform("jetson-tx2")
+        spa = mavbench_package_delivery()
+        assert spa.latency_on(raspi) > spa.latency_on(tx2)
+
+    def test_breakdown_sums_to_total(self):
+        tx2 = get_platform("jetson-tx2")
+        spa = mavbench_package_delivery()
+        breakdown = spa.stage_breakdown_on(tx2)
+        assert sum(breakdown.values()) == pytest.approx(spa.latency_on(tx2))
+        assert list(breakdown) == ["slam", "octomap", "planning", "control"]
+
+    def test_unknown_stage_rejected(self):
+        spa = mavbench_package_delivery()
+        with pytest.raises(ConfigurationError, match="no SPA stage"):
+            spa.stage("teleportation")
+        with pytest.raises(ConfigurationError):
+            spa.with_accelerated_stage("teleportation", 0.001)
+
+    def test_replacement_preserves_other_stages(self):
+        base = mavbench_package_delivery()
+        accelerated = mavbench_with_navion()
+        for name in ("octomap", "planning", "control"):
+            assert accelerated.stage(name).latency_s == (
+                base.stage(name).latency_s
+            )
+
+    def test_duplicate_stage_names_rejected(self):
+        from repro.autonomy.spa import SPAPipeline, SPAStage
+
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SPAPipeline(
+                name="bad",
+                stages=(
+                    SPAStage("a", 0.1),
+                    SPAStage("a", 0.2),
+                ),
+            )
+
+
+class TestRegistry:
+    def test_all_algorithms_instantiate(self):
+        tx2 = get_platform("jetson-tx2")
+        for name in ALGORITHMS:
+            algorithm = get_algorithm(name)
+            assert algorithm.throughput_on(tx2) > 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(UnknownComponentError):
+            get_algorithm("skynet")

@@ -1,0 +1,168 @@
+"""Tests for the compute substrate: platforms, characterization,
+classic roofline and the latency estimator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compute.characterization import (
+    MEASURED_THROUGHPUT_HZ,
+    compute_throughput_hz,
+    has_measurement,
+    measured_pairs,
+)
+from repro.compute.latency_estimator import estimate_throughput_hz
+from repro.compute.platforms import PLATFORMS, get_platform
+from repro.compute.roofline_classic import ClassicRoofline
+from repro.errors import UnknownComponentError
+
+
+class TestPlatforms:
+    def test_paper_masses(self):
+        assert get_platform("intel-ncs").flight_mass_g == 47.0
+        agx = get_platform("jetson-agx-30w")
+        assert agx.mass_g == 280.0
+        assert agx.heatsink_mass_g == pytest.approx(162.0, abs=1.0)
+
+    def test_tx2_flight_mass(self):
+        tx2 = get_platform("jetson-tx2")
+        # module + carrier + 7.5 W heatsink ~ 190 g (Pelican calibration)
+        assert tx2.flight_mass_g == pytest.approx(190.0, abs=1.0)
+
+    def test_pulp_power(self):
+        assert get_platform("pulp-gap8").tdp_w == pytest.approx(0.064)
+
+    def test_navion_power(self):
+        assert get_platform("navion").tdp_w == pytest.approx(0.002)
+
+    def test_unknown_platform(self):
+        with pytest.raises(UnknownComponentError, match="known:"):
+            get_platform("tpu-v9")
+
+    def test_registry_consistent(self):
+        for name, platform in PLATFORMS.items():
+            assert platform.name == name
+
+
+class TestCharacterization:
+    @pytest.mark.parametrize(
+        ("algorithm", "platform", "expected"),
+        [
+            ("dronet", "intel-ncs", 150.0),
+            ("dronet", "jetson-agx-30w", 230.0),
+            ("dronet", "jetson-tx2", 178.0),
+            ("trailnet", "jetson-tx2", 55.0),
+            ("dronet", "pulp-gap8", 6.0),
+            ("spa-package-delivery", "jetson-tx2", 1.1),
+        ],
+    )
+    def test_paper_numbers(self, algorithm, platform, expected):
+        assert compute_throughput_hz(algorithm, platform) == expected
+
+    def test_raspi_numbers_imply_43hz_knee_ratios(self):
+        # Sec. VI-D: 3.3x / 110x / 660x below the 43 Hz Pelican knee.
+        knee = 43.03
+        assert knee / compute_throughput_hz("dronet", "raspi4") == (
+            pytest.approx(3.3, abs=0.05)
+        )
+        assert knee / compute_throughput_hz("trailnet", "raspi4") == (
+            pytest.approx(110.0, abs=1.0)
+        )
+        assert knee / compute_throughput_hz("cad2rl", "raspi4") == (
+            pytest.approx(660.0, abs=5.0)
+        )
+
+    def test_fallback_requires_workload(self):
+        with pytest.raises(ValueError, match="no published measurement"):
+            compute_throughput_hz("dronet", "cortex-m4")
+
+    def test_fallback_estimates_with_workload(self):
+        rate = compute_throughput_hz(
+            "dronet", "cortex-m4",
+            workload_gflops=0.08, workload_gbytes=0.004,
+        )
+        assert 0.0 < rate < 10.0  # an MCU is far below the knee
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(UnknownComponentError):
+            compute_throughput_hz("dronet", "abacus", 1.0, 1.0)
+
+    def test_helpers(self):
+        assert has_measurement("dronet", "jetson-tx2")
+        assert not has_measurement("dronet", "cortex-m4")
+        assert ("dronet", "jetson-tx2") in measured_pairs()
+        assert len(measured_pairs()) == len(MEASURED_THROUGHPUT_HZ)
+
+
+class TestClassicRoofline:
+    def test_ridge_point(self):
+        roofline = ClassicRoofline(peak_gflops=1000.0, mem_bandwidth_gbs=100.0)
+        assert roofline.ridge_point_flops_per_byte == 10.0
+
+    def test_memory_bound_region(self):
+        roofline = ClassicRoofline(peak_gflops=1000.0, mem_bandwidth_gbs=100.0)
+        assert roofline.attainable_gflops(1.0) == 100.0
+        assert not roofline.is_compute_bound(1.0)
+
+    def test_compute_bound_region(self):
+        roofline = ClassicRoofline(peak_gflops=1000.0, mem_bandwidth_gbs=100.0)
+        assert roofline.attainable_gflops(100.0) == 1000.0
+        assert roofline.is_compute_bound(100.0)
+
+    @given(oi=st.floats(min_value=0.01, max_value=1e4))
+    def test_attainable_never_exceeds_roofs(self, oi):
+        roofline = ClassicRoofline(peak_gflops=1330.0, mem_bandwidth_gbs=59.7)
+        perf = roofline.attainable_gflops(oi)
+        assert perf <= roofline.peak_gflops + 1e-9
+        assert perf <= roofline.mem_bandwidth_gbs * oi + 1e-9
+
+    def test_kernel_time_scales_with_efficiency(self):
+        roofline = ClassicRoofline(peak_gflops=1000.0, mem_bandwidth_gbs=100.0)
+        fast = roofline.kernel_time_s(10.0, 0.1, efficiency=1.0)
+        slow = roofline.kernel_time_s(10.0, 0.1, efficiency=0.5)
+        assert slow == pytest.approx(2 * fast)
+
+
+class TestLatencyEstimator:
+    def test_estimates_within_3x_of_measured(self):
+        # The estimator should be order-of-magnitude consistent with
+        # the paper's published DroNet/TrailNet/VGG16 measurements.
+        from repro.autonomy.networks import (
+            dronet_network,
+            trailnet_network,
+            vgg16_network,
+        )
+
+        checks = [
+            (dronet_network(), "jetson-tx2", 178.0),
+            (trailnet_network(), "jetson-tx2", 55.0),
+            (vgg16_network(), "jetson-tx2", 10.0),
+            (dronet_network(), "intel-ncs", 150.0),
+        ]
+        for network, platform_name, measured in checks:
+            estimate = estimate_throughput_hz(
+                network.gflops, network.gbytes, get_platform(platform_name)
+            )
+            ratio = estimate.throughput_hz / measured
+            assert 1 / 3 < ratio < 3.0, (
+                f"{network.name} on {platform_name}: estimated "
+                f"{estimate.throughput_hz:.1f} Hz vs measured {measured}"
+            )
+
+    def test_estimate_reports_intermediates(self):
+        estimate = estimate_throughput_hz(
+            1.0, 0.05, get_platform("jetson-tx2")
+        )
+        assert estimate.kernel_time_s > 0
+        assert estimate.oi_flops_per_byte == pytest.approx(20.0)
+        assert estimate.throughput_hz == pytest.approx(
+            1.0 / (estimate.kernel_time_s + estimate.overhead_s)
+        )
+
+    def test_efficiency_override(self):
+        platform = get_platform("jetson-tx2")
+        base = estimate_throughput_hz(1.0, 0.05, platform, efficiency=0.1)
+        boosted = estimate_throughput_hz(1.0, 0.05, platform, efficiency=0.2)
+        assert boosted.throughput_hz > base.throughput_hz

@@ -1,0 +1,144 @@
+"""Tests for PID, the cascaded flight controller, and offboard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.flight_controller import (
+    CascadedFlightController,
+    ControllerGains,
+)
+from repro.control.offboard import OffboardInterface, OffboardMode
+from repro.control.pid import PID
+from repro.dynamics.body import LongitudinalBody
+from repro.dynamics.quadrotor import PlanarQuadrotor, QuadrotorParams
+
+
+class TestPID:
+    def test_proportional_only(self):
+        pid = PID(kp=2.0)
+        assert pid.step(3.0, dt=0.01) == pytest.approx(6.0)
+
+    def test_output_clamped(self):
+        pid = PID(kp=10.0, out_min=-1.0, out_max=1.0)
+        assert pid.step(5.0, dt=0.01) == 1.0
+        assert pid.step(-5.0, dt=0.01) == -1.0
+
+    def test_integral_accumulates(self):
+        pid = PID(kp=0.0, ki=1.0)
+        out1 = pid.step(1.0, dt=0.5)
+        out2 = pid.step(1.0, dt=0.5)
+        assert out2 > out1
+
+    def test_anti_windup_freezes_integral(self):
+        pid = PID(kp=0.0, ki=10.0, out_max=1.0, out_min=-1.0)
+        for _ in range(100):
+            pid.step(10.0, dt=0.1)  # deeply saturated
+        # After the error flips, recovery must be immediate-ish, not
+        # delayed by a giant wound-up integral.
+        out = pid.step(-10.0, dt=0.1)
+        assert out < 1.0
+
+    def test_derivative_damps(self):
+        pid = PID(kp=0.0, kd=1.0)
+        pid.step(0.0, dt=0.1)
+        assert pid.step(1.0, dt=0.1) == pytest.approx(10.0)
+
+    def test_reset_clears_state(self):
+        pid = PID(kp=1.0, ki=1.0, kd=1.0)
+        pid.step(1.0, dt=0.1)
+        pid.reset()
+        assert pid.step(1.0, dt=0.1) == pytest.approx(1.0 + 0.1)
+
+    def test_invalid_limits(self):
+        with pytest.raises(ValueError):
+            PID(kp=1.0, out_min=1.0, out_max=-1.0)
+
+
+class TestCascadedFlightController:
+    def test_velocity_tracking(self):
+        params = QuadrotorParams(
+            total_mass_g=1000.0, arm_length_m=0.2,
+            max_thrust_per_pair_g=1200.0,
+        )
+        quad = PlanarQuadrotor(params)
+        controller = CascadedFlightController(quad)
+        controller.set_velocity(2.0)
+        controller.run(8.0)
+        assert quad.state.vx == pytest.approx(2.0, abs=0.3)
+        # Altitude held within a modest band while translating.
+        assert abs(quad.state.z) < 0.5
+
+    def test_altitude_hold_while_stopping(self):
+        params = QuadrotorParams(
+            total_mass_g=1000.0, arm_length_m=0.2,
+            max_thrust_per_pair_g=1200.0,
+        )
+        quad = PlanarQuadrotor(params)
+        controller = CascadedFlightController(quad)
+        controller.set_velocity(1.5)
+        controller.run(4.0)
+        controller.set_velocity(0.0)
+        controller.run(6.0)
+        assert abs(quad.state.vx) < 0.2
+        assert abs(quad.state.z) < 0.5
+
+    def test_pitch_limit_respected(self):
+        gains = ControllerGains(max_pitch_deg=10.0)
+        params = QuadrotorParams(
+            total_mass_g=1000.0, arm_length_m=0.2,
+            max_thrust_per_pair_g=1500.0,
+        )
+        quad = PlanarQuadrotor(params)
+        controller = CascadedFlightController(quad, gains=gains)
+        controller.set_velocity(50.0)  # unreachable: pitch saturates
+        max_theta = 0.0
+        for _ in range(3000):
+            controller.update()
+            quad.step(0.001)
+            max_theta = max(max_theta, abs(quad.state.theta))
+        import math
+
+        assert max_theta <= math.radians(10.0) * 1.3  # small overshoot ok
+
+
+class TestOffboard:
+    def test_velocity_mode_tracks(self):
+        body = LongitudinalBody(
+            total_mass_g=1500.0, a_limit=2.0, pitch_lag_s=0.05
+        )
+        offboard = OffboardInterface(body)
+        offboard.set_velocity(1.5)
+        for _ in range(8000):
+            offboard.update()
+            body.step(0.001)
+        assert body.v == pytest.approx(1.5, abs=0.05)
+        assert offboard.mode is OffboardMode.VELOCITY
+
+    def test_brake_overrides(self):
+        body = LongitudinalBody(
+            total_mass_g=1500.0, a_limit=2.0, pitch_lag_s=0.0
+        )
+        offboard = OffboardInterface(body)
+        offboard.set_velocity(2.0)
+        for _ in range(5000):
+            offboard.update()
+            body.step(0.001)
+        offboard.brake()
+        for _ in range(5000):
+            offboard.update()
+            body.step(0.001)
+        assert body.v == 0.0
+        assert offboard.mode is OffboardMode.BRAKE
+
+    def test_idle_commands_zero(self):
+        body = LongitudinalBody(total_mass_g=1500.0, a_limit=2.0)
+        offboard = OffboardInterface(body)
+        offboard.update()
+        assert body.commanded_acceleration == 0.0
+
+    def test_negative_setpoint_rejected(self):
+        body = LongitudinalBody(total_mass_g=1500.0, a_limit=2.0)
+        offboard = OffboardInterface(body)
+        with pytest.raises(ValueError):
+            offboard.set_velocity(-1.0)

@@ -1,0 +1,87 @@
+"""Tests for bound classification, ceilings and optimality verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import BoundKind, ceilings, classify_bound
+from repro.core.knee import KneePoint
+from repro.core.optimality import DesignStatus, assess_design
+from repro.core.safety import safe_velocity_at_rate
+from repro.core.throughput import SensorComputeControl
+
+KNEE = KneePoint(throughput_hz=43.0, velocity=4.1, fraction_of_roof=0.984)
+
+
+class TestClassifyBound:
+    def test_physics_bound_beyond_knee(self):
+        pipeline = SensorComputeControl(60.0, 178.0)
+        assert classify_bound(pipeline, 43.0) is BoundKind.PHYSICS
+
+    def test_compute_bound(self):
+        pipeline = SensorComputeControl(60.0, 1.1)
+        assert classify_bound(pipeline, 43.0) is BoundKind.COMPUTE
+
+    def test_sensor_bound(self):
+        pipeline = SensorComputeControl(30.0, 178.0)
+        assert classify_bound(pipeline, 43.0) is BoundKind.SENSOR
+
+    def test_control_bound(self):
+        pipeline = SensorComputeControl(60.0, 55.0, f_control_hz=20.0)
+        assert classify_bound(pipeline, 43.0) is BoundKind.CONTROL
+
+    def test_exactly_at_knee_is_physics(self):
+        pipeline = SensorComputeControl(43.0, 178.0)
+        assert classify_bound(pipeline, 43.0) is BoundKind.PHYSICS
+
+
+class TestCeilings:
+    def test_sub_knee_stages_contribute(self):
+        pipeline = SensorComputeControl(30.0, 10.0)
+        result = ceilings(pipeline, 3.0, 2.891, 43.0)
+        stages = [c.stage for c in result]
+        assert stages == ["compute", "sensor"]  # slowest first
+        assert result[0].velocity < result[1].velocity
+
+    def test_ceiling_velocity_matches_eq4(self):
+        pipeline = SensorComputeControl(30.0, 10.0)
+        result = ceilings(pipeline, 3.0, 2.891, 43.0)
+        assert result[0].velocity == pytest.approx(
+            safe_velocity_at_rate(10.0, 3.0, 2.891)
+        )
+
+    def test_fast_stages_impose_no_ceiling(self):
+        pipeline = SensorComputeControl(60.0, 178.0)
+        assert ceilings(pipeline, 3.0, 2.891, 43.0) == []
+
+
+class TestOptimality:
+    def test_under_provisioned_spa(self):
+        report = assess_design(1.1, KNEE, velocity=2.3)
+        assert report.status is DesignStatus.UNDER_PROVISIONED
+        assert report.required_speedup == pytest.approx(43.0 / 1.1)
+        assert report.excess_factor == 1.0
+        assert "39" in report.summary()
+
+    def test_over_provisioned_dronet(self):
+        report = assess_design(178.0, KNEE, velocity=4.15)
+        assert report.status is DesignStatus.OVER_PROVISIONED
+        assert report.excess_factor == pytest.approx(178.0 / 43.0)
+        assert report.required_speedup == 1.0
+
+    def test_optimal_within_tolerance(self):
+        report = assess_design(44.0, KNEE, velocity=4.1, tolerance=0.05)
+        assert report.status is DesignStatus.OPTIMAL
+        assert "optimal" in report.summary()
+
+    def test_tolerance_boundary(self):
+        low = assess_design(43.0 * 0.94, KNEE, velocity=4.0, tolerance=0.05)
+        assert low.status is DesignStatus.UNDER_PROVISIONED
+
+    def test_velocity_gap(self):
+        report = assess_design(1.1, KNEE, velocity=2.3)
+        assert report.velocity_gap == pytest.approx(4.1 - 2.3)
+
+    def test_gap_clamped_at_zero_when_beyond_knee(self):
+        report = assess_design(100.0, KNEE, velocity=4.2)
+        assert report.velocity_gap == 0.0

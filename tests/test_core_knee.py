@@ -1,0 +1,109 @@
+"""Tests for knee-point strategies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knee import (
+    DEFAULT_KNEE_FRACTION,
+    FractionOfRoofKnee,
+    LinearIntersectionKnee,
+    MaxCurvatureKnee,
+)
+from repro.core.safety import physics_roof, safe_velocity_at_rate
+from repro.errors import ConfigurationError
+
+D = st.floats(min_value=0.5, max_value=50.0)
+A = st.floats(min_value=0.1, max_value=60.0)
+
+
+class TestFractionOfRoof:
+    def test_fig5_knee_near_100hz(self):
+        knee = FractionOfRoofKnee().locate(10.0, 50.0)
+        assert knee.throughput_hz == pytest.approx(98.0, abs=0.5)
+        assert knee.velocity == pytest.approx(
+            DEFAULT_KNEE_FRACTION * physics_roof(10.0, 50.0)
+        )
+
+    def test_pelican_case_b_knee(self):
+        # Calibrated Pelican+TX2 parameters -> the paper's 43 Hz.
+        knee = FractionOfRoofKnee().locate(3.0, 2.891)
+        assert knee.throughput_hz == pytest.approx(43.0, abs=0.2)
+
+    def test_closed_form_consistency(self):
+        # The knee's velocity must satisfy Eq. 4 at its throughput.
+        knee = FractionOfRoofKnee(0.95).locate(4.0, 2.0)
+        assert safe_velocity_at_rate(
+            knee.throughput_hz, 4.0, 2.0
+        ) == pytest.approx(knee.velocity, rel=1e-9)
+
+    @given(d=D, a=A,
+           rho=st.floats(min_value=0.5, max_value=0.999))
+    @settings(max_examples=150)
+    def test_velocity_fraction_exact(self, d, a, rho):
+        knee = FractionOfRoofKnee(rho).locate(d, a)
+        assert knee.velocity / physics_roof(d, a) == pytest.approx(rho)
+        # And the curve really passes through the knee.
+        assert safe_velocity_at_rate(knee.throughput_hz, d, a) == (
+            pytest.approx(knee.velocity, rel=1e-9)
+        )
+
+    @given(d=D, a=A)
+    def test_knee_scales_sqrt_a_over_d(self, d, a):
+        knee = FractionOfRoofKnee().locate(d, a)
+        knee4 = FractionOfRoofKnee().locate(d, 4.0 * a)
+        assert knee4.throughput_hz == pytest.approx(
+            2.0 * knee.throughput_hz, rel=1e-9
+        )
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FractionOfRoofKnee(1.0)
+        with pytest.raises(ConfigurationError):
+            FractionOfRoofKnee(0.0)
+
+
+class TestLinearIntersection:
+    def test_formula(self):
+        knee = LinearIntersectionKnee().locate(10.0, 50.0)
+        assert knee.throughput_hz == pytest.approx(math.sqrt(10.0))
+
+    @given(d=D, a=A)
+    def test_always_left_of_default_knee(self, d, a):
+        linear = LinearIntersectionKnee().locate(d, a)
+        fraction = FractionOfRoofKnee().locate(d, a)
+        assert linear.throughput_hz < fraction.throughput_hz
+
+
+class TestMaxCurvature:
+    def test_locates_in_transition_region(self):
+        knee = MaxCurvatureKnee().locate(10.0, 50.0)
+        # Must land between the linear intersection and the flat roof.
+        linear = LinearIntersectionKnee().locate(10.0, 50.0)
+        assert linear.throughput_hz / 10 < knee.throughput_hz < 1000.0
+        assert 0.3 < knee.fraction_of_roof < 1.0
+
+    def test_curve_value_consistent(self):
+        knee = MaxCurvatureKnee().locate(3.0, 2.891)
+        assert safe_velocity_at_rate(
+            knee.throughput_hz, 3.0, 2.891
+        ) == pytest.approx(knee.velocity, rel=1e-6)
+
+    def test_rejects_tiny_sample_count(self):
+        with pytest.raises(ValueError):
+            MaxCurvatureKnee(samples=4)
+
+    @given(d=D, a=A)
+    @settings(max_examples=25, deadline=None)
+    def test_scale_invariance_of_fraction(self, d, a):
+        # Curvature knee is defined on normalized axes, so its fraction
+        # of the roof should be scale-free (same for all d, a).
+        reference = MaxCurvatureKnee().locate(10.0, 50.0)
+        knee = MaxCurvatureKnee().locate(d, a)
+        assert knee.fraction_of_roof == pytest.approx(
+            reference.fraction_of_roof, abs=0.02
+        )

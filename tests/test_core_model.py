@@ -1,0 +1,133 @@
+"""Integration tests for the F1Model facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import BoundKind
+from repro.core.knee import LinearIntersectionKnee
+from repro.core.model import F1Model
+from repro.core.optimality import DesignStatus
+
+
+@pytest.fixture
+def pelican_spa() -> F1Model:
+    """Pelican + TX2 running the SPA pipeline (Sec. VI-B numbers)."""
+    return F1Model.from_components(
+        sensing_range_m=3.0,
+        a_max=2.891,
+        f_sensor_hz=60.0,
+        f_compute_hz=1.1,
+    )
+
+
+class TestF1Model:
+    def test_case_b_anchors(self, pelican_spa):
+        assert pelican_spa.knee.throughput_hz == pytest.approx(43.0, abs=0.2)
+        assert pelican_spa.safe_velocity == pytest.approx(2.30, abs=0.02)
+        assert pelican_spa.bound is BoundKind.COMPUTE
+        report = pelican_spa.optimality()
+        assert report.status is DesignStatus.UNDER_PROVISIONED
+        assert report.required_speedup == pytest.approx(39.1, abs=0.2)
+
+    def test_operating_point(self, pelican_spa):
+        f, v = pelican_spa.operating_point
+        assert f == pytest.approx(1.1)
+        assert v == pytest.approx(pelican_spa.velocity_at(1.1))
+
+    def test_with_compute_throughput(self, pelican_spa):
+        dronet = pelican_spa.with_compute_throughput(178.0)
+        assert dronet.bound is BoundKind.PHYSICS
+        assert dronet.compute_overprovision_factor == pytest.approx(
+            178.0 / 43.0, rel=0.01
+        )
+        # original untouched
+        assert pelican_spa.pipeline.f_compute_hz == 1.1
+
+    def test_with_sensor_throughput(self, pelican_spa):
+        slow_sensor = pelican_spa.with_compute_throughput(178.0)
+        slow_sensor = slow_sensor.with_sensor_throughput(10.0)
+        assert slow_sensor.bound is BoundKind.SENSOR
+
+    def test_with_acceleration(self, pelican_spa):
+        heavier = pelican_spa.with_acceleration(1.0)
+        assert heavier.roof_velocity < pelican_spa.roof_velocity
+        assert heavier.knee.throughput_hz < pelican_spa.knee.throughput_hz
+
+    def test_throughput_for_roundtrip(self, pelican_spa):
+        target = 0.9 * pelican_spa.roof_velocity
+        f_needed = pelican_spa.throughput_for(target)
+        assert pelican_spa.velocity_at(f_needed) == pytest.approx(target)
+
+    def test_compute_speedup_to_knee_sensor_capped(self):
+        # 30 Hz sensor < 43 Hz knee: compute speedup alone cannot help.
+        model = F1Model.from_components(3.0, 2.891, 30.0, 1.1)
+        assert model.compute_speedup_to_knee == float("inf")
+
+    def test_curve_spans_and_is_monotone(self, pelican_spa):
+        curve = pelican_spa.curve(f_min_hz=0.5, f_max_hz=500.0, points=64)
+        assert len(curve) == 64
+        velocities = list(curve.velocity)
+        assert velocities == sorted(velocities)
+        assert curve.roof == pelican_spa.roof_velocity
+
+    def test_custom_knee_strategy(self):
+        model = F1Model.from_components(
+            10.0, 50.0, 60.0, 100.0,
+            knee_strategy=LinearIntersectionKnee(),
+        )
+        assert model.knee.throughput_hz == pytest.approx(10.0**0.5)
+
+    def test_stage_ceilings_for_compute_bound(self, pelican_spa):
+        result = pelican_spa.stage_ceilings
+        assert [c.stage for c in result] == ["compute"]
+        assert result[0].velocity == pytest.approx(2.30, abs=0.02)
+
+    def test_describe_mentions_key_quantities(self, pelican_spa):
+        text = pelican_spa.describe()
+        assert "knee" in text
+        assert "compute" in text
+        assert "m/s" in text
+
+    def test_invalid_inputs_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            F1Model.from_components(0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            F1Model.from_components(1.0, -1.0, 1.0, 1.0)
+
+
+class TestSweepUtilities:
+    def test_grid_bounds(self):
+        from repro.core.sweep import throughput_grid
+
+        grid = throughput_grid(0.1, 1000.0, points=32)
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(1000.0)
+        assert len(grid) == 32
+
+    def test_grid_validation(self):
+        from repro.core.sweep import throughput_grid
+
+        with pytest.raises(ValueError):
+            throughput_grid(10.0, 1.0)
+        with pytest.raises(ValueError):
+            throughput_grid(1.0, 10.0, points=1)
+
+    def test_clipped_below(self):
+        from repro.core.sweep import RooflineCurve
+
+        curve = RooflineCurve.evaluate(10.0, 50.0, points=64)
+        clipped = curve.clipped_below(5.0)
+        assert max(clipped.velocity) <= 5.0
+        assert clipped.roof == curve.roof
+
+    def test_iteration_yields_pairs(self):
+        from repro.core.sweep import RooflineCurve
+
+        curve = RooflineCurve.evaluate(10.0, 50.0, points=8)
+        pairs = list(curve)
+        assert len(pairs) == 8
+        assert all(isinstance(f, float) and isinstance(v, float)
+                   for f, v in pairs)

@@ -1,0 +1,145 @@
+"""Tests for the Eq. 5 acceleration models and drag."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.physics import (
+    DEFAULT_BRAKING_PITCH_DEG,
+    FixedAcceleration,
+    PitchEnvelopeModel,
+    QuadraticDrag,
+    ThrustMarginModel,
+)
+from repro.errors import ConfigurationError, InfeasibleDesignError
+from repro.units import GRAVITY
+
+
+class TestThrustMargin:
+    def test_uav_a_margin(self):
+        # Table I UAV-A: 4x435 g pull, 1620 g all-up.
+        model = ThrustMarginModel(total_thrust_g=1740.0)
+        a = model.max_acceleration(1620.0)
+        assert a == pytest.approx(GRAVITY * 120.0 / 1620.0, rel=1e-9)
+
+    def test_floor_engages_for_overweight(self):
+        # UAV-B: 1830 g exceeds the 1740 g rated pull.
+        model = ThrustMarginModel(total_thrust_g=1740.0)
+        a = model.max_acceleration(1830.0)
+        assert a == pytest.approx(model.braking_floor)
+
+    def test_floor_value(self):
+        model = ThrustMarginModel(total_thrust_g=1000.0)
+        expected = GRAVITY * math.tan(
+            math.radians(DEFAULT_BRAKING_PITCH_DEG)
+        )
+        assert model.braking_floor == pytest.approx(expected)
+
+    def test_no_floor_raises_when_overweight(self):
+        model = ThrustMarginModel(
+            total_thrust_g=1000.0, braking_pitch_deg=0.0
+        )
+        with pytest.raises(InfeasibleDesignError):
+            model.max_acceleration(1200.0)
+
+    def test_max_payload_with_floor_is_unbounded(self):
+        model = ThrustMarginModel(total_thrust_g=1000.0)
+        assert model.max_payload_g(500.0) == math.inf
+
+    def test_max_payload_without_floor(self):
+        model = ThrustMarginModel(
+            total_thrust_g=1000.0, braking_pitch_deg=0.0
+        )
+        assert model.max_payload_g(600.0) == pytest.approx(400.0)
+
+    @given(
+        thrust=st.floats(min_value=50.0, max_value=10_000.0),
+        mass=st.floats(min_value=10.0, max_value=20_000.0),
+    )
+    def test_acceleration_always_positive(self, thrust, mass):
+        model = ThrustMarginModel(total_thrust_g=thrust)
+        assert model.max_acceleration(mass) > 0.0
+
+    @given(
+        thrust=st.floats(min_value=500.0, max_value=5_000.0),
+        m1=st.floats(min_value=100.0, max_value=4_000.0),
+        m2=st.floats(min_value=100.0, max_value=4_000.0),
+    )
+    def test_monotone_nonincreasing_in_mass(self, thrust, m1, m2):
+        model = ThrustMarginModel(total_thrust_g=thrust)
+        lo, hi = sorted((m1, m2))
+        assert model.max_acceleration(lo) >= model.max_acceleration(hi) - 1e-12
+
+    def test_invalid_thrust_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThrustMarginModel(total_thrust_g=0.0)
+
+    def test_invalid_pitch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThrustMarginModel(total_thrust_g=100.0, braking_pitch_deg=95.0)
+
+
+class TestPitchEnvelope:
+    def test_hover_impossible_raises(self):
+        model = PitchEnvelopeModel(total_thrust_g=1000.0)
+        with pytest.raises(InfeasibleDesignError):
+            model.max_acceleration(1000.0)
+
+    def test_unconstrained_matches_geometry(self):
+        # T/W = 2 -> alpha = 60 deg -> a = g tan(60).
+        model = PitchEnvelopeModel(total_thrust_g=2000.0, max_pitch_deg=89.0)
+        a = model.max_acceleration(1000.0)
+        assert a == pytest.approx(GRAVITY * math.tan(math.acos(0.5)))
+
+    def test_pitch_cap_binds(self):
+        model = PitchEnvelopeModel(total_thrust_g=2000.0, max_pitch_deg=10.0)
+        a = model.max_acceleration(1000.0)
+        assert a == pytest.approx(GRAVITY * math.tan(math.radians(10.0)))
+
+    def test_max_payload(self):
+        model = PitchEnvelopeModel(total_thrust_g=2000.0)
+        assert model.max_payload_g(1500.0) == pytest.approx(500.0)
+
+
+class TestFixedAcceleration:
+    def test_mass_independent(self):
+        model = FixedAcceleration(50.0)
+        assert model.max_acceleration(1.0) == 50.0
+        assert model.max_acceleration(1e6) == 50.0
+
+    def test_generic_max_payload_is_unbounded(self):
+        assert FixedAcceleration(5.0).max_payload_g(100.0) == math.inf
+
+
+class TestQuadraticDrag:
+    def test_force_quadratic(self):
+        drag = QuadraticDrag(cd_area_m2=0.1)
+        assert drag.force_n(2.0) == pytest.approx(4.0 * drag.force_n(1.0))
+
+    def test_force_opposes_motion_sign(self):
+        drag = QuadraticDrag(cd_area_m2=0.1)
+        assert drag.force_n(-2.0) == -drag.force_n(2.0)
+
+    def test_deceleration_scales_with_mass(self):
+        drag = QuadraticDrag(cd_area_m2=0.1)
+        assert drag.deceleration(3.0, 1000.0) == pytest.approx(
+            2.0 * drag.deceleration(3.0, 2000.0)
+        )
+
+    def test_terminal_velocity_balances(self):
+        drag = QuadraticDrag(cd_area_m2=0.05)
+        v_t = drag.terminal_velocity(2.0, 1500.0)
+        assert drag.deceleration(v_t, 1500.0) == pytest.approx(2.0)
+
+    def test_zero_area_terminal_velocity_infinite(self):
+        drag = QuadraticDrag(cd_area_m2=0.0)
+        assert drag.terminal_velocity(1.0, 1000.0) == math.inf
+
+    @given(v=st.floats(min_value=0.0, max_value=60.0))
+    def test_force_nonnegative_forward(self, v):
+        drag = QuadraticDrag(cd_area_m2=0.08)
+        assert drag.force_n(v) >= 0.0

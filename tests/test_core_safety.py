@@ -1,0 +1,155 @@
+"""Unit + property tests for the Eq. 4 safety model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.safety import (
+    physics_roof,
+    required_action_period,
+    required_action_throughput,
+    safe_velocity,
+    safe_velocity_at_rate,
+    stopping_distance,
+)
+from repro.errors import ConfigurationError, InfeasibleDesignError
+
+REASONABLE_D = st.floats(min_value=0.5, max_value=100.0)
+REASONABLE_A = st.floats(min_value=0.05, max_value=100.0)
+REASONABLE_T = st.floats(min_value=0.0, max_value=30.0)
+
+
+class TestSafeVelocity:
+    def test_paper_fig5_point_a(self):
+        # a=50, d=10, f=1 Hz -> ~10 m/s in the paper.
+        assert safe_velocity(1.0, 10.0, 50.0) == pytest.approx(9.1608, abs=1e-3)
+
+    def test_zero_period_gives_roof(self):
+        assert safe_velocity(0.0, 10.0, 50.0) == pytest.approx(
+            physics_roof(10.0, 50.0)
+        )
+
+    def test_accepts_numpy_arrays(self):
+        t = np.array([0.1, 1.0, 5.0])
+        v = safe_velocity(t, 10.0, 50.0)
+        assert isinstance(v, np.ndarray)
+        assert v.shape == t.shape
+        assert np.all(np.diff(v) < 0)  # slower decisions, lower velocity
+
+    def test_scalar_input_returns_float(self):
+        assert isinstance(safe_velocity(1.0, 10.0, 50.0), float)
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(InfeasibleDesignError):
+            safe_velocity(-0.1, 10.0, 50.0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            safe_velocity(1.0, 0.0, 50.0)
+
+    def test_invalid_acceleration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            safe_velocity(1.0, 10.0, -1.0)
+
+    @given(t=REASONABLE_T, d=REASONABLE_D, a=REASONABLE_A)
+    def test_velocity_below_roof(self, t, d, a):
+        assert safe_velocity(t, d, a) <= physics_roof(d, a) + 1e-9
+
+    @given(d=REASONABLE_D, a=REASONABLE_A,
+           t1=REASONABLE_T, t2=REASONABLE_T)
+    def test_monotone_decreasing_in_period(self, d, a, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert safe_velocity(lo, d, a) >= safe_velocity(hi, d, a) - 1e-12
+
+    @given(t=REASONABLE_T, d=REASONABLE_D,
+           a1=REASONABLE_A, a2=REASONABLE_A)
+    def test_monotone_increasing_in_acceleration(self, t, d, a1, a2):
+        lo, hi = sorted((a1, a2))
+        assert safe_velocity(t, d, lo) <= safe_velocity(t, d, hi) + 1e-12
+
+    @given(t=REASONABLE_T, a=REASONABLE_A,
+           d1=REASONABLE_D, d2=REASONABLE_D)
+    def test_monotone_increasing_in_range(self, t, a, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert safe_velocity(t, lo, a) <= safe_velocity(t, hi, a) + 1e-12
+
+    @given(t=st.floats(min_value=0.001, max_value=30.0),
+           d=REASONABLE_D, a=REASONABLE_A)
+    @settings(max_examples=200)
+    def test_stopping_identity(self, t, d, a):
+        # Eq. 4 is exactly "stopping distance equals sensing range".
+        v = safe_velocity(t, d, a)
+        assert stopping_distance(v, t, a) == pytest.approx(d, rel=1e-9)
+
+
+class TestPhysicsRoof:
+    def test_fig5_value(self):
+        assert physics_roof(10.0, 50.0) == pytest.approx(
+            math.sqrt(1000.0)
+        )
+
+    @given(d=REASONABLE_D, a=REASONABLE_A)
+    def test_roof_formula(self, d, a):
+        assert physics_roof(d, a) == pytest.approx(math.sqrt(2 * d * a))
+
+
+class TestInverse:
+    def test_closed_form(self):
+        # T = d/v - v/(2a)
+        assert required_action_period(2.0, 3.0, 0.8) == pytest.approx(
+            3.0 / 2.0 - 2.0 / 1.6
+        )
+
+    @given(d=REASONABLE_D, a=REASONABLE_A,
+           fraction=st.floats(min_value=0.05, max_value=0.99))
+    @settings(max_examples=200)
+    def test_roundtrip_through_eq4(self, d, a, fraction):
+        v_target = fraction * physics_roof(d, a)
+        t = required_action_period(v_target, d, a)
+        assert safe_velocity(max(t, 0.0), d, a) == pytest.approx(
+            v_target, rel=1e-6
+        )
+
+    def test_roof_velocity_infeasible(self):
+        roof = physics_roof(10.0, 50.0)
+        with pytest.raises(InfeasibleDesignError):
+            required_action_period(roof, 10.0, 50.0)
+        with pytest.raises(InfeasibleDesignError):
+            required_action_period(roof * 1.1, 10.0, 50.0)
+
+    def test_throughput_inverse(self):
+        f = required_action_throughput(2.0, 3.0, 0.8)
+        assert safe_velocity_at_rate(f, 3.0, 0.8) == pytest.approx(2.0)
+
+
+class TestRateForm:
+    def test_rate_and_period_agree(self):
+        assert safe_velocity_at_rate(10.0, 3.0, 0.8) == pytest.approx(
+            safe_velocity(0.1, 3.0, 0.8)
+        )
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(InfeasibleDesignError):
+            safe_velocity_at_rate(0.0, 3.0, 0.8)
+
+    def test_array_rate(self):
+        f = np.array([1.0, 10.0, 100.0])
+        v = safe_velocity_at_rate(f, 10.0, 50.0)
+        assert np.all(np.diff(v) > 0)
+
+
+class TestStoppingDistance:
+    def test_pure_braking(self):
+        # No reaction delay: v^2 / (2a).
+        assert stopping_distance(2.0, 0.0, 1.0) == pytest.approx(2.0)
+
+    def test_reaction_adds_linear_term(self):
+        assert stopping_distance(2.0, 0.5, 1.0) == pytest.approx(3.0)
+
+    def test_zero_velocity(self):
+        assert stopping_distance(0.0, 1.0, 1.0) == 0.0

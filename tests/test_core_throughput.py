@@ -1,0 +1,122 @@
+"""Tests for the Eq. 1-3 pipeline throughput model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.throughput import (
+    SensorComputeControl,
+    action_throughput,
+    pipeline_latency_bounds,
+)
+from repro.errors import ConfigurationError
+
+RATE = st.floats(min_value=0.01, max_value=10_000.0)
+
+
+class TestActionThroughput:
+    def test_min_of_rates(self):
+        assert action_throughput(60.0, 178.0, 1000.0) == 60.0
+
+    def test_single_stage(self):
+        assert action_throughput(42.0) == 42.0
+
+    def test_no_stages_rejected(self):
+        with pytest.raises(ValueError):
+            action_throughput()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            action_throughput(10.0, 0.0)
+
+    @given(rates=st.lists(RATE, min_size=1, max_size=6))
+    def test_equals_builtin_min(self, rates):
+        assert action_throughput(*rates) == min(rates)
+
+
+class TestLatencyBounds:
+    def test_bounds_order(self):
+        lower, upper = pipeline_latency_bounds([0.016, 0.005, 0.001])
+        assert lower == pytest.approx(0.016)
+        assert upper == pytest.approx(0.022)
+
+    @given(lats=st.lists(st.floats(min_value=1e-4, max_value=10.0),
+                         min_size=1, max_size=6))
+    def test_lower_le_upper(self, lats):
+        lower, upper = pipeline_latency_bounds(lats)
+        assert lower <= upper
+        assert lower == max(lats)
+        assert upper == pytest.approx(sum(lats))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_latency_bounds([])
+
+
+class TestSensorComputeControl:
+    def test_paper_pelican_dronet(self):
+        # 60 FPS sensor, DroNet 178 Hz, 1 kHz control: sensor binds.
+        pipeline = SensorComputeControl(60.0, 178.0)
+        assert pipeline.action_throughput_hz == 60.0
+        assert pipeline.bottleneck_stage == "sensor"
+
+    def test_compute_bound_spa(self):
+        pipeline = SensorComputeControl(60.0, 1.1)
+        assert pipeline.action_throughput_hz == pytest.approx(1.1)
+        assert pipeline.bottleneck_stage == "compute"
+
+    def test_default_control_rate(self):
+        pipeline = SensorComputeControl(60.0, 100.0)
+        assert pipeline.f_control_hz == 1000.0
+
+    def test_latencies_order(self):
+        pipeline = SensorComputeControl(10.0, 100.0, 1000.0)
+        assert pipeline.stage_latencies_s == pytest.approx(
+            (0.1, 0.01, 0.001)
+        )
+
+    def test_with_compute_copies(self):
+        pipeline = SensorComputeControl(60.0, 10.0)
+        faster = pipeline.with_compute(100.0)
+        assert faster.f_compute_hz == 100.0
+        assert pipeline.f_compute_hz == 10.0  # original untouched
+
+    def test_with_sensor_copies(self):
+        pipeline = SensorComputeControl(60.0, 10.0)
+        faster = pipeline.with_sensor(120.0)
+        assert faster.f_sensor_hz == 120.0
+
+    def test_speedup_needed_when_already_fast(self):
+        pipeline = SensorComputeControl(60.0, 178.0)
+        assert pipeline.speedup_needed(43.0) == 1.0
+
+    def test_speedup_needed_compute_bound(self):
+        pipeline = SensorComputeControl(60.0, 1.1)
+        assert pipeline.speedup_needed(43.0) == pytest.approx(43.0 / 1.1)
+
+    def test_speedup_impossible_when_sensor_capped(self):
+        # Sensor at 30 Hz can never reach a 43 Hz target.
+        pipeline = SensorComputeControl(30.0, 1.1)
+        assert pipeline.speedup_needed(43.0) == math.inf
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorComputeControl(0.0, 1.0)
+
+    @given(fs=RATE, fc=RATE, fctl=RATE)
+    def test_throughput_never_exceeds_any_stage(self, fs, fc, fctl):
+        pipeline = SensorComputeControl(fs, fc, fctl)
+        throughput = pipeline.action_throughput_hz
+        assert throughput <= fs and throughput <= fc and throughput <= fctl
+
+    @given(fs=RATE, fc=RATE, fctl=RATE)
+    def test_latency_bounds_bracket_period(self, fs, fc, fctl):
+        pipeline = SensorComputeControl(fs, fc, fctl)
+        lower, upper = pipeline.latency_bounds_s
+        # Eq. 1: the action period equals the slowest stage latency.
+        assert pipeline.action_period_s == pytest.approx(lower)
+        assert lower <= upper

@@ -1,0 +1,134 @@
+"""Tests for corridor navigation and host SPA profiling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.autonomy.spa_profile import profile_spa_stages
+from repro.sim.corridor import CorridorWorld, navigate_corridor
+
+
+@pytest.fixture(scope="module")
+def world() -> CorridorWorld:
+    return CorridorWorld(seed=3)
+
+
+class TestCorridorWorld:
+    def test_obstacles_inside_bounds(self, world):
+        for obstacle in world.obstacles:
+            assert 0 <= obstacle.x <= world.length_m
+            assert 0 <= obstacle.y <= world.width_m
+
+    def test_ray_hits_obstacle(self, world):
+        obstacle = world.obstacles[0]
+        angle = math.atan2(obstacle.y - 0.0, obstacle.x - 0.0)
+        distance = world.ray_distance((0.0, 0.0), angle, max_range_m=100.0)
+        assert distance is not None
+        center_range = math.hypot(obstacle.x, obstacle.y)
+        assert distance == pytest.approx(
+            center_range - obstacle.radius, abs=1e-6
+        )
+
+    def test_ray_misses_open_space(self):
+        empty = CorridorWorld(obstacle_count=0, seed=0)
+        assert empty.ray_distance((1.0, 5.0), 0.0, 6.0) is None
+
+    def test_scan_shapes(self, world):
+        angles, ranges = world.scan((1.0, 5.0), beams=36)
+        assert len(angles) == len(ranges) == 36
+
+    def test_clearance_metric(self, world):
+        obstacle = world.obstacles[0]
+        at_surface = (obstacle.x + obstacle.radius, obstacle.y)
+        assert world.distance_to_nearest(at_surface) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_deterministic_given_seed(self):
+        a = CorridorWorld(seed=9)
+        b = CorridorWorld(seed=9)
+        assert [(o.x, o.y) for o in a.obstacles] == [
+            (o.x, o.y) for o in b.obstacles
+        ]
+
+
+class TestNavigation:
+    def test_slow_and_attentive_succeeds(self, world):
+        result = navigate_corridor(world, velocity=1.0, f_action_hz=5.0)
+        assert result.reached_goal and not result.collided
+        assert result.min_clearance_m >= 0.25
+
+    def test_fast_and_attentive_succeeds(self, world):
+        result = navigate_corridor(world, velocity=6.0, f_action_hz=5.0)
+        assert result.reached_goal and not result.collided
+
+    def test_fast_and_inattentive_collides(self, world):
+        result = navigate_corridor(world, velocity=6.0, f_action_hz=0.5)
+        assert result.collided and not result.reached_goal
+
+    def test_decision_rate_unlocks_velocity(self, world):
+        # The behavioral analogue of the F-1 coupling: the same speed
+        # that crashes at 0.5 Hz is fine at 5 Hz.
+        slow_decisions = navigate_corridor(
+            world, velocity=6.0, f_action_hz=0.5
+        )
+        fast_decisions = navigate_corridor(
+            world, velocity=6.0, f_action_hz=5.0
+        )
+        assert slow_decisions.collided
+        assert fast_decisions.reached_goal
+
+    def test_faster_vehicle_arrives_sooner(self, world):
+        slow = navigate_corridor(world, velocity=1.0, f_action_hz=5.0)
+        fast = navigate_corridor(world, velocity=3.0, f_action_hz=5.0)
+        assert fast.time_s < slow.time_s
+
+    def test_replans_track_action_rate(self, world):
+        low = navigate_corridor(world, velocity=1.0, f_action_hz=1.0)
+        high = navigate_corridor(world, velocity=1.0, f_action_hz=5.0)
+        assert high.replans > 3 * low.replans
+
+
+class TestSPAProfile:
+    def test_profile_structure(self):
+        profile = profile_spa_stages(
+            world_size_m=10.0, scan_beams=60, repeats=2
+        )
+        assert set(profile.stage_latency_s) == {
+            "slam", "octomap", "planning", "control",
+        }
+        assert all(v > 0 for v in profile.stage_latency_s.values())
+        assert profile.decision_rate_hz == pytest.approx(
+            1.0 / profile.total_latency_s
+        )
+
+    def test_planning_dominates_like_mavbench(self):
+        # The paper's TX2 characterization has planning as the largest
+        # stage; our executable stack shows the same structure.
+        profile = profile_spa_stages(
+            world_size_m=20.0, scan_beams=120, repeats=2
+        )
+        latencies = profile.stage_latency_s
+        assert latencies["planning"] > latencies["octomap"]
+        assert latencies["planning"] > latencies["control"]
+
+    def test_feeds_the_f1_model(self):
+        # End-to-end: host-profiled SPA rate -> Skyline verdict.
+        from repro.skyline import Skyline
+
+        profile = profile_spa_stages(
+            world_size_m=10.0, scan_beams=60, repeats=1
+        )
+        session = Skyline.from_preset(
+            "asctec-pelican", sensor_range_m=3.0
+        )
+        report = session.evaluate_throughput(
+            profile.decision_rate_hz, label="host-spa"
+        )
+        assert report.analysis.bound.value in ("compute", "physics")
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            profile_spa_stages(repeats=0)

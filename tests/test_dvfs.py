@@ -1,0 +1,92 @@
+"""Tests for the DVFS throughput-for-TDP trade."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compute.dvfs import BalancedDesign, DvfsModel, balance_to_knee
+from repro.compute.platforms import get_platform
+from repro.errors import InfeasibleDesignError
+from repro.uav.presets import asctec_pelican, dji_spark
+
+
+class TestDvfsModel:
+    def test_full_scale_is_identity(self):
+        model = DvfsModel()
+        assert model.power_fraction(1.0) == pytest.approx(1.0)
+        assert model.throughput_fraction(1.0) == 1.0
+
+    def test_static_floor(self):
+        model = DvfsModel(static_fraction=0.2, min_scale=0.01)
+        # Even near-zero frequency keeps the leakage floor.
+        assert model.power_fraction(0.011) > 0.2
+
+    def test_cubic_dynamic_term(self):
+        model = DvfsModel(exponent=3.0, static_fraction=0.0)
+        assert model.power_fraction(0.5) == pytest.approx(0.125)
+
+    def test_scaled_platform_shrinks_heatsink(self):
+        agx = get_platform("jetson-agx-30w")
+        scaled = DvfsModel().scaled_platform(agx, 0.5)
+        assert scaled.tdp_w < agx.tdp_w
+        assert scaled.heatsink_mass_g < agx.heatsink_mass_g
+        assert "0.50x" in scaled.name
+
+    def test_out_of_range_scale_rejected(self):
+        model = DvfsModel(min_scale=0.2)
+        with pytest.raises(InfeasibleDesignError):
+            model.power_fraction(0.1)
+        with pytest.raises(InfeasibleDesignError):
+            model.power_fraction(1.5)
+
+    @given(scale=st.floats(min_value=0.35, max_value=1.0))
+    def test_power_saves_more_than_throughput(self, scale):
+        # The point of the trade: P drops superlinearly vs f — except
+        # close to the leakage floor, hence the 0.35 lower bound.
+        model = DvfsModel()
+        assert model.power_fraction(scale) <= (
+            model.throughput_fraction(scale) + 1e-12
+        )
+
+    def test_leakage_floor_dominates_at_min_scale(self):
+        # Near the floor, static power makes further slowing a bad
+        # deal: power fraction exceeds throughput fraction.
+        model = DvfsModel(static_fraction=0.2, min_scale=0.2)
+        assert model.power_fraction(0.2) > model.throughput_fraction(0.2)
+
+
+class TestBalanceToKnee:
+    def test_spark_agx_scenario(self):
+        # Sec. VI-A: the AGX is grossly over-provisioned on the Spark.
+        uav = dji_spark(get_platform("jetson-agx-30w"))
+        balanced = balance_to_knee(uav, 230.0)
+        assert isinstance(balanced, BalancedDesign)
+        assert balanced.scale < 1.0
+        assert balanced.tdp_saved_w > 10.0
+        assert balanced.heatsink_saved_g > 50.0
+        assert balanced.velocity_gain_pct > 50.0
+        assert balanced.roof_velocity_after > balanced.roof_velocity_before
+
+    def test_balanced_design_meets_its_knee(self):
+        uav = asctec_pelican(get_platform("jetson-tx2"), sensor_range_m=3.0)
+        balanced = balance_to_knee(uav, 178.0)
+        model = balanced.uav.f1(balanced.f_compute_hz)
+        # At or above the (re-weighted) knee, within bisection slack.
+        assert balanced.f_compute_hz >= model.knee.throughput_hz * 0.999
+
+    def test_under_provisioned_rejected(self):
+        uav = asctec_pelican(get_platform("jetson-tx2"), sensor_range_m=3.0)
+        with pytest.raises(InfeasibleDesignError, match="nothing to trade"):
+            balance_to_knee(uav, 1.1)  # SPA is below the knee
+
+    def test_min_scale_clamp(self):
+        # With a generous floor the solver may hit min_scale; the
+        # result must still be a valid, faster design.
+        uav = dji_spark(get_platform("jetson-agx-30w"))
+        balanced = balance_to_knee(
+            uav, 230.0, dvfs=DvfsModel(min_scale=0.6)
+        )
+        assert balanced.scale >= 0.6
+        assert balanced.velocity_gain_pct > 0.0

@@ -1,0 +1,192 @@
+"""Tests for the body-dynamics substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.physics import QuadraticDrag
+from repro.dynamics.body import LongitudinalBody
+from repro.dynamics.integrator import euler_step, rk4_step
+from repro.dynamics.motor import FirstOrderMotor
+from repro.dynamics.quadrotor import (
+    PlanarQuadrotor,
+    QuadrotorParams,
+    QuadrotorState,
+)
+
+
+class TestIntegrators:
+    def test_rk4_exact_on_linear(self):
+        # dy/dt = 2 -> y(t) = 2t, both integrators exact.
+        f = lambda t, y: np.array([2.0])
+        y = np.array([0.0])
+        for _ in range(10):
+            y = rk4_step(f, 0.0, y, 0.1)
+        assert y[0] == pytest.approx(2.0)
+
+    def test_rk4_beats_euler_on_oscillator(self):
+        # Harmonic oscillator: energy drift comparison over one period.
+        def f(t, y):
+            return np.array([y[1], -y[0]])
+
+        y_rk4 = np.array([1.0, 0.0])
+        y_euler = np.array([1.0, 0.0])
+        dt = 0.05
+        for i in range(int(2 * math.pi / dt)):
+            y_rk4 = rk4_step(f, i * dt, y_rk4, dt)
+            y_euler = euler_step(f, i * dt, y_euler, dt)
+        exact = np.array([1.0, 0.0])
+        assert np.linalg.norm(y_rk4 - exact) < np.linalg.norm(y_euler - exact)
+
+
+class TestFirstOrderMotor:
+    def test_converges_to_command(self):
+        motor = FirstOrderMotor(max_thrust_g=500.0, tau_s=0.05)
+        motor.command(400.0)
+        for _ in range(1000):
+            motor.step(0.001)
+        assert motor.thrust_g == pytest.approx(400.0, rel=1e-3)
+
+    def test_saturates_at_rated_pull(self):
+        motor = FirstOrderMotor(max_thrust_g=500.0, tau_s=0.0)
+        motor.command(9000.0)
+        motor.step(0.001)
+        assert motor.thrust_g == 500.0
+
+    def test_never_negative(self):
+        motor = FirstOrderMotor(max_thrust_g=500.0, tau_s=0.0,
+                                initial_thrust_g=100.0)
+        motor.command(-50.0)
+        motor.step(0.001)
+        assert motor.thrust_g == 0.0
+
+    def test_zero_tau_is_instant(self):
+        motor = FirstOrderMotor(max_thrust_g=500.0, tau_s=0.0)
+        motor.command(123.0)
+        motor.step(0.001)
+        assert motor.thrust_g == 123.0
+
+
+class TestLongitudinalBody:
+    def _run_brake(self, body: LongitudinalBody, v0: float) -> float:
+        """Brake from v0 to rest; return stopping distance."""
+        body.v = v0
+        body._a_tracked = -body.a_limit  # pre-settled braking attitude
+        body.command_acceleration(-body.a_limit)
+        start = body.x
+        while body.v > 0:
+            body.step(0.001)
+        return body.x - start
+
+    def test_ideal_braking_distance(self):
+        body = LongitudinalBody(
+            total_mass_g=1620.0, a_limit=0.7264,
+            drag=None, pitch_lag_s=0.0,
+        )
+        distance = self._run_brake(body, 2.0)
+        assert distance == pytest.approx(2.0**2 / (2 * 0.7264), rel=0.01)
+
+    def test_pitch_lag_lengthens_stop(self):
+        def stop_with_lag(lag: float) -> float:
+            body = LongitudinalBody(
+                total_mass_g=1620.0, a_limit=0.7264,
+                drag=None, pitch_lag_s=lag,
+            )
+            body.v = 2.0
+            body.command_acceleration(-body.a_limit)
+            while body.v > 0:
+                body.step(0.001)
+            return body.x
+
+        assert stop_with_lag(0.3) > stop_with_lag(0.0)
+
+    def test_drag_shortens_stop(self):
+        def stop_with_drag(cd_area: float) -> float:
+            body = LongitudinalBody(
+                total_mass_g=1620.0, a_limit=0.7264,
+                drag=QuadraticDrag(cd_area_m2=cd_area), pitch_lag_s=0.0,
+            )
+            return self._run_brake(body, 2.0)
+
+        assert stop_with_drag(0.2) < stop_with_drag(0.0)
+
+    def test_command_clamped_to_limit(self):
+        body = LongitudinalBody(total_mass_g=1000.0, a_limit=1.0)
+        body.command_acceleration(50.0)
+        assert body.commanded_acceleration == 1.0
+        body.command_acceleration(-50.0)
+        assert body.commanded_acceleration == -1.0
+
+    def test_velocity_never_negative(self):
+        body = LongitudinalBody(
+            total_mass_g=1000.0, a_limit=2.0, pitch_lag_s=0.0
+        )
+        body.command_acceleration(-2.0)
+        for _ in range(2000):
+            body.step(0.001)
+        assert body.v == 0.0
+        assert body.stopped
+
+    def test_acceleration_phase_tracks_setpoint(self):
+        body = LongitudinalBody(
+            total_mass_g=1000.0, a_limit=2.0, pitch_lag_s=0.0
+        )
+        body.command_acceleration(2.0)
+        for _ in range(1000):
+            body.step(0.001)
+        assert body.v == pytest.approx(2.0, rel=0.01)
+
+    @given(v0=st.floats(min_value=0.5, max_value=10.0),
+           a=st.floats(min_value=0.3, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_braking_distance_formula_property(self, v0, a):
+        body = LongitudinalBody(
+            total_mass_g=1500.0, a_limit=a, drag=None, pitch_lag_s=0.0
+        )
+        distance = self._run_brake(body, v0)
+        assert distance == pytest.approx(v0 * v0 / (2 * a), rel=0.02)
+
+
+class TestPlanarQuadrotor:
+    def _hover_params(self) -> QuadrotorParams:
+        return QuadrotorParams(
+            total_mass_g=1000.0,
+            arm_length_m=0.2,
+            max_thrust_per_pair_g=1000.0,
+        )
+
+    def test_hover_is_stationary(self):
+        quad = PlanarQuadrotor(self._hover_params())
+        hover = quad.params.hover_thrust_per_pair_g
+        quad.command(hover, hover)
+        for _ in range(500):
+            quad.step(0.001)
+        assert abs(quad.state.z) < 0.01
+        assert abs(quad.state.vz) < 0.05
+        assert abs(quad.state.theta) < 1e-6
+
+    def test_excess_thrust_climbs(self):
+        quad = PlanarQuadrotor(self._hover_params())
+        hover = quad.params.hover_thrust_per_pair_g
+        quad.command(hover * 1.2, hover * 1.2)
+        for _ in range(500):
+            quad.step(0.001)
+        assert quad.state.vz > 0.1
+
+    def test_differential_thrust_pitches_and_translates(self):
+        quad = PlanarQuadrotor(self._hover_params())
+        hover = quad.params.hover_thrust_per_pair_g
+        quad.command(hover - 30.0, hover + 30.0)  # rear up -> nose down
+        for _ in range(300):
+            quad.step(0.001)
+        assert quad.state.theta > 0.0
+        assert quad.state.vx > 0.0
+
+    def test_state_array_roundtrip(self):
+        state = QuadrotorState(x=1, z=2, vx=3, vz=4, theta=0.1, q=0.2)
+        assert QuadrotorState.from_array(state.as_array()) == state

@@ -1,0 +1,60 @@
+"""Smoke tests: the example scripts run cleanly against the public API.
+
+Each fast example executes in-process (``runpy``); the two slow flight
+campaigns are exercised indirectly through their library entry points
+elsewhere in the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples"
+)
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "compute_selection.py",
+    "algorithm_tradeoffs.py",
+    "redundancy_analysis.py",
+    "full_system_dse.py",
+    "mission_planning.py",
+    "design_tuning.py",
+    "spa_pipeline_demo.py",
+)
+
+SLOW_EXAMPLES = ("flight_validation.py", "wind_robustness.py")
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # SVG artifacts land in tmp
+    path = os.path.join(EXAMPLES_DIR, script)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_enumerated():
+    """Every shipped example is either smoke-tested or listed slow."""
+    shipped = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    assert shipped == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+
+
+def test_quickstart_mentions_key_outputs(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, "quickstart.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "knee" in out
+    assert "Skyline analysis" in out
+    assert (tmp_path / "quickstart_roofline.svg").exists()

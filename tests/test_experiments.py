@@ -1,0 +1,173 @@
+"""Integration tests: every experiment runs and reproduces the paper's
+headline quantities (the shape invariants)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import run_all, write_report
+
+FAST_EXPERIMENTS = sorted(set(EXPERIMENTS) - {"fig07"})
+
+
+@pytest.fixture(scope="module")
+def all_fast_results():
+    return {eid: run_experiment(eid) for eid in FAST_EXPERIMENTS}
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        expected = {
+            "fig02b", "fig05", "fig07", "fig09", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "table1", "table2",
+            "table3",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        from repro.errors import UnknownComponentError
+
+        with pytest.raises(UnknownComponentError):
+            run_experiment("fig99")
+
+
+class TestExperimentContracts:
+    def test_results_well_formed(self, all_fast_results):
+        for eid, result in all_fast_results.items():
+            assert isinstance(result, ExperimentResult)
+            assert result.experiment_id == eid
+            assert result.table_rows, eid
+            assert result.comparisons, eid
+            text = result.summary_text()
+            assert eid in text
+
+    def test_tables_render(self, all_fast_results):
+        for result in all_fast_results.values():
+            assert "|" in result.data_table()
+            assert "paper" in result.comparison_table()
+
+
+class TestShapeInvariants:
+    """The paper's qualitative claims, asserted quantitatively."""
+
+    def test_fig05_anchors(self, all_fast_results):
+        comparisons = {
+            c.quantity: c for c in all_fast_results["fig05"].comparisons
+        }
+        assert "31.6" in comparisons["asymptotic velocity (T->0)"].measured
+        assert "98.0" in comparisons["knee-point throughput"].measured
+
+    def test_fig09_flat_tail(self, all_fast_results):
+        comparisons = {
+            c.quantity: c for c in all_fast_results["fig09"].comparisons
+        }
+        drop_cd = comparisons["C -> D velocity drop (+50 g)"].measured
+        assert float(drop_cd.split("%")[0]) < 3.0
+
+    def test_fig11_ncs_wins(self, all_fast_results):
+        rows = {r[0]: r for r in all_fast_results["fig11"].table_rows}
+        roof = lambda name: float(rows[name][4])
+        assert roof("intel-ncs") > roof("jetson-agx-30w")
+        assert roof("jetson-agx-15w") == pytest.approx(
+            1.75 * roof("jetson-agx-30w"), rel=0.01
+        )
+
+    def test_fig12_anchor(self, all_fast_results):
+        comparisons = {
+            c.quantity: c for c in all_fast_results["fig12"].comparisons
+        }
+        assert "161.8" in comparisons["heatsink @ 30 W"].measured
+
+    def test_fig13_anchors(self, all_fast_results):
+        comparisons = {
+            c.quantity: c for c in all_fast_results["fig13"].comparisons
+        }
+        assert "43.0" in comparisons["knee-point throughput"].measured
+        assert "2.30" in comparisons["SPA safe velocity"].measured
+        assert "39.1" in comparisons[
+            "SPA speedup needed to reach the knee"
+        ].measured
+
+    def test_fig14_dmr_drop(self, all_fast_results):
+        comparisons = {
+            c.quantity: c for c in all_fast_results["fig14"].comparisons
+        }
+        assert "33.0%" in comparisons["safe-velocity drop from DMR"].measured
+
+    def test_fig15_raspi_targets(self, all_fast_results):
+        comparisons = {
+            c.quantity: c for c in all_fast_results["fig15"].comparisons
+        }
+        assert "3.3x" in comparisons[
+            "Ras-Pi DroNet speedup needed (Pelican)"
+        ].measured
+        assert "110x" in comparisons[
+            "Ras-Pi TrailNet speedup needed (Pelican)"
+        ].measured
+        assert "660x" in comparisons[
+            "Ras-Pi CAD2RL speedup needed (Pelican)"
+        ].measured
+
+    def test_fig16_accelerator_targets(self, all_fast_results):
+        comparisons = {
+            c.quantity: c for c in all_fast_results["fig16"].comparisons
+        }
+        assert "26.0" in comparisons["nano-UAV knee"].measured
+        assert "4.33x" in comparisons["PULP speedup needed"].measured
+        assert "21.0x" in comparisons[
+            "Navion pipeline speedup needed"
+        ].measured
+
+    def test_table1_payloads(self, all_fast_results):
+        rows = all_fast_results["table1"].table_rows
+        payloads = {row[0]: float(row[4]) for row in rows}
+        assert payloads == {
+            "UAV-A": 590.0, "UAV-B": 800.0,
+            "UAV-C": 640.0, "UAV-D": 690.0,
+        }
+
+
+class TestFig07:
+    """The only slow experiment: run once with a reduced campaign."""
+
+    def test_validation_errors_in_band(self):
+        from repro.experiments import fig07
+
+        result = fig07.run(trials=1, seed=7)
+        for row in result.table_rows:
+            error = float(row[3].rstrip("%"))
+            assert 0.0 < error <= 15.0
+
+    def test_trajectory_figure_marks_infractions(self):
+        from repro.experiments.fig07 import trajectory_sweep
+
+        plot = trajectory_sweep()
+        labels = [series.label for series in plot.series]
+        assert any("infraction" in label for label in labels)
+        assert any("infraction" not in label for label in labels)
+
+
+class TestRunner:
+    def test_run_all_subset_and_report(self, tmp_path):
+        results = run_all(["fig05", "table2"])
+        report = write_report(results, str(tmp_path))
+        assert os.path.exists(report)
+        content = open(report).read()
+        assert "fig05" in content and "table2" in content
+        assert os.path.exists(tmp_path / "fig05.svg")
+
+    def test_cli_main(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        code = main(
+            ["--outdir", str(tmp_path), "--only", "fig12", "table3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[fig12] done" in out
+        assert os.path.exists(tmp_path / "REPORT.md")
+        assert os.path.exists(tmp_path / "fig12.svg")

@@ -1,0 +1,65 @@
+"""Tests for the Fig. 12 heatsink-mass law."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.heatsink import (
+    NO_HEATSINK_TDP_W,
+    heatsink_mass_g,
+    tdp_for_heatsink_mass,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHeatsinkAnchors:
+    def test_agx_30w_anchor(self):
+        assert heatsink_mass_g(30.0) == pytest.approx(162.0, abs=1.0)
+
+    def test_15w_roughly_halved(self):
+        # The paper says "halved to 81 g"; the power-law fit gives 85.
+        assert heatsink_mass_g(15.0) == pytest.approx(85.0, abs=1.0)
+
+    def test_fig12_20x_ratio(self):
+        # "~20x in TDP -> ~16.2x in heatsink weight"
+        ratio = heatsink_mass_g(30.0) / heatsink_mass_g(1.5)
+        assert ratio == pytest.approx(16.2, abs=0.1)
+
+    def test_sub_watt_needs_no_heatsink(self):
+        assert heatsink_mass_g(0.5) == 0.0
+        assert heatsink_mass_g(NO_HEATSINK_TDP_W) == 0.0
+
+    def test_zero_tdp(self):
+        assert heatsink_mass_g(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            heatsink_mass_g(-1.0)
+
+
+class TestInverse:
+    @given(tdp=st.floats(min_value=1.5, max_value=200.0))
+    def test_roundtrip(self, tdp):
+        mass = heatsink_mass_g(tdp)
+        assert tdp_for_heatsink_mass(mass) == pytest.approx(tdp, rel=1e-9)
+
+    def test_invalid_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tdp_for_heatsink_mass(0.0)
+
+
+class TestMonotonicity:
+    @given(
+        t1=st.floats(min_value=0.0, max_value=100.0),
+        t2=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_monotone_nondecreasing(self, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert heatsink_mass_g(lo) <= heatsink_mass_g(hi) + 1e-12
+
+    @given(tdp=st.floats(min_value=1.01, max_value=100.0))
+    def test_sublinear_growth(self, tdp):
+        # Exponent < 1: doubling TDP less than doubles the heatsink.
+        assert heatsink_mass_g(2 * tdp) < 2 * heatsink_mass_g(tdp)

@@ -1,0 +1,99 @@
+"""Tests for table rendering and configuration serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.io.serialization import (
+    configuration_from_dict,
+    configuration_to_dict,
+)
+from repro.io.tables import format_table
+from repro.uav.presets import custom_s500, dji_spark
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ("name", "value"),
+            (("alpha", 1.5), ("beta", 20.25)),
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "alpha" in text
+        assert "1.500" in text
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # perfectly aligned
+
+    def test_bool_rendering(self):
+        text = format_table(("flag",), ((True,), (False,)))
+        assert "yes" in text and "no" in text
+
+    def test_custom_float_format(self):
+        text = format_table(
+            ("v",), ((1.23456,),), float_format="{:.1f}"
+        )
+        assert "1.2" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(("a", "b"), ((1,),))
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table((), ())
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("Ll", "Nd")
+                    ),
+                    max_size=12,
+                ),
+                st.floats(min_value=-1e6, max_value=1e6),
+            ),
+            max_size=8,
+        )
+    )
+    def test_always_aligned(self, rows):
+        text = format_table(("k", "v"), rows)
+        widths = {len(line) for line in text.splitlines()}
+        assert len(widths) == 1
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_model(self):
+        original = custom_s500("C")
+        data = configuration_to_dict(original)
+        rebuilt = configuration_from_dict(data)
+        assert rebuilt == original
+        assert rebuilt.max_acceleration == original.max_acceleration
+        assert rebuilt.total_mass_g == original.total_mass_g
+
+    def test_json_compatible(self):
+        data = configuration_to_dict(dji_spark())
+        rebuilt = configuration_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.name == dji_spark().name
+        assert rebuilt.total_mass_g == pytest.approx(
+            dji_spark().total_mass_g
+        )
+
+    def test_scalar_fields_roundtrip(self):
+        uav = custom_s500("A").with_redundancy(2).with_extra_payload(25.0)
+        rebuilt = configuration_from_dict(configuration_to_dict(uav))
+        assert rebuilt.compute_redundancy == 2
+        assert rebuilt.extra_payload_g == 25.0
+        assert rebuilt.payload_override_g == 590.0
+
+    def test_missing_section_rejected(self):
+        data = configuration_to_dict(dji_spark())
+        del data["frame"]
+        with pytest.raises(ConfigurationError, match="frame"):
+            configuration_from_dict(data)

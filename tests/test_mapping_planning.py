@@ -1,0 +1,194 @@
+"""Tests for the executable SPA substrate: mapping + planning."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autonomy.mapping import OccupancyGrid, bresenham
+from repro.autonomy.planning import (
+    PlanningError,
+    astar,
+    line_of_sight,
+    path_length_cells,
+    simplify_path,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBresenham:
+    def test_endpoints_included(self):
+        cells = list(bresenham((0, 0), (5, 3)))
+        assert cells[0] == (0, 0)
+        assert cells[-1] == (5, 3)
+
+    def test_horizontal(self):
+        assert list(bresenham((0, 0), (3, 0))) == [
+            (0, 0), (1, 0), (2, 0), (3, 0)
+        ]
+
+    def test_degenerate_point(self):
+        assert list(bresenham((2, 2), (2, 2))) == [(2, 2)]
+
+    @given(
+        x0=st.integers(-20, 20), y0=st.integers(-20, 20),
+        x1=st.integers(-20, 20), y1=st.integers(-20, 20),
+    )
+    @settings(max_examples=100)
+    def test_connected_and_bounded(self, x0, y0, x1, y1):
+        cells = list(bresenham((x0, y0), (x1, y1)))
+        assert len(cells) == max(abs(x1 - x0), abs(y1 - y0)) + 1
+        for a, b in zip(cells, cells[1:]):
+            assert abs(b[0] - a[0]) <= 1 and abs(b[1] - a[1]) <= 1
+
+
+class TestOccupancyGrid:
+    def test_starts_unknown(self):
+        grid = OccupancyGrid(5.0, 5.0, resolution_m=0.5)
+        assert grid.occupancy_probability((3, 3)) == pytest.approx(0.5)
+        assert grid.known_fraction == 0.0
+        assert not grid.is_occupied((3, 3))
+        assert not grid.is_free((3, 3))
+
+    def test_hit_marks_occupied_miss_marks_free(self):
+        grid = OccupancyGrid(10.0, 10.0, resolution_m=0.5)
+        origin = (1.0, 5.0)
+        # Three identical scans to saturate the evidence.
+        for _ in range(3):
+            grid.integrate_scan(origin, [0.0], [4.0], max_range_m=8.0)
+        hit_cell = grid.world_to_cell((5.0, 5.0))
+        free_cell = grid.world_to_cell((3.0, 5.0))
+        assert grid.is_occupied(hit_cell)
+        assert grid.is_free(free_cell)
+
+    def test_no_return_clears_whole_beam(self):
+        grid = OccupancyGrid(10.0, 10.0, resolution_m=0.5)
+        for _ in range(3):
+            grid.integrate_scan((1.0, 5.0), [0.0], [None], max_range_m=6.0)
+        assert grid.is_free(grid.world_to_cell((6.5, 5.0)))
+
+    def test_log_odds_clamped(self):
+        grid = OccupancyGrid(4.0, 4.0, resolution_m=0.5)
+        for _ in range(100):
+            grid.integrate_scan((0.5, 2.0), [0.0], [2.0], max_range_m=3.0)
+        cell = grid.world_to_cell((2.5, 2.0))
+        probability = grid.occupancy_probability(cell)
+        assert probability < 1.0  # saturated, not numerically 1
+
+    def test_world_cell_roundtrip(self):
+        grid = OccupancyGrid(8.0, 6.0, resolution_m=0.25)
+        cell = grid.world_to_cell((3.3, 4.7))
+        x, y = grid.cell_to_world(cell)
+        assert abs(x - 3.3) <= grid.resolution_m
+        assert abs(y - 4.7) <= grid.resolution_m
+
+    def test_out_of_bounds_rejected(self):
+        grid = OccupancyGrid(5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            grid.world_to_cell((6.0, 1.0))
+
+    def test_inflation_grows_blocked_region(self):
+        grid = OccupancyGrid(10.0, 10.0, resolution_m=0.5)
+        for _ in range(3):
+            grid.integrate_scan((1.0, 5.0), [0.0], [4.0], max_range_m=8.0)
+        tight = grid.blocked_mask(0.0)
+        inflated = grid.blocked_mask(1.0)
+        assert inflated.sum() > tight.sum()
+        # Inflation is a superset.
+        assert np.all(inflated[tight])
+
+    def test_mismatched_scan_rejected(self):
+        grid = OccupancyGrid(5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            grid.integrate_scan((1.0, 1.0), [0.0, 1.0], [2.0], 4.0)
+
+
+class TestAStar:
+    def _empty(self, size: int = 20) -> np.ndarray:
+        return np.zeros((size, size), dtype=bool)
+
+    def test_straight_line(self):
+        path = astar(self._empty(), (0, 0), (9, 0))
+        assert path[0] == (0, 0) and path[-1] == (9, 0)
+        assert path_length_cells(path) == pytest.approx(9.0)
+
+    def test_diagonal_uses_sqrt2(self):
+        path = astar(self._empty(), (0, 0), (5, 5))
+        assert path_length_cells(path) == pytest.approx(5 * math.sqrt(2))
+
+    def test_routes_around_wall(self):
+        blocked = self._empty(10)
+        blocked[0:9, 5] = True  # wall with a gap at the top
+        path = astar(blocked, (0, 0), (9, 0))
+        assert all(not blocked[r, c] for c, r in path)
+        assert any(r >= 9 for _, r in path)  # went through the gap
+
+    def test_unreachable_raises(self):
+        blocked = self._empty(10)
+        blocked[:, 5] = True  # solid wall
+        with pytest.raises(PlanningError, match="no path"):
+            astar(blocked, (0, 0), (9, 0))
+
+    def test_blocked_endpoint_raises(self):
+        blocked = self._empty(10)
+        blocked[0, 0] = True
+        with pytest.raises(PlanningError, match="start"):
+            astar(blocked, (0, 0), (5, 5))
+
+    def test_no_diagonal_corner_cutting(self):
+        blocked = self._empty(4)
+        blocked[0, 1] = True  # (col 1, row 0): one flank of the diagonal
+        # (0,0)->(1,1) diagonally would brush the blocked flank; the
+        # planner must route around instead.
+        path = astar(blocked, (0, 0), (3, 3))
+        assert path[1] != (1, 1)
+        # Globally: every diagonal step keeps both flanks free.
+        for a, b in zip(path, path[1:]):
+            if abs(b[0] - a[0]) == 1 and abs(b[1] - a[1]) == 1:
+                assert not blocked[a[1], b[0]]
+                assert not blocked[b[1], a[0]]
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_path_valid_on_random_maps(self, seed):
+        rng = np.random.default_rng(seed)
+        blocked = rng.random((15, 15)) < 0.25
+        blocked[0, 0] = False
+        blocked[14, 14] = False
+        try:
+            path = astar(blocked, (0, 0), (14, 14))
+        except PlanningError:
+            return  # genuinely disconnected map: acceptable
+        # Valid: starts/ends right, every cell free, 8-connected steps.
+        assert path[0] == (0, 0) and path[-1] == (14, 14)
+        for col, row in path:
+            assert not blocked[row, col]
+        for a, b in zip(path, path[1:]):
+            assert max(abs(b[0] - a[0]), abs(b[1] - a[1])) == 1
+
+
+class TestSimplify:
+    def test_simplification_shortens_or_equals(self):
+        blocked = np.zeros((20, 20), dtype=bool)
+        blocked[5:15, 10] = True
+        path = astar(blocked, (0, 0), (19, 19))
+        short = simplify_path(blocked, path)
+        assert len(short) <= len(path)
+        assert short[0] == path[0] and short[-1] == path[-1]
+        # Consecutive simplified waypoints keep line of sight.
+        for a, b in zip(short, short[1:]):
+            assert line_of_sight(blocked, a, b)
+
+    def test_two_point_path_untouched(self):
+        blocked = np.zeros((5, 5), dtype=bool)
+        assert simplify_path(blocked, [(0, 0), (1, 1)]) == [(0, 0), (1, 1)]
+
+    def test_line_of_sight_blocked(self):
+        blocked = np.zeros((5, 5), dtype=bool)
+        blocked[2, 2] = True
+        assert not line_of_sight(blocked, (0, 0), (4, 4))
+        assert line_of_sight(blocked, (0, 0), (4, 0))

@@ -1,0 +1,190 @@
+"""Tests for the mission/energy substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InfeasibleDesignError
+from repro.missions.endurance import hover_endurance_min
+from repro.missions.energy import (
+    forward_flight_power_w,
+    hover_power_w,
+    system_power_w,
+)
+from repro.missions.mission import Mission, Waypoint, fly_mission
+from repro.missions.planner import WaypointGraph
+from repro.uav.presets import asctec_pelican, dji_spark, nano_uav
+
+
+class TestPowerModels:
+    def test_hover_power_positive_and_superlinear_in_mass(self):
+        p1 = hover_power_w(1000.0, 0.2)
+        p2 = hover_power_w(2000.0, 0.2)
+        assert p2 > 2 * p1  # T^1.5 scaling
+
+    def test_bigger_disk_is_cheaper(self):
+        assert hover_power_w(1000.0, 0.4) < hover_power_w(1000.0, 0.2)
+
+    def test_forward_flight_reduces_to_hover_at_zero(self):
+        p_hover = hover_power_w(1000.0, 0.2)
+        p_zero = forward_flight_power_w(1000.0, 0.2, 0.0, 0.05)
+        assert p_zero == pytest.approx(p_hover)
+
+    def test_induced_power_falls_then_parasitic_rises(self):
+        powers = [
+            forward_flight_power_w(1500.0, 0.2, v, 0.05)
+            for v in (0.0, 3.0, 25.0)
+        ]
+        assert powers[1] < powers[0]  # translational lift benefit
+        assert powers[2] > powers[1]  # drag dominates at speed
+
+    def test_system_power_includes_compute(self, spark_ncs, spark_agx):
+        assert system_power_w(spark_agx) - system_power_w(spark_ncs) > 20.0
+
+    @given(v=st.floats(min_value=0.0, max_value=30.0))
+    @settings(max_examples=50)
+    def test_forward_power_always_positive(self, v):
+        assert forward_flight_power_w(1000.0, 0.2, v, 0.05) > 0.0
+
+
+class TestEndurance:
+    def test_fig2b_bands(self):
+        # Nano ~7 min, mini ~30 min in the paper; allow generous bands
+        # since the power model is first-principles, not fitted.
+        nano = hover_endurance_min(nano_uav())
+        mini = hover_endurance_min(asctec_pelican())
+        assert 3.0 < nano.endurance_min < 15.0
+        assert 10.0 < mini.endurance_min < 45.0
+        assert nano.endurance_min < mini.endurance_min
+
+    def test_estimate_fields_consistent(self):
+        estimate = hover_endurance_min(dji_spark())
+        assert estimate.usable_wh < estimate.battery_wh
+        assert estimate.endurance_min == pytest.approx(
+            estimate.usable_wh / estimate.hover_power_w * 60.0
+        )
+
+
+class TestWaypointGraph:
+    def test_grid_route(self):
+        grid = WaypointGraph.grid(4, 4, spacing_m=10.0)
+        route = grid.shortest_route("wp-0-0", "wp-3-3")
+        assert route[0] == "wp-0-0"
+        assert route[-1] == "wp-3-3"
+        assert grid.route_length_m(route) == pytest.approx(60.0)
+
+    def test_manual_graph(self):
+        graph = WaypointGraph()
+        graph.add_waypoint("a", 0, 0)
+        graph.add_waypoint("b", 3, 4)
+        graph.connect("a", "b")
+        assert graph.distance("a", "b") == pytest.approx(5.0)
+        assert graph.shortest_route("a", "b") == ["a", "b"]
+
+    def test_no_route_raises(self):
+        graph = WaypointGraph()
+        graph.add_waypoint("a", 0, 0)
+        graph.add_waypoint("b", 1, 1)
+        with pytest.raises(ConfigurationError, match="no route"):
+            graph.shortest_route("a", "b")
+
+    def test_duplicate_waypoint_rejected(self):
+        graph = WaypointGraph()
+        graph.add_waypoint("a", 0, 0)
+        with pytest.raises(ConfigurationError):
+            graph.add_waypoint("a", 1, 1)
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            WaypointGraph.grid(1, 5)
+
+
+class TestMission:
+    def _straight_mission(self, length_m: float = 200.0) -> Mission:
+        return Mission(
+            name="straight",
+            waypoints=[Waypoint(0, 0), Waypoint(length_m, 0)],
+        )
+
+    def test_mission_length(self):
+        mission = Mission(
+            name="L", waypoints=[Waypoint(0, 0), Waypoint(3, 0), Waypoint(3, 4)]
+        )
+        assert mission.length_m == pytest.approx(7.0)
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ConfigurationError):
+            Mission(name="dot", waypoints=[Waypoint(0, 0)])
+
+    def test_faster_uav_finishes_sooner_and_cheaper(self, spark_ncs, spark_agx):
+        mission = self._straight_mission(400.0)
+        fast = fly_mission(
+            spark_ncs, mission,
+            safe_velocity=spark_ncs.f1(150.0).safe_velocity,
+            enforce_battery=False,
+        )
+        slow = fly_mission(
+            spark_agx, mission,
+            safe_velocity=spark_agx.f1(230.0).safe_velocity,
+            enforce_battery=False,
+        )
+        assert fast.time_s < slow.time_s
+        assert fast.energy_wh < slow.energy_wh
+
+    def test_velocity_cap_respected(self, spark_ncs):
+        mission = self._straight_mission(400.0)
+        result = fly_mission(
+            spark_ncs, mission, safe_velocity=5.0,
+            v_cruise_desired=3.0, enforce_battery=False,
+        )
+        assert result.velocity_cap == 3.0
+        assert all(leg.cruise_velocity <= 3.0 for leg in result.legs)
+
+    def test_short_leg_triangular_profile(self, spark_ncs):
+        # A leg too short to reach cruise speed peaks below the cap.
+        mission = self._straight_mission(1.0)
+        result = fly_mission(
+            spark_ncs, mission, safe_velocity=10.0, enforce_battery=False
+        )
+        assert result.legs[0].cruise_velocity < 10.0
+
+    def test_battery_enforcement(self, spark_agx):
+        mission = Mission(
+            name="marathon",
+            waypoints=[Waypoint(0, 0), Waypoint(50_000.0, 0)],
+        )
+        with pytest.raises(InfeasibleDesignError):
+            fly_mission(spark_agx, mission, safe_velocity=3.0)
+
+    def test_dwell_adds_hover_cost(self, spark_ncs):
+        mission = Mission(
+            name="dwell",
+            waypoints=[Waypoint(0, 0), Waypoint(100, 0, dwell_s=30.0)],
+        )
+        no_dwell = Mission(
+            name="no-dwell", waypoints=[Waypoint(0, 0), Waypoint(100, 0)]
+        )
+        with_dwell = fly_mission(
+            spark_ncs, mission, safe_velocity=5.0, enforce_battery=False
+        )
+        without = fly_mission(
+            spark_ncs, no_dwell, safe_velocity=5.0, enforce_battery=False
+        )
+        assert with_dwell.time_s == pytest.approx(without.time_s + 30.0)
+        assert with_dwell.energy_wh > without.energy_wh
+
+    def test_from_route(self):
+        grid = WaypointGraph.grid(3, 3, spacing_m=10.0)
+        route = grid.shortest_route("wp-0-0", "wp-2-2")
+        mission = Mission.from_route(grid, route, dwell_s=1.0)
+        assert mission.length_m == pytest.approx(40.0)
+        assert all(w.dwell_s == 1.0 for w in mission.waypoints)
+
+    def test_average_velocity(self, spark_ncs):
+        mission = self._straight_mission(400.0)
+        result = fly_mission(
+            spark_ncs, mission, safe_velocity=5.0, enforce_battery=False
+        )
+        assert 0 < result.average_velocity <= 5.0

@@ -1,0 +1,92 @@
+"""Tests for the Monte-Carlo mission robustness study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.missions.mission import Mission, Waypoint
+from repro.missions.monte_carlo import (
+    MonteCarloConfig,
+    mission_success_probability,
+)
+from repro.redundancy.modular import RedundancyScheme
+
+
+@pytest.fixture
+def short_mission() -> Mission:
+    return Mission(
+        name="short", waypoints=[Waypoint(0, 0), Waypoint(300, 0)]
+    )
+
+
+class TestMonteCarlo:
+    def test_outcome_probabilities_partition(self, spark_ncs, short_mission):
+        result = mission_success_probability(
+            spark_ncs, short_mission, safe_velocity=10.0,
+            config=MonteCarloConfig(samples=200, seed=1),
+        )
+        total = (
+            result.p_complete
+            + result.p_energy_shortfall
+            + result.p_velocity_infeasible
+            + result.p_compute_loss
+        )
+        assert total == pytest.approx(1.0)
+        assert result.samples == 200
+
+    def test_calm_short_mission_nearly_certain(self, spark_ncs, short_mission):
+        result = mission_success_probability(
+            spark_ncs, short_mission, safe_velocity=10.0,
+            config=MonteCarloConfig(
+                samples=200, gust_sigma_ms=0.2, seed=2
+            ),
+        )
+        assert result.p_complete > 0.95
+        assert result.mean_time_s > 0.0
+
+    def test_gusts_erode_completion(self, spark_ncs, short_mission):
+        calm = mission_success_probability(
+            spark_ncs, short_mission, safe_velocity=3.0,
+            config=MonteCarloConfig(samples=300, gust_sigma_ms=0.2, seed=3),
+        )
+        gusty = mission_success_probability(
+            spark_ncs, short_mission, safe_velocity=3.0,
+            config=MonteCarloConfig(samples=300, gust_sigma_ms=1.5, seed=3),
+        )
+        assert gusty.p_complete < calm.p_complete
+        assert gusty.p_velocity_infeasible > calm.p_velocity_infeasible
+
+    def test_long_mission_hits_battery(self, spark_agx):
+        marathon = Mission(
+            name="marathon",
+            waypoints=[Waypoint(0, 0), Waypoint(8000, 0)],
+        )
+        result = mission_success_probability(
+            spark_agx, marathon, safe_velocity=3.0,
+            config=MonteCarloConfig(
+                samples=100, gust_sigma_ms=0.1, seed=4
+            ),
+        )
+        assert result.p_energy_shortfall > 0.5
+
+    def test_reproducible_given_seed(self, spark_ncs, short_mission):
+        config = MonteCarloConfig(samples=100, seed=5)
+        a = mission_success_probability(
+            spark_ncs, short_mission, 5.0, config
+        )
+        b = mission_success_probability(
+            spark_ncs, short_mission, 5.0, config
+        )
+        assert a.p_complete == b.p_complete
+
+    def test_redundancy_scheme_accepted(self, spark_ncs, short_mission):
+        result = mission_success_probability(
+            spark_ncs, short_mission, safe_velocity=10.0,
+            config=MonteCarloConfig(samples=50, seed=6),
+            scheme=RedundancyScheme.TMR,
+        )
+        assert 0.0 <= result.p_complete <= 1.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloConfig(samples=0)

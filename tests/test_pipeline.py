@@ -1,0 +1,152 @@
+"""Tests for the discrete-event pipeline simulator (Eq. 1-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.pipeline.analysis import verify_bottleneck_law
+from repro.pipeline.des import DiscreteEventSimulator
+from repro.pipeline.jitter import GaussianJitter, NoJitter, UniformJitter
+from repro.pipeline.pipeline_sim import simulate_pipeline
+
+
+class TestDES:
+    def test_events_fire_in_time_order(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+        sim.schedule(0.3, lambda: seen.append("c"))
+        sim.schedule(0.1, lambda: seen.append("a"))
+        sim.schedule(0.2, lambda: seen.append("b"))
+        sim.run_until(1.0)
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 1.0
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+        sim.schedule(0.1, lambda: seen.append(1))
+        sim.schedule(0.1, lambda: seen.append(2))
+        sim.run_until(1.0)
+        assert seen == [1, 2]
+
+    def test_periodic_callback(self):
+        sim = DiscreteEventSimulator()
+        ticks = []
+        sim.every(0.1, lambda: ticks.append(sim.now))
+        sim.run_until(1.0)
+        assert len(ticks) == 11  # t = 0.0 .. 1.0
+        assert ticks[1] == pytest.approx(0.1)
+
+    def test_events_beyond_horizon_stay_queued(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until(1.0)
+        assert sim.pending_events() == 1
+
+    def test_negative_delay_rejected(self):
+        sim = DiscreteEventSimulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_backwards_run_rejected(self):
+        sim = DiscreteEventSimulator()
+        sim.run_until(1.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(0.5)
+
+
+class TestJitter:
+    def test_no_jitter_is_identity(self):
+        rng = np.random.default_rng(0)
+        assert NoJitter().sample(rng) == 1.0
+
+    def test_uniform_jitter_bounds(self):
+        rng = np.random.default_rng(0)
+        model = UniformJitter(half_width=0.2)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(0.8 <= s <= 1.2 for s in samples)
+
+    def test_gaussian_jitter_clamped_positive(self):
+        rng = np.random.default_rng(0)
+        model = GaussianJitter(sigma=2.0)  # absurd sigma to force clamps
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(s > 0 for s in samples)
+
+    def test_uniform_width_validated(self):
+        with pytest.raises(ValueError):
+            UniformJitter(half_width=1.0)
+
+
+class TestPipelineSim:
+    def test_compute_bound_throughput(self):
+        stats = simulate_pipeline(60.0, 10.0, 1000.0, duration_s=20.0)
+        assert stats.action_throughput_hz == pytest.approx(10.0, rel=0.05)
+
+    def test_sensor_bound_throughput(self):
+        stats = simulate_pipeline(30.0, 178.0, 1000.0, duration_s=20.0)
+        assert stats.action_throughput_hz == pytest.approx(30.0, rel=0.05)
+
+    def test_sensor_bound_drops_no_frames(self):
+        stats = simulate_pipeline(30.0, 178.0, 1000.0, duration_s=20.0)
+        assert stats.drop_fraction < 0.01
+
+    def test_compute_bound_drops_stale_frames(self):
+        stats = simulate_pipeline(60.0, 10.0, 1000.0, duration_s=20.0)
+        # ~5 of every 6 frames are superseded before compute frees up.
+        assert stats.drop_fraction == pytest.approx(5 / 6, abs=0.05)
+
+    def test_sequential_mode_matches_eq2(self):
+        check = verify_bottleneck_law(60.0, 10.0, 1000.0, duration_s=30.0)
+        assert check.sequential_error < 0.05
+        assert check.sequential.action_throughput_hz == pytest.approx(
+            check.sequential_throughput_hz, rel=0.05
+        )
+
+    def test_overlapped_mode_matches_eq3(self):
+        check = verify_bottleneck_law(60.0, 10.0, 1000.0, duration_s=30.0)
+        assert check.overlapped_error < 0.05
+
+    def test_latency_within_analytic_bounds(self):
+        check = verify_bottleneck_law(60.0, 10.0, 1000.0, duration_s=30.0)
+        lower, upper = check.analytic_latency_bounds_s
+        # Overlapped: at least the slowest stage; at most sum + one
+        # sensor period of queueing slack.
+        assert check.overlapped.mean_latency_s >= lower * 0.99
+        assert check.overlapped.mean_latency_s <= upper + 1.0 / 60.0
+        # Sequential: the mean latency is the sum of stage latencies.
+        assert check.sequential.mean_latency_s == pytest.approx(
+            upper, rel=0.05
+        )
+
+    def test_jitter_keeps_throughput_close(self):
+        stats = simulate_pipeline(
+            60.0, 10.0, 1000.0, duration_s=30.0,
+            jitter=GaussianJitter(sigma=0.05), seed=3,
+        )
+        assert stats.action_throughput_hz == pytest.approx(10.0, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = simulate_pipeline(60.0, 10.0, 1000.0, duration_s=5.0,
+                              jitter=UniformJitter(0.1), seed=11)
+        b = simulate_pipeline(60.0, 10.0, 1000.0, duration_s=5.0,
+                              jitter=UniformJitter(0.1), seed=11)
+        assert a.action_throughput_hz == b.action_throughput_hz
+        assert a.mean_latency_s == b.mean_latency_s
+
+    def test_warmup_validation(self):
+        with pytest.raises(SimulationError):
+            simulate_pipeline(10.0, 10.0, 10.0, duration_s=1.0, warmup_s=2.0)
+
+    @given(
+        fs=st.floats(min_value=5.0, max_value=120.0),
+        fc=st.floats(min_value=0.5, max_value=300.0),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_bottleneck_law_property(self, fs, fc):
+        stats = simulate_pipeline(fs, fc, 1000.0, duration_s=25.0)
+        analytic = min(fs, fc, 1000.0)
+        assert stats.action_throughput_hz == pytest.approx(analytic, rel=0.1)

@@ -1,0 +1,163 @@
+"""Tests for redundancy modeling: payload, reliability, voting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.redundancy.modular import RedundancyScheme, apply_redundancy
+from repro.redundancy.reliability import (
+    ReliabilityModel,
+    mission_reliability,
+    mttf_hours,
+    safety_probability,
+)
+from repro.redundancy.voter import (
+    FaultyChannel,
+    MajorityVoter,
+    VoteOutcome,
+    fault_injection_campaign,
+)
+
+import numpy as np
+
+
+class TestSchemes:
+    def test_replica_counts(self):
+        assert RedundancyScheme.SIMPLEX.replicas == 1
+        assert RedundancyScheme.DMR.replicas == 2
+        assert RedundancyScheme.TMR.replicas == 3
+
+    def test_fault_tolerance_properties(self):
+        assert RedundancyScheme.DMR.tolerates_detected_faults == 1
+        assert RedundancyScheme.DMR.tolerates_masked_faults == 0
+        assert RedundancyScheme.TMR.tolerates_masked_faults == 1
+
+
+class TestApplyRedundancy:
+    def test_dmr_doubles_compute_payload(self, pelican_tx2):
+        design = apply_redundancy(pelican_tx2, RedundancyScheme.DMR)
+        assert design.added_payload_g == pytest.approx(
+            pelican_tx2.compute.flight_mass_g
+        )
+        assert design.uav.compute_redundancy == 2
+
+    def test_voter_latency_slows_compute(self, pelican_tx2):
+        design = apply_redundancy(
+            pelican_tx2, RedundancyScheme.DMR, voter_latency_s=0.001
+        )
+        assert design.compute_throughput_with_voter(178.0) < 178.0
+        zero = apply_redundancy(pelican_tx2, RedundancyScheme.DMR)
+        assert zero.compute_throughput_with_voter(178.0) == 178.0
+
+    def test_paper_33pct_velocity_drop(self):
+        from repro.compute.platforms import get_platform
+        from repro.uav.presets import asctec_pelican
+
+        base = asctec_pelican(get_platform("jetson-tx2"), sensor_range_m=4.5)
+        dmr = apply_redundancy(base, RedundancyScheme.DMR)
+        drop = 1 - dmr.uav.f1(178.0).roof_velocity / base.f1(178.0).roof_velocity
+        assert drop == pytest.approx(0.33, abs=0.005)
+
+
+class TestReliability:
+    MODEL = ReliabilityModel(failure_rate_per_hour=1e-3)
+
+    def test_simplex_exponential(self):
+        import math
+
+        r = mission_reliability(RedundancyScheme.SIMPLEX, self.MODEL, 10.0)
+        assert r == pytest.approx(math.exp(-0.01))
+
+    def test_tmr_beats_simplex_for_short_missions(self):
+        r_simplex = mission_reliability(
+            RedundancyScheme.SIMPLEX, self.MODEL, 1.0
+        )
+        r_tmr = mission_reliability(RedundancyScheme.TMR, self.MODEL, 1.0)
+        assert r_tmr > r_simplex
+
+    def test_dmr_completion_worse_but_safety_better(self):
+        # DMR completes missions less often (either failure aborts) but
+        # is much safer (a single failure is detected, not silent).
+        complete_dmr = mission_reliability(
+            RedundancyScheme.DMR, self.MODEL, 1.0
+        )
+        complete_simplex = mission_reliability(
+            RedundancyScheme.SIMPLEX, self.MODEL, 1.0
+        )
+        assert complete_dmr < complete_simplex
+        safe_dmr = safety_probability(RedundancyScheme.DMR, self.MODEL, 1.0)
+        safe_simplex = safety_probability(
+            RedundancyScheme.SIMPLEX, self.MODEL, 1.0
+        )
+        assert safe_dmr > safe_simplex
+
+    def test_mttf_ordering(self):
+        mttf_simplex = mttf_hours(RedundancyScheme.SIMPLEX, self.MODEL)
+        mttf_dmr = mttf_hours(RedundancyScheme.DMR, self.MODEL)
+        mttf_tmr = mttf_hours(RedundancyScheme.TMR, self.MODEL)
+        assert mttf_dmr < mttf_tmr < mttf_simplex
+        assert mttf_simplex == pytest.approx(1000.0)
+        assert mttf_tmr == pytest.approx(5000.0 / 6.0)
+
+    @given(hours=st.floats(min_value=0.0, max_value=100.0))
+    def test_probabilities_are_probabilities(self, hours):
+        for scheme in RedundancyScheme:
+            for fn in (mission_reliability, safety_probability):
+                p = fn(scheme, self.MODEL, hours)
+                assert 0.0 <= p <= 1.0
+
+
+class TestVoter:
+    def test_unanimous_correct(self):
+        rng = np.random.default_rng(0)
+        voter = MajorityVoter(
+            [FaultyChannel(0.0, rng) for _ in range(3)]
+        )
+        action, outcome = voter.vote(correct_action=7)
+        assert action == 7
+        assert outcome is VoteOutcome.UNANIMOUS
+
+    def test_tmr_masks_single_fault(self):
+        rng = np.random.default_rng(0)
+        channels = [
+            FaultyChannel(0.0, rng),
+            FaultyChannel(0.0, rng),
+            FaultyChannel(1.0, rng),  # always faulty
+        ]
+        action, outcome = MajorityVoter(channels).vote(correct_action=7)
+        assert action == 7
+        assert outcome is VoteOutcome.MASKED
+
+    def test_dmr_detects_divergence(self):
+        rng = np.random.default_rng(0)
+        channels = [FaultyChannel(0.0, rng), FaultyChannel(1.0, rng)]
+        action, outcome = MajorityVoter(channels).vote(
+            correct_action=7, safe_action=0
+        )
+        assert action == 0  # the safe fallback
+        assert outcome is VoteOutcome.DETECTED
+
+    def test_campaign_statistics(self):
+        tally = fault_injection_campaign(
+            replicas=3, fault_probability=0.05, decisions=5000, seed=1
+        )
+        total = sum(tally.values())
+        assert total == 5000
+        # With p=0.05 and TMR, masking dominates faults; silent faults
+        # (all three agreeing on the same wrong value) are ~impossible.
+        assert tally[VoteOutcome.MASKED] > 0
+        assert tally[VoteOutcome.SILENT_FAULT] == 0
+        assert tally[VoteOutcome.UNANIMOUS] > 0.8 * total
+
+    def test_simplex_faults_are_silent(self):
+        tally = fault_injection_campaign(
+            replicas=1, fault_probability=0.1, decisions=2000, seed=2
+        )
+        # One channel: a fault can never be detected or masked.
+        assert tally[VoteOutcome.DETECTED] == 0
+        assert tally[VoteOutcome.MASKED] == 0
+        assert tally[VoteOutcome.SILENT_FAULT] == pytest.approx(
+            200, rel=0.25
+        )

@@ -1,0 +1,114 @@
+"""Tests for the closed-form sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import F1Model
+from repro.core.safety import safe_velocity
+from repro.core.sensitivity import analyze_sensitivity, velocity_partials
+from repro.uav.presets import custom_s500
+
+D = st.floats(min_value=0.5, max_value=50.0)
+A = st.floats(min_value=0.1, max_value=60.0)
+T = st.floats(min_value=0.01, max_value=10.0)
+
+
+def _finite_difference(fn, x, h=1e-6):
+    return (fn(x + h) - fn(x - h)) / (2 * h)
+
+
+class TestPartials:
+    @given(t=T, d=D, a=A)
+    @settings(max_examples=100)
+    def test_range_partial_matches_fd(self, t, d, a):
+        analytic, _, _ = velocity_partials(t, d, a)
+        numeric = _finite_difference(
+            lambda x: safe_velocity(t, x, a), d, h=d * 1e-6
+        )
+        assert analytic == pytest.approx(numeric, rel=1e-4)
+
+    @given(t=T, d=D, a=A)
+    @settings(max_examples=100)
+    def test_acceleration_partial_matches_fd(self, t, d, a):
+        _, analytic, _ = velocity_partials(t, d, a)
+        numeric = _finite_difference(
+            lambda x: safe_velocity(t, d, x), a, h=a * 1e-6
+        )
+        assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-8)
+
+    @given(t=T, d=D, a=A)
+    @settings(max_examples=100)
+    def test_period_partial_matches_fd(self, t, d, a):
+        _, _, analytic = velocity_partials(t, d, a)
+        numeric = _finite_difference(
+            lambda x: safe_velocity(x, d, a), t, h=max(t * 1e-6, 1e-9)
+        )
+        assert analytic == pytest.approx(numeric, rel=1e-3)
+
+    @given(t=T, d=D, a=A)
+    def test_signs(self, t, d, a):
+        dv_dd, dv_da, dv_dt = velocity_partials(t, d, a)
+        assert dv_dd > 0  # longer sight: faster
+        assert dv_da > 0  # harder braking: faster
+        assert dv_dt < 0  # slower decisions: slower
+
+
+class TestAnalyzeSensitivity:
+    def test_uav_a_payload_cost(self, uav_a):
+        model = uav_a.f1(10.0)
+        report = analyze_sensitivity(
+            model, uav_a.acceleration_model, uav_a.total_mass_g
+        )
+        # Near the margin, every extra gram costs measurable velocity.
+        assert report.d_payload_per_gram is not None
+        assert report.d_payload_per_gram < 0
+        # ~0.44 m/s over the 50 g A->C step => ~9e-3 m/s per gram.
+        assert abs(report.d_payload_per_gram) == pytest.approx(
+            0.0087, rel=0.2
+        )
+
+    def test_floor_regime_mass_is_free(self):
+        uav_b = custom_s500("B")  # braking-floor regime
+        model = uav_b.f1(10.0)
+        report = analyze_sensitivity(
+            model, uav_b.acceleration_model, uav_b.total_mass_g
+        )
+        assert report.d_payload_per_gram == 0.0
+
+    def test_no_payload_without_thrust_model(self, uav_a):
+        report = analyze_sensitivity(uav_a.f1(10.0))
+        assert report.d_payload_per_gram is None
+
+    def test_dominant_knob_near_knee_is_physics(self, uav_a):
+        # At the knee, throughput elasticity is tiny; range/accel rule.
+        model = uav_a.f1(10.0)
+        report = analyze_sensitivity(model)
+        assert report.dominant_knob() in ("sensing range", "acceleration")
+        assert abs(report.elasticity_throughput) < 0.1
+
+    def test_throughput_elasticity_grows_when_compute_bound(self):
+        # Deep in the compute-bound region v ~= d*f: the throughput
+        # elasticity approaches 1 (vs ~0 at the roof) — the signal that
+        # compute optimization pays off there and nowhere else.
+        bound = analyze_sensitivity(
+            F1Model.from_components(3.0, 2.891, 60.0, 0.5)
+        )
+        at_roof = analyze_sensitivity(
+            F1Model.from_components(3.0, 2.891, 60.0, 500.0)
+        )
+        assert bound.elasticity_throughput > 0.7
+        assert at_roof.elasticity_throughput < 0.05
+        assert bound.elasticity_acceleration < 0.2  # physics barely helps
+
+    def test_elasticities_sum_rule_at_roof(self):
+        # At the roof v = sqrt(2 d a): each elasticity is exactly 1/2,
+        # so they sum to 1.
+        model = F1Model.from_components(10.0, 50.0, 1e5, 1e5)
+        report = analyze_sensitivity(model)
+        assert report.elasticity_range == pytest.approx(0.5, abs=0.01)
+        assert report.elasticity_acceleration == pytest.approx(
+            0.5, abs=0.01
+        )

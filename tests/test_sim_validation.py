@@ -1,0 +1,194 @@
+"""Tests for the obstacle-stop simulation and the validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CalibrationError, SimulationError
+from repro.sim.obstacle_stop import ObstacleStopConfig, run_obstacle_stop
+from repro.sim.trials import find_observed_safe_velocity, run_trials
+from repro.validation.calibration import fit_acceleration, fit_sensing_range
+from repro.validation.flight_tests import (
+    predicted_safe_velocity,
+    run_validation_campaign,
+)
+
+
+class TestObstacleStop:
+    def test_slow_flight_is_safe(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=1.0, f_action_hz=10.0)
+        flight = run_obstacle_stop(uav_a, config, seed=0)
+        assert not flight.infraction
+        assert flight.stop_position_m < flight.obstacle_position_m
+
+    def test_fast_flight_collides(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=3.0, f_action_hz=10.0)
+        flight = run_obstacle_stop(uav_a, config, seed=0)
+        assert flight.infraction
+
+    def test_reaches_cruise_before_detection(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=1.5, f_action_hz=10.0)
+        flight = run_obstacle_stop(uav_a, config, seed=0)
+        assert flight.peak_velocity == pytest.approx(1.5, rel=0.05)
+
+    def test_detection_happens_near_sensor_range(self, uav_a):
+        config = ObstacleStopConfig(
+            cruise_velocity=1.5, f_action_hz=10.0, detection_noise_m=0.0
+        )
+        flight = run_obstacle_stop(uav_a, config, seed=0)
+        idx = int(flight.detect_time_s * 1000)
+        position_at_detect = flight.positions[min(idx, len(flight.positions) - 1)]
+        distance = flight.obstacle_position_m - position_at_detect
+        # Detected within (sensor range - travel of one action+sensor tick).
+        assert distance <= uav_a.sensor.range_m
+        assert distance >= uav_a.sensor.range_m - 1.5 * (
+            1.5 * (1 / 10.0 + 1 / 30.0)
+        )
+
+    def test_deterministic_per_seed(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=1.8, f_action_hz=10.0)
+        a = run_obstacle_stop(uav_a, config, seed=5)
+        b = run_obstacle_stop(uav_a, config, seed=5)
+        assert a.stop_position_m == b.stop_position_m
+
+    def test_seed_changes_outcome_details(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=1.8, f_action_hz=10.0)
+        a = run_obstacle_stop(uav_a, config, seed=1)
+        b = run_obstacle_stop(uav_a, config, seed=2)
+        assert a.stop_position_m != b.stop_position_m
+
+    def test_margin_sign_convention(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=1.0, f_action_hz=10.0)
+        flight = run_obstacle_stop(uav_a, config, seed=0)
+        assert flight.margin_m > 0
+        config = ObstacleStopConfig(cruise_velocity=3.0, f_action_hz=10.0)
+        flight = run_obstacle_stop(uav_a, config, seed=0)
+        assert flight.margin_m < 0
+
+    def test_approach_must_exceed_sensing_range(self, uav_a):
+        config = ObstacleStopConfig(
+            cruise_velocity=1.0, approach_distance_m=2.0
+        )
+        with pytest.raises(SimulationError):
+            run_obstacle_stop(uav_a, config, seed=0)
+
+    def test_trajectory_arrays_consistent(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=1.5, f_action_hz=10.0)
+        flight = run_obstacle_stop(uav_a, config, seed=0)
+        assert len(flight.times) == len(flight.positions)
+        assert len(flight.times) == len(flight.velocities)
+        assert list(flight.positions) == sorted(flight.positions)
+
+
+class TestTrials:
+    def test_trials_counts(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=1.0, f_action_hz=10.0)
+        outcome = run_trials(uav_a, config, trials=3, seed=1)
+        assert len(outcome.flights) == 3
+        assert outcome.safe
+        assert outcome.infractions == 0
+
+    def test_any_infraction_is_unsafe(self, uav_a):
+        config = ObstacleStopConfig(cruise_velocity=3.0, f_action_hz=10.0)
+        outcome = run_trials(uav_a, config, trials=3, seed=1)
+        assert outcome.infractions == 3
+        assert not outcome.safe
+
+    def test_search_brackets_predicted(self, uav_a):
+        predicted = predicted_safe_velocity("A")
+        search = find_observed_safe_velocity(
+            uav_a, predicted_velocity=predicted, trials=2, seed=3
+        )
+        observed = search.observed_safe_velocity
+        assert 0.6 * predicted <= observed <= predicted
+        # the search stops at the first unsafe velocity
+        assert not search.outcomes[-1].safe
+
+    def test_search_requires_seed_or_grid(self, uav_a):
+        with pytest.raises(SimulationError):
+            find_observed_safe_velocity(uav_a)
+
+
+class TestValidationCampaign:
+    def test_error_band_matches_paper(self):
+        # The paper reports 5.1-9.5 % optimism; allow a slightly wider
+        # band for the simulated stand-in.
+        campaign = run_validation_campaign(trials=2, seed=7)
+        for variant, row in campaign.items():
+            assert 0.0 < row.error_pct <= 15.0, variant
+            assert row.observed_velocity < row.predicted_velocity
+
+    def test_predictions_match_paper(self):
+        paper = {"A": 2.13, "B": 1.51, "C": 1.58, "D": 1.53}
+        for variant, expected in paper.items():
+            assert predicted_safe_velocity(variant) == pytest.approx(
+                expected, rel=0.06
+            )
+
+    def test_subset_of_variants(self):
+        campaign = run_validation_campaign(
+            trials=1, seed=7, variants=["A"]
+        )
+        assert list(campaign) == ["A"]
+
+
+class TestErrorDecomposition:
+    def test_ablations_recover_velocity(self, uav_a):
+        from repro.validation.error_analysis import decompose_error
+
+        predicted = uav_a.f1(10.0).velocity_at(10.0)
+        breakdown = decompose_error(
+            uav_a, predicted, trials=1, seed=11
+        )
+        # The fully idealized simulator must get closest to the model.
+        assert breakdown.observed_ideal >= breakdown.observed_full
+        assert breakdown.observed_no_lag >= breakdown.observed_full
+        assert breakdown.observed_no_derate >= breakdown.observed_full
+        assert 0.0 <= breakdown.total_error_pct <= 20.0
+        # Contributions are non-negative recoveries.
+        assert breakdown.lag_contribution_pct >= 0.0
+        assert breakdown.derate_contribution_pct >= 0.0
+
+
+class TestCalibration:
+    def test_fit_acceleration_single_sample(self):
+        # v*T + v^2/2a = d  ->  exact recovery.
+        from repro.core.safety import safe_velocity
+
+        a_true, d = 0.7264, 3.0
+        v = safe_velocity(0.1, d, a_true)
+        assert fit_acceleration([(0.1, v)], d) == pytest.approx(
+            a_true, rel=1e-6
+        )
+
+    def test_fit_acceleration_multi_sample(self):
+        from repro.core.safety import safe_velocity
+
+        a_true, d = 2.891, 3.0
+        samples = [
+            (t, safe_velocity(t, d, a_true)) for t in (0.05, 0.1, 0.5, 1.0)
+        ]
+        assert fit_acceleration(samples, d) == pytest.approx(
+            a_true, rel=1e-4
+        )
+
+    def test_fit_sensing_range(self):
+        from repro.core.safety import safe_velocity
+
+        a, d_true = 0.7264, 3.0
+        samples = [
+            (t, safe_velocity(t, d_true, a)) for t in (0.1, 0.2, 0.5)
+        ]
+        assert fit_sensing_range(samples, a) == pytest.approx(
+            d_true, rel=1e-4
+        )
+
+    def test_infeasible_sample_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_acceleration([(10.0, 2.0)], sensing_range_m=3.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_acceleration([], sensing_range_m=3.0)
+        with pytest.raises(CalibrationError):
+            fit_sensing_range([], a_max=1.0)

@@ -1,0 +1,177 @@
+"""Tests for the Skyline tool: knobs, analysis, reports, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import BoundKind
+from repro.errors import ConfigurationError
+from repro.skyline.analysis import analyze_design
+from repro.skyline.cli import main as cli_main
+from repro.skyline.knobs import Knobs
+from repro.skyline.plotting import roofline_figure
+from repro.skyline.tool import Skyline
+
+
+class TestKnobs:
+    def test_defaults_build_a_flyable_uav(self):
+        uav = Knobs().build_uav()
+        assert uav.total_mass_g > 0
+        assert uav.max_acceleration > 0
+
+    def test_runtime_knob_maps_to_throughput(self):
+        knobs = Knobs(compute_runtime_s=0.909)
+        assert knobs.f_compute_hz == pytest.approx(1.1, abs=0.002)
+
+    def test_tdp_knob_sizes_heatsink(self):
+        light = Knobs(compute_tdp_w=1.5).build_uav()
+        heavy = Knobs(compute_tdp_w=30.0).build_uav()
+        assert heavy.total_mass_g - light.total_mass_g > 100.0
+
+    def test_payload_knob_adds_weight(self):
+        base = Knobs().build_uav()
+        loaded = Knobs(payload_weight_g=500.0).build_uav()
+        assert loaded.total_mass_g == pytest.approx(
+            base.total_mass_g + 500.0
+        )
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Knobs(sensor_framerate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            Knobs(compute_runtime_s=-1.0)
+
+
+class TestAnalysis:
+    def test_compute_bound_tip_quantifies_speedup(self, pelican_tx2):
+        result = analyze_design(pelican_tx2, f_compute_hz=1.1)
+        assert result.bound is BoundKind.COMPUTE
+        assert any("39" in tip for tip in result.tips)
+
+    def test_physics_bound_suggests_tdp_trade(self, spark_agx):
+        result = analyze_design(spark_agx, f_compute_hz=230.0)
+        assert result.bound is BoundKind.PHYSICS
+        assert any("over-provisioned" in tip for tip in result.tips)
+        assert result.tdp_scenario is not None
+        assert "halving TDP" in result.tdp_scenario
+
+    def test_sensor_bound_tip(self, pelican_tx2):
+        slow_sensor = pelican_tx2.with_sensor(
+            pelican_tx2.sensor.with_framerate(10.0)
+        )
+        result = analyze_design(slow_sensor, f_compute_hz=178.0)
+        assert result.bound is BoundKind.SENSOR
+        assert any("sensor" in tip for tip in result.tips)
+
+    def test_no_tdp_scenario_for_heatsinkless(self, spark_ncs):
+        result = analyze_design(spark_ncs, f_compute_hz=150.0)
+        assert result.tdp_scenario is None
+
+
+class TestSkylineSession:
+    def test_from_preset_with_overrides(self):
+        session = Skyline.from_preset(
+            "asctec-pelican",
+            compute_name="jetson-tx2",
+            sensor_range_m=3.0,
+            sensor_framerate_hz=30.0,
+        )
+        assert session.uav.sensor.range_m == 3.0
+        assert session.uav.sensor.framerate_hz == 30.0
+
+    def test_evaluate_algorithm_report(self, ):
+        session = Skyline.from_preset("dji-spark", compute_name="intel-ncs")
+        report = session.evaluate_algorithm("dronet")
+        assert report.f_compute_hz == 150.0
+        text = report.text()
+        assert "dji-spark" in text
+        assert "Optimization tips" in text
+
+    def test_evaluate_throughput_runtime_knob(self):
+        session = Skyline.from_preset(
+            "asctec-pelican", sensor_range_m=3.0
+        )
+        report = session.evaluate_throughput(1.1, label="spa")
+        assert report.analysis.bound is BoundKind.COMPUTE
+
+    def test_figure_and_ascii_need_reports(self):
+        session = Skyline.from_preset("dji-spark")
+        with pytest.raises(ValueError):
+            session.figure()
+        session.evaluate_algorithm("dronet")
+        assert "F-1" in session.ascii()
+        svg = session.figure().render().to_svg()
+        assert "dronet" in svg
+
+    def test_reports_accumulate(self):
+        session = Skyline.from_preset("dji-spark", compute_name="intel-ncs")
+        session.evaluate_algorithm("dronet")
+        session.evaluate_throughput(55.0, label="custom")
+        assert len(session.reports) == 2
+
+
+class TestRooflineFigure:
+    def test_entries_plotted_with_knees(self, pelican_tx2):
+        plot = roofline_figure(
+            (("one", pelican_tx2.f1(1.1)), ("two", pelican_tx2.f1(178.0))),
+        )
+        svg = plot.render().to_svg()
+        assert "one" in svg and "two" in svg
+        assert "knee" in svg
+
+
+class TestCli:
+    def test_analyze_algorithm(self, capsys):
+        code = cli_main(
+            [
+                "analyze", "--uav", "dji-spark", "--compute", "intel-ncs",
+                "--algorithm", "dronet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Skyline analysis" in out
+
+    def test_analyze_runtime_with_plot(self, capsys, tmp_path):
+        plot = tmp_path / "out.svg"
+        code = cli_main(
+            [
+                "analyze", "--uav", "asctec-pelican", "--runtime", "0.909",
+                "--sensor-range", "3.0", "--plot", str(plot), "--ascii",
+            ]
+        )
+        assert code == 0
+        assert plot.exists()
+        out = capsys.readouterr().out
+        assert "F-1" in out
+
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dji-spark" in out
+        assert "jetson-tx2" in out
+        assert "dronet" in out
+
+    def test_sweep_subcommand(self, capsys, tmp_path):
+        plot = tmp_path / "sweep.svg"
+        code = cli_main(
+            [
+                "sweep", "--knob", "compute_tdp_w",
+                "--values", "1", "15", "30",
+                "--plot", str(plot),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compute_tdp_w" in out
+        assert plot.exists()
+
+    def test_sweep_reports_crossover(self, capsys):
+        code = cli_main(
+            [
+                "sweep", "--knob", "compute_runtime_s",
+                "--values", "0.005", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "bound changes" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Tests for UAV component dataclasses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uav.components import (
+    Battery,
+    ComputePlatform,
+    FlightControllerBoard,
+    Frame,
+    Motor,
+    Sensor,
+)
+
+
+class TestFrame:
+    def test_disk_area(self):
+        frame = Frame(name="t", base_mass_g=500.0, size_mm=450.0,
+                      rotor_count=4, rotor_radius_m=0.1)
+        assert frame.disk_area_m2 == pytest.approx(4 * math.pi * 0.01)
+
+    def test_minimum_rotor_count(self):
+        with pytest.raises(ValueError):
+            Frame(name="t", base_mass_g=500.0, size_mm=450.0, rotor_count=2)
+
+    def test_invalid_mass(self):
+        with pytest.raises(ConfigurationError):
+            Frame(name="t", base_mass_g=0.0, size_mm=450.0)
+
+
+class TestSensor:
+    def test_sample_period(self):
+        sensor = Sensor(name="cam", framerate_hz=60.0, range_m=10.0)
+        assert sensor.sample_period_s == pytest.approx(1 / 60)
+
+    def test_with_range_copies(self):
+        sensor = Sensor(name="cam", framerate_hz=60.0, range_m=10.0)
+        longer = sensor.with_range(20.0)
+        assert longer.range_m == 20.0
+        assert sensor.range_m == 10.0
+        assert longer.framerate_hz == sensor.framerate_hz
+
+    def test_with_framerate_copies(self):
+        sensor = Sensor(name="cam", framerate_hz=60.0, range_m=10.0)
+        assert sensor.with_framerate(30.0).framerate_hz == 30.0
+
+    def test_invalid_framerate(self):
+        with pytest.raises(ConfigurationError):
+            Sensor(name="cam", framerate_hz=0.0, range_m=10.0)
+
+
+class TestBattery:
+    def test_energy(self):
+        battery = Battery(name="3s", capacity_mah=5000.0, voltage_v=11.1)
+        assert battery.energy_wh == pytest.approx(55.5)
+
+    def test_usable_energy(self):
+        battery = Battery(
+            name="3s", capacity_mah=1000.0, voltage_v=10.0,
+            usable_fraction=0.8,
+        )
+        assert battery.usable_energy_wh == pytest.approx(8.0)
+
+    def test_invalid_usable_fraction(self):
+        with pytest.raises(ConfigurationError):
+            Battery(name="b", capacity_mah=100.0, voltage_v=3.7,
+                    usable_fraction=1.0)
+
+
+class TestComputePlatform:
+    def _platform(self, **kwargs) -> ComputePlatform:
+        defaults = dict(
+            name="test",
+            mass_g=280.0,
+            tdp_w=30.0,
+            peak_gflops=1000.0,
+            mem_bandwidth_gbs=100.0,
+        )
+        defaults.update(kwargs)
+        return ComputePlatform(**defaults)
+
+    def test_heatsink_sized_from_tdp(self):
+        platform = self._platform()
+        assert platform.heatsink_mass_g == pytest.approx(162.0, abs=1.0)
+        assert platform.flight_mass_g == pytest.approx(442.0, abs=1.0)
+
+    def test_no_heatsink_option(self):
+        platform = self._platform(needs_heatsink=False)
+        assert platform.heatsink_mass_g == 0.0
+        assert platform.flight_mass_g == 280.0
+
+    def test_carrier_mass_included(self):
+        platform = self._platform(carrier_mass_g=60.0, needs_heatsink=False)
+        assert platform.flight_mass_g == 340.0
+
+    def test_with_tdp_shrinks_heatsink(self):
+        platform = self._platform()
+        rebinned = platform.with_tdp(15.0)
+        assert rebinned.tdp_w == 15.0
+        assert rebinned.heatsink_mass_g < platform.heatsink_mass_g
+        assert rebinned.name == "test-15w"
+        assert platform.tdp_w == 30.0  # original untouched
+
+    def test_with_tdp_custom_name(self):
+        assert self._platform().with_tdp(5.0, name="tiny").name == "tiny"
+
+
+class TestMotorAndFC:
+    def test_motor_validation(self):
+        with pytest.raises(ConfigurationError):
+            Motor(name="m", rated_pull_g=0.0)
+        motor = Motor(name="m", rated_pull_g=435.0, kv=920.0)
+        assert motor.kv == 920.0
+
+    def test_fc_defaults(self):
+        fc = FlightControllerBoard(name="fmu")
+        assert fc.loop_rate_hz == 1000.0
+        assert fc.mass_g == 0.0

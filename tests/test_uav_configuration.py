@@ -1,0 +1,108 @@
+"""Tests for whole-vehicle configuration accounting and builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compute.platforms import get_platform
+from repro.errors import ConfigurationError
+from repro.uav.presets import custom_s500, dji_spark
+
+
+class TestMassAccounting:
+    def test_table1_uav_a(self, uav_a):
+        assert uav_a.payload_mass_g == 590.0
+        assert uav_a.total_mass_g == 1620.0
+        assert uav_a.total_thrust_g == pytest.approx(1740.0)
+        assert uav_a.thrust_to_weight == pytest.approx(1740.0 / 1620.0)
+
+    def test_table1_all_variants(self):
+        expected = {"A": 1620.0, "B": 1830.0, "C": 1670.0, "D": 1720.0}
+        for variant, total in expected.items():
+            assert custom_s500(variant).total_mass_g == total
+
+    def test_component_sum_without_override(self, spark_ncs):
+        expected = (
+            spark_ncs.battery.mass_g
+            + spark_ncs.sensor.mass_g
+            + spark_ncs.compute.flight_mass_g
+        )
+        assert spark_ncs.payload_mass_g == pytest.approx(expected)
+
+    def test_extra_payload_adds(self, spark_ncs):
+        heavier = spark_ncs.with_extra_payload(100.0)
+        assert heavier.total_mass_g == pytest.approx(
+            spark_ncs.total_mass_g + 100.0
+        )
+
+    def test_redundancy_multiplies_compute(self, pelican_tx2):
+        dmr = pelican_tx2.with_redundancy(2)
+        assert dmr.compute_payload_g == pytest.approx(
+            2 * pelican_tx2.compute_payload_g
+        )
+        assert dmr.compute_redundancy == 2
+
+    def test_invalid_redundancy(self, pelican_tx2):
+        with pytest.raises(ConfigurationError):
+            pelican_tx2.with_redundancy(0)
+
+
+class TestPhysicsDerivation:
+    def test_uav_a_acceleration(self, uav_a):
+        # g * 120/1620 with the braking floor not engaged.
+        assert uav_a.max_acceleration == pytest.approx(0.7264, abs=1e-3)
+
+    def test_uav_b_floor_engaged(self):
+        uav_b = custom_s500("B")
+        assert uav_b.max_acceleration == pytest.approx(0.3938, abs=1e-3)
+
+    def test_heavier_is_slower(self, spark_ncs, spark_agx):
+        assert spark_agx.max_acceleration < spark_ncs.max_acceleration
+
+
+class TestBuilders:
+    def test_with_compute_swaps_platform(self, spark_ncs):
+        agx = spark_ncs.with_compute(get_platform("jetson-agx-30w"))
+        assert agx.compute.name == "jetson-agx-30w"
+        assert agx.total_mass_g > spark_ncs.total_mass_g
+        assert "jetson-agx-30w" in agx.name
+
+    def test_with_sensor_range(self, spark_ncs):
+        shorter = spark_ncs.with_sensor_range(4.0)
+        assert shorter.sensor.range_m == 4.0
+        assert shorter.sensor.framerate_hz == spark_ncs.sensor.framerate_hz
+
+    def test_builders_leave_original(self, spark_ncs):
+        spark_ncs.with_extra_payload(500.0)
+        spark_ncs.with_redundancy(3)
+        assert spark_ncs.extra_payload_g == 0.0
+        assert spark_ncs.compute_redundancy == 1
+
+
+class TestF1Construction:
+    def test_f1_uses_sensor_and_fc_rates(self, pelican_tx2):
+        model = pelican_tx2.f1(178.0)
+        assert model.pipeline.f_sensor_hz == 60.0
+        assert model.pipeline.f_compute_hz == 178.0
+        assert model.pipeline.f_control_hz == 1000.0
+        assert model.sensing_range_m == 3.0
+
+    def test_f1_custom_knee_strategy(self, pelican_tx2):
+        from repro.core.knee import LinearIntersectionKnee
+
+        model = pelican_tx2.f1(178.0, knee_strategy=LinearIntersectionKnee())
+        default = pelican_tx2.f1(178.0)
+        assert model.knee.throughput_hz < default.knee.throughput_hz
+
+    def test_describe_includes_budget(self, uav_a):
+        text = uav_a.describe()
+        assert "1620" in text
+        assert "1740" in text
+
+
+class TestSparkPreset:
+    def test_spark_sensor_defaults(self):
+        uav = dji_spark()
+        assert uav.sensor.range_m == 10.0
+        assert uav.sensor.framerate_hz == 60.0
+        assert uav.compute.name == "intel-ncs"

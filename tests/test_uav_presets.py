@@ -1,0 +1,126 @@
+"""Calibration tests: presets must reproduce the paper's anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autonomy.workloads import get_algorithm
+from repro.compute.platforms import get_platform
+from repro.errors import ConfigurationError, UnknownComponentError
+from repro.uav.classes import SizeClass, classify_size, envelope_for
+from repro.uav.presets import asctec_pelican, custom_s500, dji_spark, nano_uav
+from repro.uav.registry import UAV_PRESETS, get_preset
+
+
+class TestS500Presets:
+    def test_predicted_velocities_near_paper(self):
+        # Paper Sec. IV: 2.13 / 1.58 / 1.53 / 1.51 m/s at the 10 Hz loop.
+        paper = {"A": 2.13, "C": 1.58, "D": 1.53, "B": 1.51}
+        for variant, expected in paper.items():
+            uav = custom_s500(variant)
+            v = uav.f1(10.0).velocity_at(10.0)
+            assert v == pytest.approx(expected, rel=0.06), variant
+
+    def test_b_and_d_share_the_braking_floor(self):
+        # Both sit below the rated margin; the paper measured ~1.5 both.
+        v_b = custom_s500("B").f1(10.0).velocity_at(10.0)
+        v_d = custom_s500("D").f1(10.0).velocity_at(10.0)
+        assert v_b == pytest.approx(v_d)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            custom_s500("E")
+
+    def test_variant_case_insensitive(self):
+        assert custom_s500("a").name == "uav-a"
+
+
+class TestSparkCalibration:
+    def test_agx_15w_raises_velocity_75pct(self):
+        # The Sec. VI-A anchor used to calibrate the Spark thrust.
+        dronet = get_algorithm("dronet")
+        roofs = {}
+        for name in ("jetson-agx-30w", "jetson-agx-15w"):
+            uav = dji_spark(get_platform(name))
+            roofs[name] = uav.f1(dronet.throughput_on(uav.compute)).roof_velocity
+        gain = roofs["jetson-agx-15w"] / roofs["jetson-agx-30w"] - 1.0
+        assert gain == pytest.approx(0.75, abs=0.01)
+
+    def test_ncs_beats_agx(self):
+        ncs = dji_spark(get_platform("intel-ncs"))
+        agx = dji_spark(get_platform("jetson-agx-30w"))
+        assert ncs.f1(150.0).roof_velocity > agx.f1(230.0).roof_velocity
+
+    def test_spark_tx2_knee_near_30hz(self):
+        uav = dji_spark(get_platform("jetson-tx2"))
+        knee = uav.f1(178.0).knee.throughput_hz
+        assert knee == pytest.approx(33.8, abs=0.5)  # paper: "only 30 Hz"
+
+
+class TestPelicanCalibration:
+    def test_case_b_knee_43hz(self, pelican_tx2):
+        assert pelican_tx2.f1(1.1).knee.throughput_hz == pytest.approx(
+            43.0, abs=0.2
+        )
+
+    def test_case_b_spa_velocity(self, pelican_tx2):
+        assert pelican_tx2.f1(1.1).safe_velocity == pytest.approx(
+            2.30, abs=0.02
+        )
+
+    def test_case_c_dmr_costs_33pct(self):
+        uav = asctec_pelican(get_platform("jetson-tx2"), sensor_range_m=4.5)
+        dmr = uav.with_redundancy(2)
+        drop = 1.0 - dmr.f1(178.0).roof_velocity / uav.f1(178.0).roof_velocity
+        assert drop == pytest.approx(0.33, abs=0.005)
+
+
+class TestNanoCalibration:
+    def test_knee_26hz(self, nano_pulp):
+        assert nano_pulp.f1(6.0).knee.throughput_hz == pytest.approx(
+            26.0, abs=0.2
+        )
+
+    def test_pulp_speedup_433(self, nano_pulp):
+        report = nano_pulp.f1(6.0).optimality()
+        assert report.required_speedup == pytest.approx(4.33, abs=0.05)
+
+    def test_roof_near_5ms(self, nano_pulp):
+        assert nano_pulp.f1(6.0).roof_velocity == pytest.approx(5.0, abs=0.1)
+
+
+class TestRegistry:
+    def test_all_presets_instantiate(self):
+        for name in UAV_PRESETS:
+            uav = get_preset(name)
+            assert uav.total_mass_g > 0
+            assert uav.max_acceleration > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(UnknownComponentError):
+            get_preset("not-a-drone")
+
+    def test_presets_are_fresh_instances(self):
+        assert get_preset("dji-spark") is not get_preset("dji-spark")
+
+
+class TestSizeClasses:
+    def test_classification(self):
+        assert classify_size(92.0) is SizeClass.NANO
+        assert classify_size(250.0) is SizeClass.MICRO
+        assert classify_size(651.0) is SizeClass.MINI
+
+    def test_preset_classes(self):
+        assert classify_size(nano_uav().frame.size_mm) is SizeClass.NANO
+        assert classify_size(asctec_pelican().frame.size_mm) is SizeClass.MINI
+
+    def test_envelopes(self):
+        nano = envelope_for(SizeClass.NANO)
+        mini = envelope_for(SizeClass.MINI)
+        assert nano.typical_battery_mah == 240.0
+        assert mini.typical_battery_mah == 3830.0
+        assert nano.typical_endurance_min < mini.typical_endurance_min
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            classify_size(0.0)

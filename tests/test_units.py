@@ -1,0 +1,81 @@
+"""Tests for unit conversions and validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class TestConversions:
+    def test_mass_roundtrip(self):
+        assert units.kg_to_grams(units.grams_to_kg(1234.0)) == pytest.approx(1234.0)
+
+    def test_gram_force(self):
+        assert units.gram_force_to_newtons(1000.0) == pytest.approx(
+            units.GRAVITY
+        )
+        assert units.newtons_to_gram_force(
+            units.gram_force_to_newtons(435.0)
+        ) == pytest.approx(435.0)
+
+    def test_rate_period_roundtrip(self):
+        assert units.period_to_hz(units.hz_to_period(60.0)) == pytest.approx(60.0)
+
+    def test_ms_conversion(self):
+        assert units.ms_to_s(910.0) == pytest.approx(0.91)
+        assert units.s_to_ms(0.91) == pytest.approx(910.0)
+
+    def test_angles(self):
+        assert units.deg_to_rad(180.0) == pytest.approx(math.pi)
+        assert units.rad_to_deg(math.pi / 2) == pytest.approx(90.0)
+
+    def test_battery_energy(self):
+        # 5000 mAh at 11.1 V = 55.5 Wh (the Table I battery).
+        assert units.mah_to_wh(5000.0, 11.1) == pytest.approx(55.5)
+
+    def test_wh_to_joules(self):
+        assert units.wh_to_joules(1.0) == 3600.0
+
+
+class TestValidation:
+    def test_require_positive_accepts(self):
+        assert units.require_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_require_positive_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            units.require_positive("x", bad)
+
+    def test_require_positive_rejects_none(self):
+        with pytest.raises(ConfigurationError):
+            units.require_positive("x", None)  # type: ignore[arg-type]
+
+    def test_require_nonnegative(self):
+        assert units.require_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            units.require_nonnegative("x", -0.1)
+
+    def test_require_fraction(self):
+        assert units.require_fraction("x", 0.5) == 0.5
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                units.require_fraction("x", bad)
+
+    def test_require_in_range(self):
+        assert units.require_in_range("x", 5.0, 0.0, 10.0) == 5.0
+        with pytest.raises(ConfigurationError):
+            units.require_in_range("x", 11.0, 0.0, 10.0)
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="thrust"):
+            units.require_positive("thrust", -1.0)
+
+    @given(value=st.floats(min_value=1e-9, max_value=1e9))
+    def test_positive_values_pass_through(self, value):
+        assert units.require_positive("v", value) == value

@@ -1,0 +1,161 @@
+"""Tests for the SVG/ASCII plotting substrate."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.viz.ascii_plot import ascii_plot
+from repro.viz.axes import Axis, LinearScale, LogScale
+from repro.viz.lineplot import LinePlot
+from repro.viz.svg import SvgCanvas
+
+
+class TestSvgCanvas:
+    def test_valid_xml(self):
+        canvas = SvgCanvas(200, 100)
+        canvas.line(0, 0, 10, 10)
+        canvas.circle(5, 5, 2)
+        canvas.text(10, 20, "hello")
+        canvas.polyline([(0, 0), (5, 5), (10, 0)])
+        root = ET.fromstring(canvas.to_svg())
+        assert root.tag.endswith("svg")
+        assert root.attrib["width"] == "200"
+
+    def test_text_escaping(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.text(0, 0, 'a < b & "c"')
+        svg = canvas.to_svg()
+        assert "&lt;" in svg and "&amp;" in svg and "&quot;" in svg
+        ET.fromstring(svg)  # still parses
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(100, 100)
+        path = tmp_path / "out.svg"
+        canvas.save(str(path))
+        assert path.read_text().startswith("<?xml")
+
+    def test_short_polyline_ignored(self):
+        canvas = SvgCanvas(100, 100)
+        before = canvas.to_svg()
+        canvas.polyline([(1, 1)])
+        assert canvas.to_svg() == before
+
+
+class TestScales:
+    def test_linear_normalize(self):
+        scale = LinearScale(0.0, 10.0)
+        assert scale.normalize(5.0) == 0.5
+        assert scale.normalize(0.0) == 0.0
+
+    def test_linear_ticks_are_nice(self):
+        ticks = LinearScale(0.0, 10.0).ticks()
+        assert 0.0 in ticks and 10.0 in ticks
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform spacing
+
+    def test_log_normalize(self):
+        scale = LogScale(1.0, 100.0)
+        assert scale.normalize(10.0) == pytest.approx(0.5)
+
+    def test_log_ticks_are_decades(self):
+        ticks = LogScale(0.5, 2000.0).ticks()
+        assert ticks == [1.0, 10.0, 100.0, 1000.0]
+
+    def test_invalid_domains(self):
+        with pytest.raises(ConfigurationError):
+            LinearScale(5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            LogScale(0.0, 10.0)
+
+    @given(
+        lo=st.floats(min_value=-1e3, max_value=1e3),
+        span=st.floats(min_value=1e-3, max_value=1e3),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_linear_normalize_in_unit_interval(self, lo, span, frac):
+        scale = LinearScale(lo, lo + span)
+        value = lo + frac * span
+        assert -1e-9 <= scale.normalize(value) <= 1.0 + 1e-9
+
+    def test_axis_pixel_mapping_inverted_range(self):
+        axis = Axis("y", LinearScale(0.0, 10.0))
+        # SVG y grows downward: the pixel range is (bottom, top).
+        assert axis.to_pixels(0.0, (400.0, 40.0)) == 400.0
+        assert axis.to_pixels(10.0, (400.0, 40.0)) == 40.0
+
+
+class TestLinePlot:
+    def _plot(self) -> LinePlot:
+        plot = LinePlot(
+            title="t", x_label="x", y_label="y", log_x=True
+        )
+        plot.add_series("curve", [1.0, 10.0, 100.0], [1.0, 5.0, 6.0])
+        plot.add_marker(10.0, 5.0, label="knee")
+        plot.add_hline(6.0, label="roof")
+        plot.add_vline(10.0, label="k")
+        return plot
+
+    def test_render_valid_svg(self):
+        svg = self._plot().render().to_svg()
+        ET.fromstring(svg)
+        assert "curve" in svg
+        assert "knee" in svg
+        assert "roof" in svg
+
+    def test_save(self, tmp_path):
+        path = self._plot().save(str(tmp_path / "plot.svg"))
+        assert path.endswith("plot.svg")
+        ET.fromstring(open(path).read())
+
+    def test_empty_plot_rejected(self):
+        plot = LinePlot(title="t", x_label="x", y_label="y")
+        with pytest.raises(ConfigurationError, match="nothing to plot"):
+            plot.render()
+
+    def test_mismatched_series_rejected(self):
+        plot = LinePlot(title="t", x_label="x", y_label="y")
+        with pytest.raises(ConfigurationError):
+            plot.add_series("bad", [1.0, 2.0], [1.0])
+
+    def test_single_point_series_rejected(self):
+        plot = LinePlot(title="t", x_label="x", y_label="y")
+        with pytest.raises(ConfigurationError):
+            plot.add_series("dot", [1.0], [1.0])
+
+
+class TestAsciiPlot:
+    def test_contains_glyphs_and_legend(self):
+        text = ascii_plot(
+            [("a", [1, 2, 3], [1, 2, 3]), ("b", [1, 2, 3], [3, 2, 1])],
+            width=40, height=10,
+        )
+        assert "*" in text and "o" in text
+        assert "a" in text and "b" in text
+
+    def test_log_x(self):
+        text = ascii_plot(
+            [("c", [1.0, 10.0, 100.0], [0.0, 1.0, 2.0])],
+            width=40, height=8, log_x=True, x_label="f",
+        )
+        assert "(log)" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("c", [0.0, 1.0], [0.0, 1.0])], log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([("a", [1, 2], [1, 2])], width=5, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([("flat", [0.0, 1.0], [2.0, 2.0])])
+        assert "flat" in text

@@ -1,0 +1,94 @@
+"""Tests for the gust model and its effect on the stop experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.obstacle_stop import ObstacleStopConfig, run_obstacle_stop
+from repro.sim.wind import OrnsteinUhlenbeckGust
+from repro.units import require_positive  # noqa: F401  (API presence)
+
+
+class TestGustProcess:
+    def test_zero_sigma_is_constant(self):
+        gust = OrnsteinUhlenbeckGust(sigma_ms=0.0, mean_ms=1.5)
+        for _ in range(100):
+            assert gust.step(0.01) == 1.5
+
+    def test_stationary_statistics(self):
+        rng = np.random.default_rng(0)
+        gust = OrnsteinUhlenbeckGust(sigma_ms=2.0, tau_s=0.5, rng=rng)
+        samples = [gust.step(0.01) for _ in range(200_000)]
+        warm = np.asarray(samples[5000:])
+        assert warm.mean() == pytest.approx(0.0, abs=0.1)
+        assert warm.std() == pytest.approx(2.0, rel=0.05)
+
+    def test_mean_offset(self):
+        rng = np.random.default_rng(1)
+        gust = OrnsteinUhlenbeckGust(
+            sigma_ms=1.0, tau_s=0.5, mean_ms=3.0, rng=rng
+        )
+        samples = [gust.step(0.01) for _ in range(100_000)]
+        assert np.mean(samples[5000:]) == pytest.approx(3.0, abs=0.1)
+
+    def test_correlation_time(self):
+        # Autocorrelation at lag tau should be ~exp(-1).
+        rng = np.random.default_rng(2)
+        tau = 0.5
+        dt = 0.01
+        gust = OrnsteinUhlenbeckGust(sigma_ms=1.0, tau_s=tau, rng=rng)
+        samples = np.asarray([gust.step(dt) for _ in range(300_000)])
+        samples = samples[10_000:]
+        lag = int(tau / dt)
+        rho = np.corrcoef(samples[:-lag], samples[lag:])[0, 1]
+        assert rho == pytest.approx(np.exp(-1.0), abs=0.05)
+
+    def test_step_invariance_of_variance(self):
+        # Exact discretization: halving dt must not inflate variance.
+        def std_with_dt(dt: float) -> float:
+            rng = np.random.default_rng(3)
+            gust = OrnsteinUhlenbeckGust(sigma_ms=1.0, tau_s=0.3, rng=rng)
+            n = int(500.0 / dt)
+            return float(np.std([gust.step(dt) for _ in range(n)][1000:]))
+
+        assert std_with_dt(0.01) == pytest.approx(
+            std_with_dt(0.002), rel=0.05
+        )
+
+
+class TestGustyFlights:
+    def test_tailwind_lengthens_stop(self, uav_a):
+        calm = run_obstacle_stop(
+            uav_a,
+            ObstacleStopConfig(cruise_velocity=1.8, detection_noise_m=0.0),
+            seed=4,
+        )
+        tailwind = run_obstacle_stop(
+            uav_a,
+            ObstacleStopConfig(
+                cruise_velocity=1.8,
+                detection_noise_m=0.0,
+                mean_wind_ms=2.0,  # steady tailwind kills brake drag
+            ),
+            seed=4,
+        )
+        assert tailwind.stop_position_m > calm.stop_position_m
+
+    def test_gusts_add_dispersion(self, uav_a):
+        def stop(seed: int, sigma: float) -> float:
+            config = ObstacleStopConfig(
+                cruise_velocity=1.8, gust_sigma_ms=sigma
+            )
+            return run_obstacle_stop(uav_a, config, seed=seed).stop_position_m
+
+        calm = [stop(seed, 0.0) for seed in range(6)]
+        gusty = [stop(seed, 1.5) for seed in range(6)]
+        assert np.std(gusty) > np.std(calm)
+
+    def test_default_config_unchanged_by_wind_support(self, uav_a):
+        # The zero-gust path must be bit-identical to the pre-wind sim.
+        config = ObstacleStopConfig(cruise_velocity=1.8)
+        a = run_obstacle_stop(uav_a, config, seed=5)
+        b = run_obstacle_stop(uav_a, config, seed=5)
+        assert a.stop_position_m == b.stop_position_m
