@@ -1,0 +1,123 @@
+"""Benchmark: scalar-loop vs. batch F-1 evaluation at fleet scale.
+
+Evaluates the same design grids through the per-point
+:class:`~repro.core.model.F1Model` loop and the vectorized
+:mod:`repro.batch` engine at 1k / 10k / 100k points, asserting the
+batch path wins at 10k and above (the regime the paper's Sec. V DSE
+sweeps need).  Set ``REPRO_RECORD_BENCH=1`` to append the measured
+numbers to ``benchmarks/results/bench_batch.json`` so the bench
+trajectory keeps populating across machines and revisions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import DesignMatrix, evaluate_matrix, scenario_grid
+
+RESULTS_PATH = Path(__file__).parent / "results" / "bench_batch.json"
+SIZES = (1_000, 10_000, 100_000)
+
+
+def _grid(n_points: int) -> DesignMatrix:
+    """A representative scenario grid with exactly ``n_points`` rows."""
+    per_axis = round(n_points ** (1.0 / 4.0))
+    grid = scenario_grid(
+        sensing_range_m=np.linspace(2.0, 20.0, per_axis),
+        a_max=np.linspace(5.0, 50.0, per_axis),
+        f_sensor_hz=np.linspace(15.0, 90.0, per_axis),
+        f_compute_hz=np.geomspace(1.0, 1000.0, per_axis),
+    )
+    if len(grid) < n_points:
+        raise AssertionError(f"grid too small: {len(grid)} < {n_points}")
+    return grid.take(np.arange(n_points))
+
+
+def _scalar_loop(matrix: DesignMatrix) -> np.ndarray:
+    """The pre-batch consumer idiom: one F1Model per design point."""
+    velocities = np.empty(len(matrix))
+    for i in range(len(matrix)):
+        model = matrix.model_at(i)
+        velocities[i] = model.safe_velocity
+        _ = model.knee.throughput_hz
+        _ = model.bound
+    return velocities
+
+
+def _time(fn, *args):
+    fn(*args)  # warm-up
+    start = time.perf_counter()
+    value = fn(*args)
+    return time.perf_counter() - start, value
+
+
+def _measure(n_points: int) -> dict:
+    matrix = _grid(n_points)
+    scalar_s, scalar_velocities = _time(_scalar_loop, matrix)
+    batch_s, result = _time(
+        lambda m: evaluate_matrix(m, cache=None), matrix
+    )
+    np.testing.assert_allclose(
+        result.safe_velocity, scalar_velocities, atol=1e-9
+    )
+    return {
+        "points": n_points,
+        "scalar_s": round(scalar_s, 6),
+        "batch_s": round(batch_s, 6),
+        "speedup": round(scalar_s / batch_s, 1),
+    }
+
+
+def _record(rows: list) -> None:
+    if not os.environ.get("REPRO_RECORD_BENCH"):
+        return
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    history = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    history.append(
+        {
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "rows": rows,
+        }
+    )
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_bench_batch_vs_scalar():
+    rows = [_measure(n) for n in SIZES]
+    for row in rows:
+        print(
+            f"{row['points']:>7} points: scalar {row['scalar_s']:.4f}s, "
+            f"batch {row['batch_s']:.4f}s ({row['speedup']}x)"
+        )
+    _record(rows)
+    for row in rows:
+        if row["points"] >= 10_000:
+            assert row["batch_s"] < row["scalar_s"], row
+
+
+def test_bench_batch_100k_under_one_second():
+    matrix = _grid(100_000)
+    elapsed, _ = _time(lambda m: evaluate_matrix(m, cache=None), matrix)
+    assert elapsed < 1.0, f"100k-point evaluation took {elapsed:.3f}s"
+
+
+def test_bench_batch_cache_makes_repeats_free(benchmark):
+    from repro.batch import BatchCache
+
+    matrix = _grid(100_000)
+    cache = BatchCache()
+    evaluate_matrix(matrix, cache=cache)  # populate
+
+    result = benchmark(evaluate_matrix, matrix, cache=cache)
+    assert len(result) == 100_000
+    assert cache.stats.hits >= 1

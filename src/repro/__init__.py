@@ -16,6 +16,13 @@ Quickstart::
     print(report.text())
 """
 
+from .batch import (
+    BatchCache,
+    BatchResult,
+    DesignMatrix,
+    evaluate_matrix,
+    scenario_grid,
+)
 from .core import (
     F1Model,
     FixedAcceleration,
@@ -50,6 +57,11 @@ from .uav import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchCache",
+    "BatchResult",
+    "DesignMatrix",
+    "evaluate_matrix",
+    "scenario_grid",
     "F1Model",
     "FixedAcceleration",
     "FractionOfRoofKnee",

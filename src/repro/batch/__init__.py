@@ -1,0 +1,54 @@
+"""repro.batch — vectorized fleet-scale F-1 evaluation.
+
+Every consumer of the F-1 model used to walk design points one
+:class:`~repro.core.model.F1Model` at a time; this subsystem evaluates
+them by the column instead.  A :class:`DesignMatrix` holds the physics
+and pipeline parameters of N design points as structure-of-arrays NumPy
+columns, :func:`evaluate_matrix` runs the closed-form F-1 kernels over
+all of them at once (numerically identical to the scalar path), and the
+resulting :class:`BatchResult` supports selection, sorting, top-k and
+table rendering.  A content-hash :class:`BatchCache` makes repeated
+sweeps free, and :func:`scenario_grid` expands Cartesian parameter axes
+(wind-derated accelerations, payloads, sensing ranges, DVFS points)
+into one matrix.
+
+Quickstart::
+
+    import numpy as np
+    from repro.batch import evaluate_matrix, scenario_grid
+
+    grid = scenario_grid(
+        sensing_range_m=np.linspace(2.0, 20.0, 50),
+        a_max=np.linspace(5.0, 50.0, 40),
+        f_sensor_hz=(30.0, 60.0),
+        f_compute_hz=np.geomspace(1.0, 1000.0, 25),
+    )
+    result = evaluate_matrix(grid)           # 100 000 points, one pass
+    print(result.top_k(10).table())
+"""
+
+from . import kernels
+from .cache import BatchCache, CacheStats
+from .engine import DEFAULT_CACHE, evaluate_matrix
+from .grid import scenario_grid
+from .kernels import BOUND_KINDS, DESIGN_STATUSES
+from .matrix import DesignMatrix
+from .result import BatchResult, BatchRow
+
+# The raw kernels stay namespaced (`repro.batch.kernels.*`): several
+# share names with the *validated* scalar helpers in repro.core, and
+# re-exporting unvalidated twins at package level invites silent misuse.
+
+__all__ = [
+    "kernels",
+    "BatchCache",
+    "CacheStats",
+    "DEFAULT_CACHE",
+    "evaluate_matrix",
+    "scenario_grid",
+    "BOUND_KINDS",
+    "DESIGN_STATUSES",
+    "DesignMatrix",
+    "BatchResult",
+    "BatchRow",
+]

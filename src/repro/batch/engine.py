@@ -1,0 +1,81 @@
+"""One-pass batch evaluation of a design matrix.
+
+:func:`evaluate_matrix` runs every vectorized F-1 kernel over the
+columns of a :class:`~repro.batch.matrix.DesignMatrix` and assembles a
+:class:`~repro.batch.result.BatchResult`.  Results are memoized in a
+content-addressed :class:`~repro.batch.cache.BatchCache` (pass
+``cache=None`` to opt out, or your own instance to scope one).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.knee import DEFAULT_KNEE_FRACTION
+from ..units import require_fraction, require_nonnegative
+from . import kernels
+from .cache import BatchCache
+from .matrix import DesignMatrix
+from .result import BatchResult
+
+#: Process-wide cache used when callers do not bring their own.
+DEFAULT_CACHE = BatchCache(maxsize=64)
+
+
+def evaluate_matrix(
+    matrix: DesignMatrix,
+    knee_fraction: Optional[float] = None,
+    tolerance: float = 0.05,
+    cache: Optional[BatchCache] = DEFAULT_CACHE,
+) -> BatchResult:
+    """Evaluate every design point of ``matrix`` in one vectorized pass.
+
+    ``knee_fraction`` is the fraction-of-roof knee rule's ``rho`` (the
+    scalar default strategy); when omitted, the fraction recorded on
+    the matrix (e.g. by ``DesignMatrix.from_models``) applies, falling
+    back to the calibrated default.  ``tolerance`` is the optimality
+    band around the knee.  The result is numerically identical to
+    building an :class:`~repro.core.model.F1Model` per row.
+    """
+    if knee_fraction is None:
+        knee_fraction = (
+            matrix.knee_fraction
+            if matrix.knee_fraction is not None
+            else DEFAULT_KNEE_FRACTION
+        )
+    require_fraction("knee_fraction", knee_fraction)
+    require_nonnegative("tolerance", tolerance)
+
+    if cache is not None:
+        key = (matrix.content_hash(), knee_fraction, tolerance)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+    d = matrix.sensing_range_m
+    a = matrix.a_max
+    f_action = kernels.action_throughput(
+        matrix.f_sensor_hz, matrix.f_compute_hz, matrix.f_control_hz
+    )
+    knee_hz = kernels.knee_throughput(d, a, knee_fraction)
+    result = BatchResult(
+        matrix=matrix,
+        roof_velocity=kernels.roof_velocity(d, a),
+        knee_hz=knee_hz,
+        knee_velocity=kernels.knee_velocity(d, a, knee_fraction),
+        action_throughput_hz=f_action,
+        safe_velocity=kernels.safe_velocity_at_rate(f_action, d, a),
+        bound_codes=kernels.classify_bounds(
+            matrix.f_sensor_hz,
+            matrix.f_compute_hz,
+            matrix.f_control_hz,
+            f_action,
+            knee_hz,
+        ),
+        status_codes=kernels.optimality_status(f_action, knee_hz, tolerance),
+        knee_fraction=knee_fraction,
+        tolerance=tolerance,
+    )
+    if cache is not None:
+        cache.put(key, result)
+    return result

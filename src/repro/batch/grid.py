@@ -1,0 +1,87 @@
+"""Cartesian scenario grids: parameter axes -> one design matrix.
+
+The paper's DSE use case (Sec. V) wants "what if" sweeps over several
+knobs at once — wind-derated accelerations, payload-dependent
+accelerations, sensing ranges, DVFS-scaled compute rates.
+:func:`scenario_grid` takes each F-1 parameter as a scalar or an axis
+of values and expands their Cartesian product into a single
+:class:`~repro.batch.matrix.DesignMatrix` ready for
+:func:`~repro.batch.engine.evaluate_matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.throughput import DEFAULT_CONTROL_RATE_HZ
+from ..errors import ConfigurationError
+from .matrix import DesignMatrix
+
+AxisLike = Union[float, Sequence[float], np.ndarray]
+
+#: Axis order of the expansion (last axis varies fastest).
+GRID_AXES = (
+    "sensing_range_m",
+    "a_max",
+    "f_sensor_hz",
+    "f_compute_hz",
+    "f_control_hz",
+)
+
+
+def _axis(name: str, values: AxisLike) -> np.ndarray:
+    axis = np.atleast_1d(np.asarray(values, dtype=np.float64))
+    if axis.ndim != 1:
+        raise ConfigurationError(
+            f"{name} must be a scalar or 1-D axis, got shape {axis.shape}"
+        )
+    if axis.size == 0:
+        raise ConfigurationError(f"{name} axis is empty")
+    return axis
+
+
+def grid_shape(
+    sensing_range_m: AxisLike,
+    a_max: AxisLike,
+    f_sensor_hz: AxisLike,
+    f_compute_hz: AxisLike,
+    f_control_hz: AxisLike = DEFAULT_CONTROL_RATE_HZ,
+) -> Tuple[int, ...]:
+    """The (len per axis) shape a :func:`scenario_grid` call would expand."""
+    return tuple(
+        _axis(name, values).size
+        for name, values in zip(
+            GRID_AXES,
+            (sensing_range_m, a_max, f_sensor_hz, f_compute_hz, f_control_hz),
+        )
+    )
+
+
+def scenario_grid(
+    sensing_range_m: AxisLike,
+    a_max: AxisLike,
+    f_sensor_hz: AxisLike,
+    f_compute_hz: AxisLike,
+    f_control_hz: AxisLike = DEFAULT_CONTROL_RATE_HZ,
+) -> DesignMatrix:
+    """Expand the Cartesian product of parameter axes into one matrix.
+
+    Each argument is a scalar (a fixed parameter) or a 1-D axis of
+    values; the resulting matrix has ``prod(len(axis))`` rows in
+    row-major order over :data:`GRID_AXES` (the control-rate axis
+    varies fastest).  Validation of the values themselves happens in
+    the :class:`DesignMatrix` constructor.
+    """
+    axes = [
+        _axis(name, values)
+        for name, values in zip(
+            GRID_AXES,
+            (sensing_range_m, a_max, f_sensor_hz, f_compute_hz, f_control_hz),
+        )
+    ]
+    meshes = np.meshgrid(*axes, indexing="ij")
+    return DesignMatrix.from_arrays(
+        *(mesh.ravel() for mesh in meshes)
+    )

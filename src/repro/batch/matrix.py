@@ -1,0 +1,291 @@
+"""The structure-of-arrays design matrix feeding the batch kernels.
+
+A :class:`DesignMatrix` holds N design points as five float64 columns —
+sensing range, maximum acceleration and the three pipeline stage rates
+— plus optional per-row labels.  Columns are validated once at
+construction (finite, strictly positive, equal length) so the kernels
+can skip per-element checks, and are frozen read-only so the
+content hash that keys the result cache stays trustworthy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.model import F1Model
+from ..core.throughput import DEFAULT_CONTROL_RATE_HZ
+from ..errors import ConfigurationError
+from ..units import require_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dse.space import Candidate
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+_COLUMN_NAMES = (
+    "sensing_range_m",
+    "a_max",
+    "f_sensor_hz",
+    "f_compute_hz",
+    "f_control_hz",
+)
+
+
+def _as_column(name: str, values: ArrayLike) -> np.ndarray:
+    column = np.atleast_1d(np.ascontiguousarray(values, dtype=np.float64))
+    if column.ndim != 1:
+        raise ConfigurationError(
+            f"{name} must be a scalar or 1-D sequence, got shape "
+            f"{column.shape}"
+        )
+    return column
+
+
+# eq=False: dataclass-generated __eq__/__hash__ choke on ndarray fields
+# (ambiguous truth value / unhashable); identity semantics apply instead.
+@dataclass(frozen=True, eq=False)
+class DesignMatrix:
+    """N design points, one NumPy column per F-1 parameter.
+
+    Matrices compare by identity; use :meth:`content_hash` to test two
+    matrices for equal content.
+
+    Columns may be passed as scalars or 1-D sequences; scalars (and
+    length-1 columns) broadcast against the longest column.  Every
+    entry must be finite and strictly positive — the same contract the
+    scalar :class:`~repro.core.model.F1Model` enforces per point.
+
+    Zero-row matrices are legal: they arise naturally from empty
+    :meth:`~repro.batch.result.BatchResult.where` /:meth:`take`
+    selections and evaluate to empty results.  Only the named
+    constructors (:meth:`from_models`, :meth:`from_candidates`) insist
+    on at least one row, since an empty *input collection* there is
+    almost certainly a caller bug.
+    """
+
+    sensing_range_m: np.ndarray
+    a_max: np.ndarray
+    f_sensor_hz: np.ndarray
+    f_compute_hz: np.ndarray
+    f_control_hz: np.ndarray
+    labels: Optional[Tuple[str, ...]] = None
+    #: Fraction-of-roof knee rule these rows were authored under, when
+    #: known (e.g. :meth:`from_models`); the engine uses it unless the
+    #: caller passes an explicit ``knee_fraction``.
+    knee_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.knee_fraction is not None:
+            require_fraction("knee_fraction", self.knee_fraction)
+        columns = {
+            name: _as_column(name, getattr(self, name))
+            for name in _COLUMN_NAMES
+        }
+        try:
+            broadcast = np.broadcast_arrays(*columns.values())
+        except ValueError as exc:
+            shapes = {n: c.shape for n, c in columns.items()}
+            raise ConfigurationError(
+                f"column lengths are incompatible: {shapes}"
+            ) from exc
+        for name, column in zip(_COLUMN_NAMES, broadcast):
+            # Own a fresh contiguous copy: broadcast views may alias the
+            # caller's arrays, which must not be frozen behind their back.
+            column = np.array(column, dtype=np.float64, copy=True)
+            if not np.all(np.isfinite(column)):
+                raise ConfigurationError(f"{name} must be finite")
+            if np.any(column <= 0.0):
+                raise ConfigurationError(f"{name} must be > 0 everywhere")
+            column.flags.writeable = False
+            object.__setattr__(self, name, column)
+        if self.labels is not None:
+            labels = tuple(str(label) for label in self.labels)
+            if len(labels) != len(self):
+                raise ConfigurationError(
+                    f"{len(labels)} labels for {len(self)} rows"
+                )
+            object.__setattr__(self, "labels", labels)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        sensing_range_m: ArrayLike,
+        a_max: ArrayLike,
+        f_sensor_hz: ArrayLike,
+        f_compute_hz: ArrayLike,
+        f_control_hz: ArrayLike = DEFAULT_CONTROL_RATE_HZ,
+        labels: Optional[Sequence[str]] = None,
+        knee_fraction: Optional[float] = None,
+    ) -> "DesignMatrix":
+        """Build a matrix from columns (scalars broadcast)."""
+        return cls(
+            sensing_range_m=sensing_range_m,  # type: ignore[arg-type]
+            a_max=a_max,  # type: ignore[arg-type]
+            f_sensor_hz=f_sensor_hz,  # type: ignore[arg-type]
+            f_compute_hz=f_compute_hz,  # type: ignore[arg-type]
+            f_control_hz=f_control_hz,  # type: ignore[arg-type]
+            labels=tuple(labels) if labels is not None else None,
+            knee_fraction=knee_fraction,
+        )
+
+    @classmethod
+    def from_models(
+        cls,
+        models: Iterable[F1Model],
+        labels: Optional[Sequence[str]] = None,
+    ) -> "DesignMatrix":
+        """Columnize an iterable of scalar F-1 models.
+
+        The batch engine only implements the closed-form
+        fraction-of-roof knee rule, so models using any other
+        :class:`~repro.core.knee.KneeStrategy` — or mixing different
+        fractions — are rejected rather than silently re-evaluated
+        under a different knee.  The models' (uniform) fraction is
+        recorded on the matrix and honored by ``evaluate_matrix``.
+        """
+        from ..core.knee import FractionOfRoofKnee
+
+        rows = []
+        fractions = set()
+        for m in models:
+            if not isinstance(m.knee_strategy, FractionOfRoofKnee):
+                raise ConfigurationError(
+                    "the batch engine only supports FractionOfRoofKnee; "
+                    f"got {type(m.knee_strategy).__name__}"
+                )
+            fractions.add(m.knee_strategy.fraction)
+            rows.append(
+                (
+                    m.sensing_range_m,
+                    m.a_max,
+                    m.pipeline.f_sensor_hz,
+                    m.pipeline.f_compute_hz,
+                    m.pipeline.f_control_hz,
+                )
+            )
+        if not rows:
+            raise ConfigurationError("a design matrix needs at least one row")
+        if len(fractions) > 1:
+            raise ConfigurationError(
+                "models mix knee fractions "
+                f"{sorted(fractions)}; one matrix takes one knee rule"
+            )
+        columns = np.asarray(rows, dtype=np.float64).T
+        return cls.from_arrays(
+            *columns, labels=labels, knee_fraction=fractions.pop()
+        )
+
+    @classmethod
+    def from_candidates(
+        cls, candidates: Iterable["Candidate"]
+    ) -> "DesignMatrix":
+        """Columnize DSE candidates, labelled ``uav+compute+algorithm``."""
+        rows = []
+        labels = []
+        for c in candidates:
+            rows.append(
+                (
+                    c.uav.sensor.range_m,
+                    c.uav.max_acceleration,
+                    c.uav.sensor.framerate_hz,
+                    c.f_compute_hz,
+                    c.uav.flight_controller.loop_rate_hz,
+                )
+            )
+            labels.append(f"{c.uav_name}+{c.compute_name}+{c.algorithm_name}")
+        if not rows:
+            raise ConfigurationError("a design matrix needs at least one row")
+        columns = np.asarray(rows, dtype=np.float64).T
+        return cls.from_arrays(*columns, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.sensing_range_m.size)
+
+    #: CPython's per-str object overhead (ASCII), used to estimate
+    #: label memory without a Python-level loop over every string.
+    _STR_OVERHEAD_BYTES = 49
+
+    @cached_property
+    def nbytes(self) -> int:
+        """Memory pinned by the columns and any labels (bytes).
+
+        Label memory is an estimate (byte length plus the CPython
+        object overhead); computed once per (immutable) matrix.
+        """
+        total = sum(column.nbytes for column in self.columns())
+        if self.labels is not None:
+            total += sum(map(len, self.labels))
+            total += len(self.labels) * self._STR_OVERHEAD_BYTES
+        return total
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return _COLUMN_NAMES
+
+    def columns(self) -> Tuple[np.ndarray, ...]:
+        """The five parameter columns in canonical order."""
+        return tuple(getattr(self, name) for name in _COLUMN_NAMES)
+
+    def label_at(self, index: int) -> str:
+        """The row's label, or a positional placeholder."""
+        if self.labels is not None:
+            return self.labels[index]
+        return f"#{index}"
+
+    def model_at(self, index: int) -> F1Model:
+        """The scalar :class:`F1Model` of one row (for cross-checks)."""
+        return F1Model.from_components(
+            sensing_range_m=float(self.sensing_range_m[index]),
+            a_max=float(self.a_max[index]),
+            f_sensor_hz=float(self.f_sensor_hz[index]),
+            f_compute_hz=float(self.f_compute_hz[index]),
+            f_control_hz=float(self.f_control_hz[index]),
+        )
+
+    @cached_property
+    def _content_hash(self) -> str:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(len(self).to_bytes(8, "little"))
+        for column in self.columns():
+            digest.update(column.tobytes())
+        if self.labels is not None:
+            # The label component uses the C-level tuple hash: byte-wise
+            # digesting 100k label strings costs ~5x a full re-evaluation,
+            # defeating the cache this digest exists to serve.
+            digest.update(
+                hash(self.labels).to_bytes(8, "little", signed=True)
+            )
+        return digest.hexdigest()
+
+    def content_hash(self) -> str:
+        """A digest of the full matrix content, keying the result cache.
+
+        Computed once per (immutable) matrix.  Stable within a process;
+        for labelled matrices it is *not* stable across processes (the
+        label component uses Python's seeded string hashing), which the
+        in-process :class:`~repro.batch.cache.BatchCache` never needs.
+        """
+        return self._content_hash
+
+    def take(self, indices: Union[Sequence[int], np.ndarray]) -> "DesignMatrix":
+        """A new matrix holding the selected rows, in the given order."""
+        index_array = np.asarray(indices, dtype=np.intp)
+        labels = None
+        if self.labels is not None:
+            labels = tuple(self.labels[i] for i in index_array)
+        return DesignMatrix.from_arrays(
+            *(column[index_array] for column in self.columns()),
+            labels=labels,
+            knee_fraction=self.knee_fraction,
+        )

@@ -1,0 +1,304 @@
+"""The columnar result of one batch evaluation.
+
+A :class:`BatchResult` mirrors the derived quantities of the scalar
+:class:`~repro.core.model.F1Model` — roof, knee, action throughput,
+safe velocity, bound and verdict — as read-only NumPy columns aligned
+with the input :class:`~repro.batch.matrix.DesignMatrix`, plus the
+selection/sorting/rendering conveniences fleet-scale consumers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.bounds import BoundKind
+from ..core.optimality import DesignStatus
+from ..errors import ConfigurationError
+from ..io.tables import format_table
+from .kernels import BOUND_KINDS, DESIGN_STATUSES
+from .matrix import DesignMatrix
+
+#: Result columns that may be used as sort keys.
+SORTABLE_COLUMNS = (
+    "safe_velocity",
+    "roof_velocity",
+    "knee_hz",
+    "knee_velocity",
+    "action_throughput_hz",
+    "provisioning_factor",
+)
+
+
+@dataclass(frozen=True)
+class BatchRow:
+    """One design point materialized back into Python scalars."""
+
+    index: int
+    label: str
+    sensing_range_m: float
+    a_max: float
+    f_sensor_hz: float
+    f_compute_hz: float
+    f_control_hz: float
+    roof_velocity: float
+    knee_hz: float
+    knee_velocity: float
+    action_throughput_hz: float
+    safe_velocity: float
+    bound: BoundKind
+    status: DesignStatus
+
+    @property
+    def provisioning_factor(self) -> float:
+        """``f_action / f_knee``: > 1 excess throughput, < 1 shortfall."""
+        return self.action_throughput_hz / self.knee_hz
+
+
+# eq=False: dataclass-generated __eq__/__hash__ choke on ndarray fields
+# (ambiguous truth value / unhashable); identity semantics apply instead.
+@dataclass(frozen=True, eq=False)
+class BatchResult:
+    """All derived F-1 columns for one evaluated design matrix.
+
+    Results compare by identity (the cache hands back the same object
+    for equal inputs).
+    """
+
+    matrix: DesignMatrix
+    roof_velocity: np.ndarray
+    knee_hz: np.ndarray
+    knee_velocity: np.ndarray
+    action_throughput_hz: np.ndarray
+    safe_velocity: np.ndarray
+    bound_codes: np.ndarray
+    status_codes: np.ndarray
+    knee_fraction: float
+    tolerance: float
+
+    def __post_init__(self) -> None:
+        n = len(self.matrix)
+        for name in (
+            "roof_velocity",
+            "knee_hz",
+            "knee_velocity",
+            "action_throughput_hz",
+            "safe_velocity",
+            "bound_codes",
+            "status_codes",
+        ):
+            # Own a fresh copy before freezing: ascontiguousarray can
+            # return the caller's array, which must stay writable.
+            column = np.array(getattr(self, name), copy=True)
+            if column.shape != (n,):
+                raise ConfigurationError(
+                    f"{name} has shape {column.shape}, expected ({n},)"
+                )
+            column.flags.writeable = False
+            object.__setattr__(self, name, column)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.matrix)
+
+    @cached_property
+    def nbytes(self) -> int:
+        """Memory pinned by this result's columns (incl. its matrix)."""
+        own = sum(
+            getattr(self, name).nbytes
+            for name in (
+                "roof_velocity",
+                "knee_hz",
+                "knee_velocity",
+                "action_throughput_hz",
+                "safe_velocity",
+                "bound_codes",
+                "status_codes",
+            )
+        )
+        return own + self.matrix.nbytes
+
+    @property
+    def provisioning_factor(self) -> np.ndarray:
+        """``f_action / f_knee`` per design."""
+        return self.action_throughput_hz / self.knee_hz
+
+    def bounds(self) -> List[BoundKind]:
+        """The bound classification column, decoded."""
+        return [BOUND_KINDS[code] for code in self.bound_codes]
+
+    def statuses(self) -> List[DesignStatus]:
+        """The optimality verdict column, decoded."""
+        return [DESIGN_STATUSES[code] for code in self.status_codes]
+
+    def bound_at(self, index: int) -> BoundKind:
+        return BOUND_KINDS[int(self.bound_codes[index])]
+
+    def status_at(self, index: int) -> DesignStatus:
+        return DESIGN_STATUSES[int(self.status_codes[index])]
+
+    def bound_counts(self) -> Dict[BoundKind, int]:
+        """How many designs fall under each bound (zero counts included)."""
+        counts = np.bincount(self.bound_codes, minlength=len(BOUND_KINDS))
+        return {kind: int(counts[i]) for i, kind in enumerate(BOUND_KINDS)}
+
+    def row(self, index: int) -> BatchRow:
+        """Materialize one design point as Python scalars."""
+        m = self.matrix
+        return BatchRow(
+            index=index,
+            label=m.label_at(index),
+            sensing_range_m=float(m.sensing_range_m[index]),
+            a_max=float(m.a_max[index]),
+            f_sensor_hz=float(m.f_sensor_hz[index]),
+            f_compute_hz=float(m.f_compute_hz[index]),
+            f_control_hz=float(m.f_control_hz[index]),
+            roof_velocity=float(self.roof_velocity[index]),
+            knee_hz=float(self.knee_hz[index]),
+            knee_velocity=float(self.knee_velocity[index]),
+            action_throughput_hz=float(self.action_throughput_hz[index]),
+            safe_velocity=float(self.safe_velocity[index]),
+            bound=self.bound_at(index),
+            status=self.status_at(index),
+        )
+
+    def rows(self) -> List[BatchRow]:
+        """All design points, materialized (prefer columns at scale)."""
+        return [self.row(i) for i in range(len(self))]
+
+    # ------------------------------------------------------------------
+    # Selection and ordering
+    # ------------------------------------------------------------------
+    def _column(self, by: str) -> np.ndarray:
+        if by not in SORTABLE_COLUMNS:
+            known = ", ".join(SORTABLE_COLUMNS)
+            raise ConfigurationError(
+                f"cannot order by {by!r}; sortable columns: {known}"
+            )
+        return getattr(self, by)
+
+    def argsort(
+        self, by: str = "safe_velocity", descending: bool = True
+    ) -> np.ndarray:
+        """Stable row ordering by one result column.
+
+        Stable in both directions: tied rows keep their original
+        relative order, matching a Python ``sort(..., reverse=True)``.
+        """
+        column = self._column(by)
+        keys = -column if descending else column
+        return np.argsort(keys, kind="stable")
+
+    def take(self, indices: Union[Sequence[int], np.ndarray]) -> "BatchResult":
+        """A new result holding the selected rows, in the given order."""
+        index_array = np.asarray(indices, dtype=np.intp)
+        return BatchResult(
+            matrix=self.matrix.take(index_array),
+            roof_velocity=self.roof_velocity[index_array],
+            knee_hz=self.knee_hz[index_array],
+            knee_velocity=self.knee_velocity[index_array],
+            action_throughput_hz=self.action_throughput_hz[index_array],
+            safe_velocity=self.safe_velocity[index_array],
+            bound_codes=self.bound_codes[index_array],
+            status_codes=self.status_codes[index_array],
+            knee_fraction=self.knee_fraction,
+            tolerance=self.tolerance,
+        )
+
+    def where(self, mask: np.ndarray) -> "BatchResult":
+        """The subset of rows where ``mask`` is true."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (len(self),):
+            raise ConfigurationError(
+                f"mask must be a boolean array of shape ({len(self)},)"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def sort_by(
+        self, by: str = "safe_velocity", descending: bool = True
+    ) -> "BatchResult":
+        """A new result sorted by one column."""
+        return self.take(self.argsort(by, descending))
+
+    def top_k(
+        self, k: int, by: str = "safe_velocity", descending: bool = True
+    ) -> "BatchResult":
+        """The ``k`` best rows by one column, best first.
+
+        Uses an O(n) partition before the O(k log k) sort, so taking a
+        handful of winners from a million-point grid stays cheap.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        n = len(self)
+        k = min(k, n)
+        keys = -self._column(by) if descending else self._column(by)
+        if k < n:
+            # argpartition alone would pick an *arbitrary* subset of the
+            # rows tied at the k boundary; resolve membership the way the
+            # stable full sort does — strictly-better rows, then boundary
+            # ties in original order — so top_k(k) == sort_by()[:k].
+            boundary = np.partition(keys, k - 1)[k - 1]
+            definite = np.flatnonzero(keys < boundary)
+            tied = np.flatnonzero(keys == boundary)
+            shortlist = np.concatenate(
+                [definite, tied[: k - definite.size]]
+            )
+        else:
+            shortlist = np.arange(n)
+        order = np.argsort(keys[shortlist], kind="stable")
+        return self.take(shortlist[order])
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def table(self, limit: Optional[int] = 20) -> str:
+        """An aligned text table of (up to ``limit``) rows."""
+        shown = len(self) if limit is None else min(limit, len(self))
+        rows = []
+        for i in range(shown):
+            r = self.row(i)
+            rows.append(
+                (
+                    r.label,
+                    f"{r.sensing_range_m:g}",
+                    f"{r.a_max:.3f}",
+                    f"{r.f_compute_hz:.2f}",
+                    f"{r.knee_hz:.1f}",
+                    f"{r.safe_velocity:.2f}",
+                    r.bound.value,
+                    r.status.value,
+                )
+            )
+        text = format_table(
+            (
+                "design", "d (m)", "a_max", "f_c (Hz)", "knee (Hz)",
+                "v_safe (m/s)", "bound", "verdict",
+            ),
+            rows,
+        )
+        if shown < len(self):
+            text += f"\n... {len(self) - shown} more rows"
+        return text
+
+    def describe(self) -> str:
+        """A one-paragraph fleet summary of the evaluated matrix."""
+        if len(self) == 0:
+            return "0 designs"
+        counts = self.bound_counts()
+        by_bound = ", ".join(
+            f"{kind.value}: {count}"
+            for kind, count in counts.items()
+            if count
+        )
+        return (
+            f"{len(self)} designs | v_safe "
+            f"[{float(self.safe_velocity.min()):.2f}, "
+            f"{float(self.safe_velocity.max()):.2f}] m/s | "
+            f"bounds {{{by_bound}}}"
+        )

@@ -1,10 +1,19 @@
-"""Exhaustive evaluation of a design space through the F-1 model."""
+"""Exhaustive evaluation of a design space through the F-1 model.
+
+:func:`explore` routes every candidate through the vectorized
+:mod:`repro.batch` engine in one columnar pass — the per-candidate
+``F1Model`` loop is gone — while :func:`evaluate` keeps the scalar
+single-candidate path for spot checks.  Both produce identical
+:class:`EvaluatedCandidate` records.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List
 
+from ..batch.engine import evaluate_matrix
+from ..batch.matrix import DesignMatrix
 from ..core.bounds import BoundKind
 from ..io.tables import format_table
 from .space import Candidate, DesignSpace
@@ -30,7 +39,7 @@ class EvaluatedCandidate:
 
 
 def evaluate(candidate: Candidate) -> EvaluatedCandidate:
-    """Run one candidate through the F-1 model."""
+    """Run one candidate through the scalar F-1 model."""
     model = candidate.uav.f1(candidate.f_compute_hz)
     return EvaluatedCandidate(
         candidate=candidate,
@@ -45,8 +54,27 @@ def evaluate(candidate: Candidate) -> EvaluatedCandidate:
 
 
 def explore(space: DesignSpace) -> List[EvaluatedCandidate]:
-    """Evaluate every candidate, sorted by safe velocity (descending)."""
-    results = [evaluate(candidate) for candidate in space.candidates()]
+    """Evaluate every candidate, sorted by safe velocity (descending).
+
+    All candidates are columnized into one
+    :class:`~repro.batch.matrix.DesignMatrix` and evaluated in a single
+    vectorized pass; results match the scalar :func:`evaluate` exactly.
+    """
+    candidates = list(space.candidates())
+    batch = evaluate_matrix(DesignMatrix.from_candidates(candidates))
+    results = [
+        EvaluatedCandidate(
+            candidate=c,
+            safe_velocity=float(batch.safe_velocity[i]),
+            roof_velocity=float(batch.roof_velocity[i]),
+            knee_hz=float(batch.knee_hz[i]),
+            action_throughput_hz=float(batch.action_throughput_hz[i]),
+            bound=batch.bound_at(i),
+            total_mass_g=c.uav.total_mass_g,
+            compute_tdp_w=c.uav.compute.tdp_w,
+        )
+        for i, c in enumerate(candidates)
+    ]
     results.sort(key=lambda r: r.safe_velocity, reverse=True)
     return results
 

@@ -7,6 +7,12 @@ completes (a) without an emergency velocity violation, (b) within the
 battery, and (c) with the compute arrangement alive — combining the
 wind, energy and redundancy substrates into one number an operator can
 set a dispatch threshold on.
+
+The velocity-margin sampling is columnar in the :mod:`repro.batch`
+style: all gust draws, battery-capacity factors and reliability
+uniforms are drawn as structure-of-arrays vectors up front and the
+infeasible samples are masked out in one vectorized pass; only the
+(inherently scalar) mission flight loop touches individual samples.
 """
 
 from __future__ import annotations
@@ -20,6 +26,9 @@ from ..redundancy.reliability import ReliabilityModel, mission_reliability
 from ..uav.configuration import UAVConfiguration
 from ..units import require_positive
 from .mission import Mission, fly_mission
+
+#: Usable velocities at or below this floor count as infeasible (m/s).
+MIN_DISPATCH_VELOCITY = 0.05
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,23 @@ class MonteCarloResult:
     mean_energy_wh: float
 
 
+def sample_usable_velocities(
+    safe_velocity: float,
+    config: MonteCarloConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Vectorized velocity-margin draw: one usable velocity per sample.
+
+    The flyable velocity is the F-1 safe velocity minus a
+    ``velocity_margin_sigma``-scaled draw of the gust level; entries at
+    or below :data:`MIN_DISPATCH_VELOCITY` mark aborted dispatches.
+    """
+    gust_levels = np.abs(
+        rng.normal(0.0, config.gust_sigma_ms, size=config.samples)
+    )
+    return safe_velocity - config.velocity_margin_sigma * gust_levels
+
+
 def mission_success_probability(
     uav: UAVConfiguration,
     mission: Mission,
@@ -64,11 +90,11 @@ def mission_success_probability(
 ) -> MonteCarloResult:
     """Sample the mission under gust/battery/compute uncertainty.
 
-    Per sample: the flyable velocity is the F-1 safe velocity minus a
-    ``velocity_margin_sigma``-scaled draw of the gust level (a mission
-    aborts if nothing positive remains); battery capacity is drawn
-    log-normally around nameplate; the compute arrangement survives
-    with the redundancy-scheme reliability over the sampled duration.
+    Per sample: the flyable velocity comes from
+    :func:`sample_usable_velocities` (a mission aborts if nothing
+    positive remains); battery capacity is drawn log-normally around
+    nameplate; the compute arrangement survives with the
+    redundancy-scheme reliability over the sampled duration.
     """
     require_positive("safe_velocity", safe_velocity)
     config = config or MonteCarloConfig()
@@ -77,42 +103,40 @@ def mission_success_probability(
         failure_rate_per_hour=config.compute_failure_rate_per_hour
     )
 
+    # Structure-of-arrays sampling: every random column drawn at once.
+    usable_velocities = sample_usable_velocities(safe_velocity, config, rng)
+    capacity_factors = rng.lognormal(
+        mean=0.0, sigma=config.battery_capacity_cv, size=config.samples
+    )
+    survival_uniforms = rng.random(config.samples)
+
+    feasible = usable_velocities > MIN_DISPATCH_VELOCITY
+    velocity_infeasible = int(np.count_nonzero(~feasible))
+    available_wh = uav.battery.usable_energy_wh * capacity_factors
+
     completed = 0
     energy_shortfalls = 0
-    velocity_infeasible = 0
     compute_losses = 0
     times = []
     energies = []
 
-    for _ in range(config.samples):
-        gust_level = abs(rng.normal(0.0, config.gust_sigma_ms))
-        usable_velocity = safe_velocity - (
-            config.velocity_margin_sigma * gust_level
-        )
-        if usable_velocity <= 0.05:
-            velocity_infeasible += 1
-            continue
-
+    for index in np.flatnonzero(feasible):
         outcome = fly_mission(
             uav,
             mission,
-            safe_velocity=usable_velocity,
+            safe_velocity=float(usable_velocities[index]),
             enforce_battery=False,
         )
         times.append(outcome.time_s)
         energies.append(outcome.energy_wh)
 
-        capacity_factor = float(
-            rng.lognormal(mean=0.0, sigma=config.battery_capacity_cv)
-        )
-        available_wh = uav.battery.usable_energy_wh * capacity_factor
-        if outcome.energy_wh > available_wh:
+        if outcome.energy_wh > available_wh[index]:
             energy_shortfalls += 1
             continue
 
         mission_hours = outcome.time_s / 3600.0
         p_alive = mission_reliability(scheme, reliability, mission_hours)
-        if rng.random() > p_alive:
+        if survival_uniforms[index] > p_alive:
             compute_losses += 1
             continue
 

@@ -3,6 +3,8 @@
 Sweep any Table II knob over a range of values and collect the F-1
 consequences (safe velocity, knee, bound) into a table + figure, ready
 for the kind of what-if exploration Sec. V demonstrates interactively.
+Knob values are columnized into a :class:`~repro.batch.matrix.DesignMatrix`
+and evaluated by the vectorized :mod:`repro.batch` engine in one pass.
 """
 
 from __future__ import annotations
@@ -10,13 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import List, Sequence
 
+from ..batch.engine import evaluate_matrix
+from ..batch.matrix import DesignMatrix
 from ..core.bounds import BoundKind
 from ..errors import ConfigurationError
 from ..io.tables import format_table
 from ..viz.lineplot import LinePlot
 from .knobs import Knobs
 
-#: Knobs that may be swept (all numeric fields of :class:`Knobs`).
+#: Knobs that may be swept: every *float* field of :class:`Knobs`.
+#: ``rotor_count`` is excluded deliberately — it is the one integer
+#: knob (a quadcopter does not fly with 4.5 rotors), and sweeping the
+#: airframe topology is a different study than wiggling a Table II
+#: slider; change it by constructing a new :class:`Knobs` instead.
 SWEEPABLE_KNOBS = tuple(
     f.name for f in fields(Knobs) if f.name != "rotor_count"
 )
@@ -82,30 +90,46 @@ class SweepResult:
         return crossovers
 
 
-def sweep_knob(
+def sweep_matrix(
     base: Knobs, knob: str, values: Sequence[float]
-) -> SweepResult:
-    """Evaluate the F-1 model at each value of one knob."""
+) -> DesignMatrix:
+    """Columnize a knob sweep into one design matrix.
+
+    Each value still assembles its UAV (mass/thrust accounting is
+    per-vehicle Python), but all F-1 math downstream is one
+    vectorized pass.
+    """
     if knob not in SWEEPABLE_KNOBS:
         known = ", ".join(SWEEPABLE_KNOBS)
         raise ConfigurationError(
             f"cannot sweep {knob!r}; sweepable knobs: {known}"
         )
-    if not values:
+    if len(values) == 0:  # len, not truthiness: values may be a numpy array
         raise ConfigurationError("sweep needs at least one value")
-    points = []
+    models = []
     for value in values:
         knobs = replace(base, **{knob: value})
-        uav = knobs.build_uav()
-        model = uav.f1(knobs.f_compute_hz)
-        points.append(
-            SweepPoint(
-                value=value,
-                safe_velocity=model.safe_velocity,
-                roof_velocity=model.roof_velocity,
-                knee_hz=model.knee.throughput_hz,
-                action_throughput_hz=model.action_throughput_hz,
-                bound=model.bound,
-            )
+        models.append(knobs.build_uav().f1(knobs.f_compute_hz))
+    return DesignMatrix.from_models(
+        models, labels=[f"{knob}={value:g}" for value in values]
+    )
+
+
+def sweep_knob(
+    base: Knobs, knob: str, values: Sequence[float]
+) -> SweepResult:
+    """Evaluate the F-1 model at each value of one knob."""
+    matrix = sweep_matrix(base, knob, values)
+    batch = evaluate_matrix(matrix)
+    points = [
+        SweepPoint(
+            value=value,
+            safe_velocity=float(batch.safe_velocity[i]),
+            roof_velocity=float(batch.roof_velocity[i]),
+            knee_hz=float(batch.knee_hz[i]),
+            action_throughput_hz=float(batch.action_throughput_hz[i]),
+            bound=batch.bound_at(i),
         )
+        for i, value in enumerate(values)
+    ]
     return SweepResult(knob=knob, base=base, points=points)
