@@ -1,12 +1,22 @@
 """Benchmark: scalar-loop vs. batch F-1 evaluation at fleet scale.
 
-Evaluates the same design grids through the per-point
-:class:`~repro.core.model.F1Model` loop and the vectorized
-:mod:`repro.batch` engine at 1k / 10k / 100k points, asserting the
-batch path wins at 10k and above (the regime the paper's Sec. V DSE
-sweeps need).  Set ``REPRO_RECORD_BENCH=1`` to append the measured
-numbers to ``benchmarks/results/bench_batch.json`` so the bench
-trajectory keeps populating across machines and revisions.
+Two end-to-end comparisons:
+
+* **engine** — the same design grids through the per-point
+  :class:`~repro.core.model.F1Model` loop and the vectorized
+  :mod:`repro.batch` engine (evaluation only).
+* **assembly** — whole knob sweeps through the per-point
+  ``Knobs.build_uav().f1(...)`` idiom and the columnar
+  :class:`~repro.batch.assembly.KnobMatrix` chain (assembly *plus*
+  evaluation), the regime `sweep_grid` multi-knob studies live in.
+
+Each runs at 1k / 10k / 100k points, asserting the batch path wins by
+the required margin at 10k and above.  Set ``REPRO_RECORD_BENCH=1`` to
+append the measured numbers to ``benchmarks/results/bench_batch.json``
+so the bench trajectory keeps populating across machines and
+revisions.  Set ``REPRO_BENCH_SMOKE=1`` (CI does) to run tiny grids
+that exercise every code path without timing assertions, so the
+benchmark code itself cannot rot.
 """
 
 from __future__ import annotations
@@ -15,19 +25,32 @@ import json
 import os
 import platform
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
-from repro.batch import DesignMatrix, evaluate_matrix, scenario_grid
+from repro.batch import (
+    DesignMatrix,
+    KnobMatrix,
+    cartesian_product,
+    evaluate_matrix,
+    scenario_grid,
+)
+from repro.skyline.knobs import Knobs
 
 RESULTS_PATH = Path(__file__).parent / "results" / "bench_batch.json"
-SIZES = (1_000, 10_000, 100_000)
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SIZES = (64,) if SMOKE else (1_000, 10_000, 100_000)
+
+#: Required end-to-end advantage of the columnar assembly chain at 10k+
+#: points (the acceptance bar; measured speedups are far higher).
+MIN_ASSEMBLY_SPEEDUP = 10.0
 
 
 def _grid(n_points: int) -> DesignMatrix:
     """A representative scenario grid with exactly ``n_points`` rows."""
-    per_axis = round(n_points ** (1.0 / 4.0))
+    per_axis = max(2, round(n_points ** (1.0 / 4.0)))
     grid = scenario_grid(
         sensing_range_m=np.linspace(2.0, 20.0, per_axis),
         a_max=np.linspace(5.0, 50.0, per_axis),
@@ -37,6 +60,19 @@ def _grid(n_points: int) -> DesignMatrix:
     if len(grid) < n_points:
         raise AssertionError(f"grid too small: {len(grid)} < {n_points}")
     return grid.take(np.arange(n_points))
+
+
+def _knob_columns(n_points: int) -> dict:
+    """Three crossed Table II knob axes, truncated to ``n_points``."""
+    per_axis = int(np.ceil(n_points ** (1.0 / 3.0)))
+    columns = cartesian_product(
+        {
+            "compute_tdp_w": np.linspace(1.0, 30.0, per_axis),
+            "compute_runtime_s": np.geomspace(0.002, 0.5, per_axis),
+            "payload_weight_g": np.linspace(0.0, 500.0, per_axis),
+        }
+    )
+    return {name: column[:n_points] for name, column in columns.items()}
 
 
 def _scalar_loop(matrix: DesignMatrix) -> np.ndarray:
@@ -50,6 +86,27 @@ def _scalar_loop(matrix: DesignMatrix) -> np.ndarray:
     return velocities
 
 
+def _scalar_assembly_loop(base: Knobs, columns: dict) -> np.ndarray:
+    """The pre-assembly sweep idiom: build_uav + f1 per knob point."""
+    n = len(next(iter(columns.values())))
+    velocities = np.empty(n)
+    for i in range(n):
+        knobs = replace(
+            base, **{name: float(col[i]) for name, col in columns.items()}
+        )
+        model = knobs.build_uav().f1(knobs.f_compute_hz)
+        velocities[i] = model.safe_velocity
+        _ = model.knee.throughput_hz
+        _ = model.bound
+    return velocities
+
+
+def _batch_assembly(base: Knobs, columns: dict):
+    """The columnar chain: KnobMatrix assembly + one engine pass."""
+    matrix = KnobMatrix.from_base(base, **columns).assemble()
+    return evaluate_matrix(matrix, cache=None)
+
+
 def _time(fn, *args):
     fn(*args)  # warm-up
     start = time.perf_counter()
@@ -57,7 +114,7 @@ def _time(fn, *args):
     return time.perf_counter() - start, value
 
 
-def _measure(n_points: int) -> dict:
+def _measure_engine(n_points: int) -> dict:
     matrix = _grid(n_points)
     scalar_s, scalar_velocities = _time(_scalar_loop, matrix)
     batch_s, result = _time(
@@ -74,8 +131,28 @@ def _measure(n_points: int) -> dict:
     }
 
 
-def _record(rows: list) -> None:
-    if not os.environ.get("REPRO_RECORD_BENCH"):
+def _measure_assembly(n_points: int) -> dict:
+    base = Knobs()
+    columns = _knob_columns(n_points)
+    scalar_s, scalar_velocities = _time(
+        _scalar_assembly_loop, base, columns
+    )
+    batch_s, result = _time(_batch_assembly, base, columns)
+    np.testing.assert_allclose(
+        result.safe_velocity[: scalar_velocities.size],
+        scalar_velocities,
+        atol=1e-9,
+    )
+    return {
+        "points": n_points,
+        "scalar_s": round(scalar_s, 6),
+        "batch_s": round(batch_s, 6),
+        "speedup": round(scalar_s / batch_s, 1),
+    }
+
+
+def _record(benchmark: str, rows: list) -> None:
+    if not os.environ.get("REPRO_RECORD_BENCH") or SMOKE:
         return
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     history = []
@@ -84,6 +161,7 @@ def _record(rows: list) -> None:
     history.append(
         {
             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "benchmark": benchmark,
             "python": platform.python_version(),
             "machine": platform.machine(),
             "rows": rows,
@@ -92,32 +170,69 @@ def _record(rows: list) -> None:
     RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
 
 
-def test_bench_batch_vs_scalar():
-    rows = [_measure(n) for n in SIZES]
+def _print_rows(title: str, rows: list) -> None:
     for row in rows:
         print(
-            f"{row['points']:>7} points: scalar {row['scalar_s']:.4f}s, "
+            f"[{title}] {row['points']:>7} points: "
+            f"scalar {row['scalar_s']:.4f}s, "
             f"batch {row['batch_s']:.4f}s ({row['speedup']}x)"
         )
-    _record(rows)
+
+
+def test_bench_batch_vs_scalar():
+    rows = [_measure_engine(n) for n in SIZES]
+    _print_rows("engine", rows)
+    _record("engine", rows)
+    if SMOKE:
+        return
     for row in rows:
         if row["points"] >= 10_000:
             assert row["batch_s"] < row["scalar_s"], row
 
 
+def test_bench_assembly_vs_scalar():
+    rows = [_measure_assembly(n) for n in SIZES]
+    _print_rows("assembly", rows)
+    _record("assembly", rows)
+    if SMOKE:
+        return
+    for row in rows:
+        if row["points"] >= 10_000:
+            assert row["speedup"] >= MIN_ASSEMBLY_SPEEDUP, row
+
+
 def test_bench_batch_100k_under_one_second():
-    matrix = _grid(100_000)
+    n_points = 1_000 if SMOKE else 100_000
+    matrix = _grid(n_points)
     elapsed, _ = _time(lambda m: evaluate_matrix(m, cache=None), matrix)
-    assert elapsed < 1.0, f"100k-point evaluation took {elapsed:.3f}s"
+    if not SMOKE:
+        assert elapsed < 1.0, f"100k-point evaluation took {elapsed:.3f}s"
+
+
+def test_bench_sweep_grid_end_to_end():
+    """sweep_grid stays wired front to back (smoke-sized on purpose)."""
+    from repro.skyline.sweep import sweep_grid
+
+    grid = sweep_grid(
+        Knobs(),
+        {
+            "compute_tdp_w": np.linspace(1.0, 30.0, 4),
+            "compute_runtime_s": np.geomspace(0.002, 0.5, 4),
+            "payload_weight_g": np.linspace(0.0, 500.0, 3),
+        },
+    )
+    assert grid.shape == (4, 4, 3)
+    assert sum(grid.bound_counts().values()) == len(grid)
 
 
 def test_bench_batch_cache_makes_repeats_free(benchmark):
     from repro.batch import BatchCache
 
-    matrix = _grid(100_000)
+    n_points = 1_000 if SMOKE else 100_000
+    matrix = _grid(n_points)
     cache = BatchCache()
     evaluate_matrix(matrix, cache=cache)  # populate
 
     result = benchmark(evaluate_matrix, matrix, cache=cache)
-    assert len(result) == 100_000
+    assert len(result) == n_points
     assert cache.stats.hits >= 1

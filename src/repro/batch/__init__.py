@@ -12,6 +12,12 @@ sweeps free, and :func:`scenario_grid` expands Cartesian parameter axes
 (wind-derated accelerations, payloads, sensing ranges, DVFS points)
 into one matrix.
 
+The assembly layer (:mod:`repro.batch.assembly`) columnizes the
+Knobs->UAV accounting chain itself: a :class:`KnobMatrix` holds Table
+II knob columns and assembles payload mass, TDP-derived heatsinks,
+thrust budgets and accelerations vectorized, so whole-knob sweeps
+never touch per-point Python either.
+
 Quickstart::
 
     import numpy as np
@@ -28,9 +34,10 @@ Quickstart::
 """
 
 from . import kernels
+from .assembly import FleetAssembly, KnobMatrix, assemble_configurations
 from .cache import BatchCache, CacheStats
 from .engine import DEFAULT_CACHE, evaluate_matrix
-from .grid import scenario_grid
+from .grid import cartesian_product, scenario_grid
 from .kernels import BOUND_KINDS, DESIGN_STATUSES
 from .matrix import DesignMatrix
 from .result import BatchResult, BatchRow
@@ -41,10 +48,14 @@ from .result import BatchResult, BatchRow
 
 __all__ = [
     "kernels",
+    "FleetAssembly",
+    "KnobMatrix",
+    "assemble_configurations",
     "BatchCache",
     "CacheStats",
     "DEFAULT_CACHE",
     "evaluate_matrix",
+    "cartesian_product",
     "scenario_grid",
     "BOUND_KINDS",
     "DESIGN_STATUSES",

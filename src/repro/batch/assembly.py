@@ -1,0 +1,422 @@
+"""Vectorized Knobs->UAV->F1 assembly: columnar Table II accounting.
+
+The :mod:`repro.batch` engine evaluates F-1 design points by the
+column, but consumers used to *assemble* each point one at a time —
+``Knobs.build_uav().f1(...)`` per value — making the Python-side
+mass/thrust/heatsink accounting the dominant cost of every sweep.
+This module columnizes the whole assembly chain:
+
+* :class:`KnobMatrix` — a structure-of-arrays set of Table II knobs
+  (one NumPy column per knob, scalars broadcasting against swept
+  columns) whose :meth:`~KnobMatrix.assemble` runs the payload /
+  heatsink / thrust / acceleration accounting vectorized and returns a
+  :class:`~repro.batch.matrix.DesignMatrix` numerically identical to
+  looping ``Knobs.build_uav().f1(knobs.f_compute_hz)``.
+* :func:`assemble_configurations` — the same columnar accounting for
+  arbitrary :class:`~repro.uav.configuration.UAVConfiguration` fleets
+  (heterogeneous components, payload overrides, redundancy), used by
+  the design-space explorer.
+
+Both paths share their arithmetic with the scalar properties through
+the plain functions in :mod:`repro.uav.budget`,
+:mod:`repro.core.heatsink` and :mod:`repro.core.physics`, so scalar
+and columnar results are pinned together by construction (and by the
+1e-9 equivalence suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..core.heatsink import heatsink_mass_g_array
+from ..core.knee import DEFAULT_KNEE_FRACTION
+from ..core.physics import (
+    DEFAULT_BRAKING_PITCH_DEG,
+    thrust_margin_acceleration,
+)
+from ..core.throughput import DEFAULT_CONTROL_RATE_HZ
+from ..errors import ConfigurationError, InfeasibleDesignError
+from ..uav import budget
+from .matrix import DesignMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..skyline.knobs import Knobs
+    from ..uav.configuration import UAVConfiguration
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+#: The sweepable (float) Table II knobs, one KnobMatrix column each.
+#: ``rotor_count`` stays a scalar: it is the one integer knob (airframe
+#: topology), uniform across a matrix like a knee rule is.
+KNOB_COLUMNS = (
+    "sensor_framerate_hz",
+    "compute_tdp_w",
+    "compute_runtime_s",
+    "sensor_range_m",
+    "drone_weight_g",
+    "rotor_pull_g",
+    "payload_weight_g",
+    "compute_mass_g",
+)
+
+#: Knob columns allowed to be zero (everything else must be > 0,
+#: mirroring ``Knobs.__post_init__``).
+_NONNEGATIVE_COLUMNS = frozenset({"payload_weight_g"})
+
+
+def _as_column(name: str, values: ArrayLike) -> np.ndarray:
+    column = np.atleast_1d(np.ascontiguousarray(values, dtype=np.float64))
+    if column.ndim != 1:
+        raise ConfigurationError(
+            f"{name} must be a scalar or 1-D sequence, got shape "
+            f"{column.shape}"
+        )
+    return column
+
+
+# eq=False: dataclass-generated __eq__/__hash__ choke on ndarray fields
+# (ambiguous truth value / unhashable); identity semantics apply instead.
+@dataclass(frozen=True, eq=False)
+class KnobMatrix:
+    """N Table II knob sets, one NumPy column per knob.
+
+    Columns may be passed as scalars or 1-D sequences; scalars (and
+    length-1 columns) broadcast against the longest column.  Validation
+    mirrors the scalar :class:`~repro.skyline.knobs.Knobs` contract —
+    every knob finite and strictly positive, ``payload_weight_g``
+    allowed to be zero — once per matrix instead of once per point.
+    """
+
+    sensor_framerate_hz: np.ndarray
+    compute_tdp_w: np.ndarray
+    compute_runtime_s: np.ndarray
+    sensor_range_m: np.ndarray
+    drone_weight_g: np.ndarray
+    rotor_pull_g: np.ndarray
+    payload_weight_g: np.ndarray
+    compute_mass_g: np.ndarray
+    rotor_count: int = 4
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if int(self.rotor_count) != self.rotor_count or self.rotor_count < 3:
+            raise ConfigurationError(
+                f"rotor_count must be an integer >= 3, got {self.rotor_count}"
+            )
+        object.__setattr__(self, "rotor_count", int(self.rotor_count))
+        columns = {
+            name: _as_column(name, getattr(self, name))
+            for name in KNOB_COLUMNS
+        }
+        try:
+            broadcast = np.broadcast_arrays(*columns.values())
+        except ValueError as exc:
+            shapes = {n: c.shape for n, c in columns.items()}
+            raise ConfigurationError(
+                f"knob column lengths are incompatible: {shapes}"
+            ) from exc
+        if broadcast[0].size == 0:
+            raise ConfigurationError("a knob matrix needs at least one row")
+        for name, column in zip(KNOB_COLUMNS, broadcast):
+            # Own a fresh contiguous copy: broadcast views may alias the
+            # caller's arrays, which must not be frozen behind their back.
+            column = np.array(column, dtype=np.float64, copy=True)
+            if not np.all(np.isfinite(column)):
+                raise ConfigurationError(f"{name} must be finite")
+            if name in _NONNEGATIVE_COLUMNS:
+                if np.any(column < 0.0):
+                    raise ConfigurationError(
+                        f"{name} must be >= 0 everywhere"
+                    )
+            elif np.any(column <= 0.0):
+                raise ConfigurationError(f"{name} must be > 0 everywhere")
+            column.flags.writeable = False
+            object.__setattr__(self, name, column)
+        if self.labels is not None:
+            labels = tuple(str(label) for label in self.labels)
+            if len(labels) != len(self):
+                raise ConfigurationError(
+                    f"{len(labels)} labels for {len(self)} rows"
+                )
+            object.__setattr__(self, "labels", labels)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_base(
+        cls,
+        base: "Knobs",
+        labels: Optional[Sequence[str]] = None,
+        **overrides: ArrayLike,
+    ) -> "KnobMatrix":
+        """Broadcast a base knob set against swept columns.
+
+        ``overrides`` maps knob names from :data:`KNOB_COLUMNS` to a
+        scalar or a 1-D axis of values; every knob not overridden takes
+        its (scalar) value from ``base``.
+        """
+        unknown = sorted(set(overrides) - set(KNOB_COLUMNS))
+        if unknown:
+            known = ", ".join(KNOB_COLUMNS)
+            raise ConfigurationError(
+                f"unknown knob column(s) {', '.join(map(repr, unknown))}; "
+                f"sweepable knobs: {known} (rotor_count is the airframe "
+                "topology — build a new base Knobs to change it)"
+            )
+        values = {
+            name: overrides.get(name, getattr(base, name))
+            for name in KNOB_COLUMNS
+        }
+        return cls(
+            rotor_count=base.rotor_count,
+            labels=tuple(labels) if labels is not None else None,
+            **values,  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_knobs(
+        cls,
+        knobs: Iterable["Knobs"],
+        labels: Optional[Sequence[str]] = None,
+    ) -> "KnobMatrix":
+        """Columnize an iterable of scalar knob sets.
+
+        All knob sets must agree on ``rotor_count`` (one matrix holds
+        one airframe topology, like one knee rule).
+        """
+        rows = list(knobs)
+        if not rows:
+            raise ConfigurationError("a knob matrix needs at least one row")
+        rotor_counts = {k.rotor_count for k in rows}
+        if len(rotor_counts) > 1:
+            raise ConfigurationError(
+                f"knob sets mix rotor counts {sorted(rotor_counts)}; "
+                "one matrix takes one airframe topology"
+            )
+        columns = np.asarray(
+            [[getattr(k, name) for name in KNOB_COLUMNS] for k in rows],
+            dtype=np.float64,
+        ).T
+        return cls(
+            rotor_count=rotor_counts.pop(),
+            labels=tuple(labels) if labels is not None else None,
+            **dict(zip(KNOB_COLUMNS, columns)),  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.sensor_framerate_hz.size)
+
+    def knobs_at(self, index: int) -> "Knobs":
+        """The scalar :class:`Knobs` of one row (for cross-checks)."""
+        from ..skyline.knobs import Knobs
+
+        return Knobs(
+            rotor_count=self.rotor_count,
+            **{
+                name: float(getattr(self, name)[index])
+                for name in KNOB_COLUMNS
+            },
+        )
+
+    def label_at(self, index: int) -> str:
+        """The row's label, or a positional placeholder."""
+        if self.labels is not None:
+            return self.labels[index]
+        return f"#{index}"
+
+    # ------------------------------------------------------------------
+    # The vectorized accounting chain (Knobs.build_uav, by the column)
+    # ------------------------------------------------------------------
+    @cached_property
+    def heatsink_mass_g(self) -> np.ndarray:
+        """TDP-derived heatsink mass per design (g), Fig. 12 law."""
+        return heatsink_mass_g_array(self.compute_tdp_w)
+
+    @cached_property
+    def compute_payload_g(self) -> np.ndarray:
+        """Onboard-computer flight mass per design (g).
+
+        Knob-built UAVs carry one compute replica and fold the carrier
+        board into the module mass, exactly as ``Knobs.build_uav``
+        does.
+        """
+        return budget.compute_payload_mass_g(
+            budget.compute_flight_mass_g(
+                self.compute_mass_g, 0.0, self.heatsink_mass_g
+            ),
+            redundancy=1,
+        )
+
+    @cached_property
+    def total_mass_g(self) -> np.ndarray:
+        """All-up takeoff mass per design (g).
+
+        Battery and sensor masses are folded into the payload knob and
+        the flight controller is massless, mirroring the component set
+        ``Knobs.build_uav`` assembles.
+        """
+        return budget.all_up_mass_g(
+            self.drone_weight_g,
+            0.0,
+            budget.component_payload_mass_g(
+                0.0, 0.0, self.compute_payload_g, self.payload_weight_g
+            ),
+        )
+
+    @cached_property
+    def total_thrust_g(self) -> np.ndarray:
+        """Summed rated rotor pull per design (gram-force)."""
+        return budget.rated_thrust_g(self.rotor_pull_g, self.rotor_count)
+
+    @cached_property
+    def max_acceleration(self) -> np.ndarray:
+        """Eq. 5 maximum commandable acceleration per design (m/s^2)."""
+        return thrust_margin_acceleration(
+            self.total_thrust_g, self.total_mass_g, DEFAULT_BRAKING_PITCH_DEG
+        )
+
+    @cached_property
+    def f_compute_hz(self) -> np.ndarray:
+        """Compute throughput implied by the runtime knob (Hz)."""
+        return 1.0 / self.compute_runtime_s
+
+    def assemble(self) -> DesignMatrix:
+        """Run the accounting chain and columnize the F-1 parameters.
+
+        The result is numerically identical to building
+        ``Knobs.build_uav().f1(knobs.f_compute_hz)`` per row, with the
+        default fraction-of-roof knee rule recorded on the matrix.
+        """
+        return DesignMatrix.from_arrays(
+            sensing_range_m=self.sensor_range_m,
+            a_max=self.max_acceleration,
+            f_sensor_hz=self.sensor_framerate_hz,
+            f_compute_hz=self.f_compute_hz,
+            f_control_hz=DEFAULT_CONTROL_RATE_HZ,
+            labels=self.labels,
+            knee_fraction=DEFAULT_KNEE_FRACTION,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Columnar assembly of heterogeneous UAVConfiguration fleets
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class FleetAssembly:
+    """A fleet's F-1 design matrix plus its mass/thrust accounting.
+
+    The extra columns let consumers (e.g. the DSE explorer) report
+    all-up mass and TDP without touching the per-vehicle scalar
+    properties again.
+    """
+
+    matrix: DesignMatrix
+    total_mass_g: np.ndarray
+    total_thrust_g: np.ndarray
+    compute_tdp_w: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.matrix)
+
+
+def assemble_configurations(
+    uavs: Sequence["UAVConfiguration"],
+    f_compute_hz: ArrayLike,
+    labels: Optional[Sequence[str]] = None,
+) -> FleetAssembly:
+    """Columnize whole UAV configurations into one design matrix.
+
+    Gathers each configuration's raw component figures into columns and
+    runs the heatsink / payload / mass / thrust / acceleration chain
+    vectorized — the same plain functions the scalar properties call —
+    honoring ``payload_override_g``, ``compute_redundancy``,
+    ``needs_heatsink`` and per-vehicle braking pitch.  Numerically
+    identical to reading ``uav.max_acceleration`` per vehicle.
+    """
+    uavs = list(uavs)
+    if not uavs:
+        raise ConfigurationError("a fleet needs at least one configuration")
+
+    def column(getter) -> np.ndarray:
+        return np.asarray([getter(u) for u in uavs], dtype=np.float64)
+
+    tdp_w = column(lambda u: u.compute.tdp_w)
+    needs_heatsink = np.asarray(
+        [u.compute.needs_heatsink for u in uavs], dtype=bool
+    )
+    heatsink = np.where(needs_heatsink, heatsink_mass_g_array(tdp_w), 0.0)
+    compute_payload = budget.compute_payload_mass_g(
+        budget.compute_flight_mass_g(
+            column(lambda u: u.compute.mass_g),
+            column(lambda u: u.compute.carrier_mass_g),
+            heatsink,
+        ),
+        redundancy=column(lambda u: u.compute_redundancy),
+    )
+    extra_payload = column(lambda u: u.extra_payload_g)
+    override = column(
+        lambda u: np.nan
+        if u.payload_override_g is None
+        else u.payload_override_g
+    )
+    payload = np.where(
+        np.isnan(override),
+        budget.component_payload_mass_g(
+            column(lambda u: u.battery.mass_g),
+            column(lambda u: u.sensor.mass_g),
+            compute_payload,
+            extra_payload,
+        ),
+        override + extra_payload,
+    )
+    total_mass = budget.all_up_mass_g(
+        column(lambda u: u.frame.base_mass_g),
+        column(lambda u: u.flight_controller.mass_g),
+        payload,
+    )
+    total_thrust = budget.rated_thrust_g(
+        column(lambda u: u.motor.rated_pull_g),
+        column(lambda u: u.frame.rotor_count),
+    )
+    a_max = thrust_margin_acceleration(
+        total_thrust,
+        total_mass,
+        column(lambda u: u.braking_pitch_deg),
+    )
+    if np.any(a_max <= 0.0):
+        index = int(np.argmax(a_max <= 0.0))
+        raise InfeasibleDesignError(
+            f"total thrust {total_thrust[index]:.0f} g cannot move an "
+            f"all-up mass of {total_mass[index]:.0f} g and no braking "
+            f"floor is configured (configuration {uavs[index].name!r})"
+        )
+    matrix = DesignMatrix.from_arrays(
+        sensing_range_m=column(lambda u: u.sensor.range_m),
+        a_max=a_max,
+        f_sensor_hz=column(lambda u: u.sensor.framerate_hz),
+        f_compute_hz=f_compute_hz,
+        f_control_hz=column(lambda u: u.flight_controller.loop_rate_hz),
+        labels=labels,
+        knee_fraction=DEFAULT_KNEE_FRACTION,
+    )
+    return FleetAssembly(
+        matrix=matrix,
+        total_mass_g=total_mass,
+        total_thrust_g=total_thrust,
+        compute_tdp_w=tdp_w,
+    )

@@ -11,7 +11,7 @@ of values and expands their Cartesian product into a single
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import Dict, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +40,22 @@ def _axis(name: str, values: AxisLike) -> np.ndarray:
     if axis.size == 0:
         raise ConfigurationError(f"{name} axis is empty")
     return axis
+
+
+def cartesian_product(axes: Mapping[str, AxisLike]) -> Dict[str, np.ndarray]:
+    """Expand named axes into flat row-major Cartesian-product columns.
+
+    Each value is a scalar or 1-D axis; the returned columns all have
+    ``prod(len(axis))`` entries, in row-major order over the mapping's
+    insertion order (the *last* axis varies fastest).  This is the one
+    expansion shared by :func:`scenario_grid` (F-1 parameter axes) and
+    :func:`repro.skyline.sweep.sweep_grid` (Table II knob axes).
+    """
+    if not axes:
+        raise ConfigurationError("a grid needs at least one axis")
+    arrays = [_axis(name, values) for name, values in axes.items()]
+    meshes = np.meshgrid(*arrays, indexing="ij")
+    return {name: mesh.ravel() for name, mesh in zip(axes, meshes)}
 
 
 def grid_shape(
@@ -74,14 +90,18 @@ def scenario_grid(
     varies fastest).  Validation of the values themselves happens in
     the :class:`DesignMatrix` constructor.
     """
-    axes = [
-        _axis(name, values)
-        for name, values in zip(
-            GRID_AXES,
-            (sensing_range_m, a_max, f_sensor_hz, f_compute_hz, f_control_hz),
+    columns = cartesian_product(
+        dict(
+            zip(
+                GRID_AXES,
+                (
+                    sensing_range_m,
+                    a_max,
+                    f_sensor_hz,
+                    f_compute_hz,
+                    f_control_hz,
+                ),
+            )
         )
-    ]
-    meshes = np.meshgrid(*axes, indexing="ij")
-    return DesignMatrix.from_arrays(
-        *(mesh.ravel() for mesh in meshes)
     )
+    return DesignMatrix.from_arrays(*columns.values())

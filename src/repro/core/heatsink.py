@@ -14,6 +14,9 @@ with exponent ``ln(16.2)/ln(20)``.  Platforms below
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..errors import ConfigurationError
 from ..units import require_nonnegative, require_positive
 
 #: Multiplier of the fitted power law (grams at 1 W).
@@ -26,12 +29,33 @@ HEATSINK_EXPONENT = 0.9296937485957477
 NO_HEATSINK_TDP_W = 1.0
 
 
+def _power_law(tdp_w):
+    """The fitted mass law above the no-heatsink cutoff.
+
+    Polymorphic over floats and NumPy arrays so the scalar path and the
+    vectorized :func:`heatsink_mass_g_array` share one expression.
+    """
+    return HEATSINK_COEFFICIENT_G * tdp_w**HEATSINK_EXPONENT
+
+
 def heatsink_mass_g(tdp_w: float) -> float:
     """Heatsink mass (g) required to dissipate ``tdp_w`` watts."""
     require_nonnegative("tdp_w", tdp_w)
     if tdp_w <= NO_HEATSINK_TDP_W:
         return 0.0
-    return HEATSINK_COEFFICIENT_G * tdp_w**HEATSINK_EXPONENT
+    return _power_law(tdp_w)
+
+
+def heatsink_mass_g_array(tdp_w: np.ndarray) -> np.ndarray:
+    """Columnar :func:`heatsink_mass_g`: one heatsink mass per TDP.
+
+    Applies the same power law and sub-``NO_HEATSINK_TDP_W`` cutoff to a
+    whole column at once (used by :mod:`repro.batch.assembly`).
+    """
+    tdp = np.asarray(tdp_w, dtype=np.float64)
+    if not np.all(np.isfinite(tdp)) or np.any(tdp < 0.0):
+        raise ConfigurationError("tdp_w must be finite and >= 0 everywhere")
+    return np.where(tdp <= NO_HEATSINK_TDP_W, 0.0, _power_law(tdp))
 
 
 def tdp_for_heatsink_mass(mass_g: float) -> float:

@@ -33,6 +33,8 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import InfeasibleDesignError
 from ..units import (
     AIR_DENSITY,
@@ -47,6 +49,36 @@ from ..units import (
 #: thrust-margin model reproduces the paper's UAV-B/D safe velocities
 #: (~1.5 m/s) whose rated margins are zero or negative.
 DEFAULT_BRAKING_PITCH_DEG = 2.3
+
+
+def braking_floor_acceleration(braking_pitch_deg):
+    """The guaranteed braking deceleration ``g tan(alpha_brake)``.
+
+    Polymorphic over floats and NumPy arrays (``np.tan`` returns a
+    plain-compatible ``float64`` for scalar input), so the scalar
+    :class:`ThrustMarginModel` and the vectorized assembly kernels in
+    :mod:`repro.batch.assembly` evaluate the same expression.
+    """
+    return GRAVITY * np.tan(np.radians(braking_pitch_deg))
+
+
+def thrust_margin_acceleration(
+    total_thrust_g,
+    total_mass_g,
+    braking_pitch_deg=DEFAULT_BRAKING_PITCH_DEG,
+):
+    """Eq. 5 acceleration with the braking-pitch floor, unvalidated.
+
+    ``max(g * (T - W) / W, g * tan(alpha_brake))`` — the single source
+    of truth shared by :meth:`ThrustMarginModel.max_acceleration`
+    (which validates and raises on infeasible scalars) and the
+    vectorized Knobs->UAV assembly chain.  Accepts floats or NumPy
+    columns; may legitimately return values <= 0 when the floor is zero
+    and thrust cannot lift the weight — feasibility is the caller's
+    check.
+    """
+    margin = GRAVITY * (total_thrust_g - total_mass_g) / total_mass_g
+    return np.maximum(margin, braking_floor_acceleration(braking_pitch_deg))
 
 
 class AccelerationModel(ABC):
@@ -117,16 +149,15 @@ class ThrustMarginModel(AccelerationModel):
     @property
     def braking_floor(self) -> float:
         """The guaranteed braking deceleration ``g tan(alpha_brake)``."""
-        return GRAVITY * math.tan(deg_to_rad(self.braking_pitch_deg))
+        return float(braking_floor_acceleration(self.braking_pitch_deg))
 
     def max_acceleration(self, total_mass_g: float) -> float:
         require_positive("total_mass_g", total_mass_g)
-        margin = (
-            GRAVITY
-            * (self.total_thrust_g - total_mass_g)
-            / total_mass_g
+        a = float(
+            thrust_margin_acceleration(
+                self.total_thrust_g, total_mass_g, self.braking_pitch_deg
+            )
         )
-        a = max(margin, self.braking_floor)
         if a <= 0.0:
             raise InfeasibleDesignError(
                 f"total thrust {self.total_thrust_g:.0f} g cannot move "

@@ -1,10 +1,12 @@
 """Exhaustive evaluation of a design space through the F-1 model.
 
 :func:`explore` routes every candidate through the vectorized
-:mod:`repro.batch` engine in one columnar pass — the per-candidate
-``F1Model`` loop is gone — while :func:`evaluate` keeps the scalar
-single-candidate path for spot checks.  Both produce identical
-:class:`EvaluatedCandidate` records.
+:mod:`repro.batch` engine in one columnar pass — both the F-1 math
+*and* the UAV assembly (mass, heatsink, thrust, acceleration
+accounting, via :func:`repro.batch.assembly.assemble_configurations`)
+— while :func:`evaluate` keeps the scalar single-candidate path for
+spot checks.  Both produce identical :class:`EvaluatedCandidate`
+records.
 """
 
 from __future__ import annotations
@@ -12,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..batch.assembly import assemble_configurations
 from ..batch.engine import evaluate_matrix
-from ..batch.matrix import DesignMatrix
 from ..core.bounds import BoundKind
 from ..io.tables import format_table
 from .space import Candidate, DesignSpace
@@ -56,12 +58,21 @@ def evaluate(candidate: Candidate) -> EvaluatedCandidate:
 def explore(space: DesignSpace) -> List[EvaluatedCandidate]:
     """Evaluate every candidate, sorted by safe velocity (descending).
 
-    All candidates are columnized into one
-    :class:`~repro.batch.matrix.DesignMatrix` and evaluated in a single
-    vectorized pass; results match the scalar :func:`evaluate` exactly.
+    All candidates are columnized — including their mass/thrust
+    assembly, via :func:`~repro.batch.assembly.assemble_configurations`
+    — and evaluated in a single vectorized pass; results match the
+    scalar :func:`evaluate` exactly.
     """
     candidates = list(space.candidates())
-    batch = evaluate_matrix(DesignMatrix.from_candidates(candidates))
+    fleet = assemble_configurations(
+        [c.uav for c in candidates],
+        f_compute_hz=[c.f_compute_hz for c in candidates],
+        labels=[
+            f"{c.uav_name}+{c.compute_name}+{c.algorithm_name}"
+            for c in candidates
+        ],
+    )
+    batch = evaluate_matrix(fleet.matrix)
     results = [
         EvaluatedCandidate(
             candidate=c,
@@ -70,8 +81,8 @@ def explore(space: DesignSpace) -> List[EvaluatedCandidate]:
             knee_hz=float(batch.knee_hz[i]),
             action_throughput_hz=float(batch.action_throughput_hz[i]),
             bound=batch.bound_at(i),
-            total_mass_g=c.uav.total_mass_g,
-            compute_tdp_w=c.uav.compute.tdp_w,
+            total_mass_g=float(fleet.total_mass_g[i]),
+            compute_tdp_w=float(fleet.compute_tdp_w[i]),
         )
         for i, c in enumerate(candidates)
     ]

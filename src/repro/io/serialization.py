@@ -6,6 +6,7 @@ sessions and DSE sweeps can be saved, diffed and re-loaded.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Dict
 
 from ..errors import ConfigurationError
@@ -55,13 +56,53 @@ def configuration_to_dict(uav: UAVConfiguration) -> Dict[str, Any]:
     return data
 
 
+def _component_from_section(key: str, cls: type, section: Any) -> Any:
+    """Build one component, mapping malformed sections to clear errors.
+
+    A bad field used to surface as a raw ``TypeError`` from the
+    dataclass constructor; unknown and missing fields are now reported
+    as :class:`ConfigurationError` naming the section and the field.
+    """
+    if not isinstance(section, dict):
+        raise ConfigurationError(
+            f"component section {key!r} must be a mapping, got "
+            f"{type(section).__name__}"
+        )
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(section) - field_names)
+    if unknown:
+        raise ConfigurationError(
+            f"component section {key!r} has unknown field(s) "
+            f"{', '.join(map(repr, unknown))}; known fields: "
+            f"{', '.join(sorted(field_names))}"
+        )
+    required = {
+        f.name
+        for f in dataclasses.fields(cls)
+        if f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    }
+    missing = sorted(required - set(section))
+    if missing:
+        raise ConfigurationError(
+            f"component section {key!r} is missing required field(s) "
+            f"{', '.join(map(repr, missing))}"
+        )
+    try:
+        return cls(**section)
+    except TypeError as exc:  # e.g. non-string keys the checks can't name
+        raise ConfigurationError(
+            f"component section {key!r} could not be constructed: {exc}"
+        ) from exc
+
+
 def configuration_from_dict(data: Dict[str, Any]) -> UAVConfiguration:
     """Rebuild a configuration from :func:`configuration_to_dict` output."""
     kwargs: Dict[str, Any] = {}
     for key, cls in _COMPONENT_TYPES.items():
         if key not in data:
             raise ConfigurationError(f"missing component section {key!r}")
-        kwargs[key] = cls(**data[key])
+        kwargs[key] = _component_from_section(key, cls, data[key])
     for field_name in _SCALAR_FIELDS:
         if field_name in data:
             kwargs[field_name] = data[field_name]

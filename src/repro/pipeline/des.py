@@ -54,13 +54,20 @@ class DiscreteEventSimulator:
     ) -> None:
         """Fire ``callback`` periodically, optionally with per-cycle
         jitter: ``jitter()`` returns the multiplicative factor applied
-        to each period (e.g. 1.05 = 5 % late)."""
+        to each period (e.g. 1.05 = 5 % late).  Factors must be > 0 —
+        a zero factor would self-reschedule at the current instant and
+        livelock the event loop (the clock never advances past it)."""
         if period_s <= 0:
             raise SimulationError(f"period must be > 0, got {period_s}")
 
         def tick() -> None:
             callback()
             factor = jitter() if jitter is not None else 1.0
+            if factor <= 0.0:
+                raise SimulationError(
+                    f"jitter factor {factor!r} must be > 0: the "
+                    f"{period_s} s period would never advance the clock"
+                )
             self.schedule(period_s * factor, tick)
 
         self.schedule_at(start_s, tick)

@@ -36,7 +36,13 @@ class NoJitter(JitterModel):
 
 @dataclass(frozen=True)
 class UniformJitter(JitterModel):
-    """Uniform jitter in ``[1 - half_width, 1 + half_width]``."""
+    """Uniform jitter in ``[1 - half_width, 1 + half_width]``, clamped.
+
+    Wide windows (``half_width`` near 1) can draw factors arbitrarily
+    close to zero, which would stall a discrete-event clock; samples
+    are floored at the same ``_MIN_FACTOR`` :class:`GaussianJitter`
+    uses so every period stays usefully positive.
+    """
 
     half_width: float = 0.1
 
@@ -46,8 +52,9 @@ class UniformJitter(JitterModel):
             raise ValueError("half_width must be < 1 to keep periods > 0")
 
     def sample(self, rng: np.random.Generator) -> float:
-        return float(
-            rng.uniform(1.0 - self.half_width, 1.0 + self.half_width)
+        return max(
+            _MIN_FACTOR,
+            float(rng.uniform(1.0 - self.half_width, 1.0 + self.half_width)),
         )
 
 

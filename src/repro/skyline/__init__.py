@@ -5,7 +5,13 @@ from .analysis import AnalysisResult, analyze_design
 from .knobs import Knobs
 from .plotting import roofline_figure
 from .report import render_report
-from .sweep import SweepResult, sweep_knob
+from .sweep import (
+    GridCrossover,
+    GridResult,
+    SweepResult,
+    sweep_grid,
+    sweep_knob,
+)
 from .tool import Skyline, SkylineReport
 
 __all__ = [
@@ -14,7 +20,10 @@ __all__ = [
     "Knobs",
     "roofline_figure",
     "render_report",
+    "GridCrossover",
+    "GridResult",
     "SweepResult",
+    "sweep_grid",
     "sweep_knob",
     "Skyline",
     "SkylineReport",

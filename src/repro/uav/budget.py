@@ -1,19 +1,56 @@
-"""Mass-budget breakdown of a UAV configuration.
+"""Mass-budget accounting: the arithmetic and its itemized breakdown.
 
-SWaP engineering starts from a gram-by-gram budget; this module
-itemizes one (frame, flight controller, battery, sensor, compute
-module / carrier / heatsink per replica, extra payload), reports each
-item's share of the all-up mass, and quantifies the thrust margin the
-budget leaves.
+SWaP engineering starts from a gram-by-gram budget.  This module holds
+the *plain-function* accounting chain — compute flight mass, payload
+mass, all-up mass, rated thrust — shared by the scalar
+:class:`~repro.uav.configuration.UAVConfiguration` properties and the
+vectorized :mod:`repro.batch.assembly` kernels (the functions are
+polymorphic over floats and NumPy columns), plus :func:`mass_budget`,
+which itemizes one configuration (frame, flight controller, battery,
+sensor, compute module / carrier / heatsink per replica, extra
+payload), reports each item's share of the all-up mass, and quantifies
+the thrust margin the budget leaves.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
 
-from ..io.tables import format_table
-from .configuration import UAVConfiguration
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .configuration import UAVConfiguration
+
+
+# ---------------------------------------------------------------------------
+# The shared accounting chain (scalar UAVConfiguration *and* batch assembly)
+# ---------------------------------------------------------------------------
+def compute_flight_mass_g(module_mass_g, carrier_mass_g, heatsink_mass_g):
+    """All-in mass of one onboard computer: module + carrier + heatsink."""
+    return module_mass_g + carrier_mass_g + heatsink_mass_g
+
+
+def compute_payload_mass_g(flight_mass_g, redundancy=1):
+    """Mass of all onboard computers flying in ``redundancy`` replicas."""
+    return flight_mass_g * redundancy
+
+
+def component_payload_mass_g(
+    battery_mass_g, sensor_mass_g, compute_payload_g, extra_payload_g
+):
+    """Component-derived payload: everything carried beyond the frame."""
+    return (
+        battery_mass_g + sensor_mass_g + compute_payload_g + extra_payload_g
+    )
+
+
+def all_up_mass_g(frame_base_mass_g, flight_controller_mass_g, payload_g):
+    """Takeoff mass: frame (incl. motors/ESCs) + FC board + payload."""
+    return frame_base_mass_g + flight_controller_mass_g + payload_g
+
+
+def rated_thrust_g(rotor_pull_g, rotor_count):
+    """Summed rated pull of all motors (gram-force)."""
+    return rotor_pull_g * rotor_count
 
 
 @dataclass(frozen=True)
@@ -50,6 +87,11 @@ class MassBudget:
 
     def table(self) -> str:
         """Aligned text rendering of the budget."""
+        # Imported here, not at module level: repro.io.serialization
+        # imports the component dataclasses, whose module in turn uses
+        # this module's accounting functions.
+        from ..io.tables import format_table
+
         rows = [
             (line.item, f"{line.mass_g:.1f}", f"{line.fraction:.1%}")
             for line in self.lines

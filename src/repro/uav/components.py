@@ -11,6 +11,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..core.heatsink import heatsink_mass_g
+from .budget import compute_flight_mass_g
 from ..units import (
     mah_to_wh,
     require_fraction,
@@ -169,7 +170,9 @@ class ComputePlatform:
     @property
     def flight_mass_g(self) -> float:
         """All-in payload mass: module + carrier + heatsink."""
-        return self.mass_g + self.carrier_mass_g + self.heatsink_mass_g
+        return compute_flight_mass_g(
+            self.mass_g, self.carrier_mass_g, self.heatsink_mass_g
+        )
 
     def with_tdp(self, tdp_w: float, name: Optional[str] = None) -> "ComputePlatform":
         """The same platform re-binned at a different TDP.

@@ -21,6 +21,7 @@ from ..core.physics import (
 from ..core.throughput import SensorComputeControl
 from ..errors import ConfigurationError
 from ..units import require_nonnegative
+from . import budget
 from .components import (
     Battery,
     ComputePlatform,
@@ -72,33 +73,37 @@ class UAVConfiguration:
     @property
     def compute_payload_g(self) -> float:
         """Mass of all onboard computers incl. heatsinks (g)."""
-        return self.compute.flight_mass_g * self.compute_redundancy
+        return budget.compute_payload_mass_g(
+            self.compute.flight_mass_g, self.compute_redundancy
+        )
 
     @property
     def payload_mass_g(self) -> float:
         """Everything carried beyond the bare frame (g)."""
         if self.payload_override_g is not None:
             return self.payload_override_g + self.extra_payload_g
-        return (
-            self.battery.mass_g
-            + self.sensor.mass_g
-            + self.compute_payload_g
-            + self.extra_payload_g
+        return budget.component_payload_mass_g(
+            self.battery.mass_g,
+            self.sensor.mass_g,
+            self.compute_payload_g,
+            self.extra_payload_g,
         )
 
     @property
     def total_mass_g(self) -> float:
         """All-up takeoff mass (g)."""
-        return (
-            self.frame.base_mass_g
-            + self.flight_controller.mass_g
-            + self.payload_mass_g
+        return budget.all_up_mass_g(
+            self.frame.base_mass_g,
+            self.flight_controller.mass_g,
+            self.payload_mass_g,
         )
 
     @property
     def total_thrust_g(self) -> float:
         """Summed rated pull of all motors (gram-force)."""
-        return self.motor.rated_pull_g * self.frame.rotor_count
+        return budget.rated_thrust_g(
+            self.motor.rated_pull_g, self.frame.rotor_count
+        )
 
     @property
     def thrust_to_weight(self) -> float:

@@ -374,6 +374,48 @@ class TestBatchCache:
         with pytest.raises(ValueError):
             BatchCache(max_bytes=0)
 
+    def test_concurrent_put_keeps_byte_bound_and_book_keeping(self):
+        import threading
+
+        # Pre-build equally sized distinct results, then hammer put()
+        # from several threads under a budget that forces constant
+        # eviction.  After the dust settles every invariant must hold:
+        # both bounds respected and total_bytes equal to the bytes of
+        # the entries actually retained.
+        results = [
+            evaluate_matrix(
+                DesignMatrix.from_arrays(
+                    10.0, 50.0, 60.0, np.linspace(1.0, 100.0, 64) + shift
+                ),
+                cache=None,
+            )
+            for shift in range(24)
+        ]
+        one = results[0].nbytes
+        assert all(r.nbytes == one for r in results)
+        cache = BatchCache(maxsize=16, max_bytes=4 * one)
+        barrier = threading.Barrier(6)
+
+        def hammer(thread_id: int) -> None:
+            barrier.wait()
+            for round_number in range(50):
+                for i, result in enumerate(results):
+                    cache.put((thread_id, i), result)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        stats = cache.stats
+        assert 1 <= stats.entries <= 4
+        assert stats.total_bytes <= stats.max_bytes
+        retained = sum(r.nbytes for r in cache._entries.values())
+        assert stats.total_bytes == retained
+
     def test_byte_budget_evicts_and_skips_oversized(self):
         matrix = DesignMatrix.from_arrays(
             10.0, 50.0, 60.0, np.linspace(1.0, 100.0, 100)

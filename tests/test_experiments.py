@@ -171,3 +171,22 @@ class TestRunner:
         assert "[fig12] done" in out
         assert os.path.exists(tmp_path / "REPORT.md")
         assert os.path.exists(tmp_path / "fig12.svg")
+
+    def test_run_all_empty_selection_rejected(self):
+        # Regression: run_all([]) used to fall through a falsy `or`
+        # and silently run every experiment.
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="empty"):
+            run_all(experiment_ids=[])
+
+    def test_cli_empty_only_is_an_error(self, capsys):
+        # Regression: `repro-experiments --only` (zero ids) used to run
+        # all experiments; it must be a clear CLI error instead.
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--only"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "at least one experiment id" in err

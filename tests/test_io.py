@@ -97,3 +97,28 @@ class TestSerialization:
         del data["frame"]
         with pytest.raises(ConfigurationError, match="frame"):
             configuration_from_dict(data)
+
+    # Regression: malformed component sections used to leak the raw
+    # ``TypeError`` from the dataclass constructor instead of a
+    # ConfigurationError naming the section and field.
+    def test_unknown_component_field_named(self):
+        data = configuration_to_dict(dji_spark())
+        data["motor"]["warp_factor"] = 9.0
+        with pytest.raises(
+            ConfigurationError, match=r"'motor'.*'warp_factor'"
+        ):
+            configuration_from_dict(data)
+
+    def test_missing_component_field_named(self):
+        data = configuration_to_dict(dji_spark())
+        del data["sensor"]["framerate_hz"]
+        with pytest.raises(
+            ConfigurationError, match=r"'sensor'.*'framerate_hz'"
+        ):
+            configuration_from_dict(data)
+
+    def test_non_mapping_section_rejected(self):
+        data = configuration_to_dict(dji_spark())
+        data["frame"] = ["not", "a", "mapping"]
+        with pytest.raises(ConfigurationError, match="'frame'.*mapping"):
+            configuration_from_dict(data)

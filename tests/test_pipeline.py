@@ -58,11 +58,43 @@ class TestDES:
         with pytest.raises(SimulationError):
             sim.run_until(0.5)
 
+    @pytest.mark.parametrize("factor", [0.0, -0.5])
+    def test_nonpositive_jitter_factor_raises_instead_of_livelock(
+        self, factor
+    ):
+        # Regression: a zero factor self-rescheduled at the current
+        # instant forever — run_until never returned.  The guarded
+        # callback bounds the damage if the guard regresses.
+        sim = DiscreteEventSimulator()
+        calls = []
+
+        def callback() -> None:
+            calls.append(sim.now)
+            assert len(calls) < 10_000, "livelocked: clock never advanced"
+
+        sim.every(0.5, callback, jitter=lambda: factor)
+        with pytest.raises(SimulationError, match="0.5 s period"):
+            sim.run_until(2.0)
+        assert len(calls) == 1  # the offending cycle fired exactly once
+
 
 class TestJitter:
     def test_no_jitter_is_identity(self):
         rng = np.random.default_rng(0)
         assert NoJitter().sample(rng) == 1.0
+
+    def test_uniform_jitter_clamped_positive(self):
+        # Regression: wide uniform windows could draw factors
+        # arbitrarily close to zero (no _MIN_FACTOR clamp), stalling
+        # the DES clock.
+        from repro.pipeline.jitter import _MIN_FACTOR
+
+        class NearZeroRng:
+            def uniform(self, low, high):
+                return low
+
+        factor = UniformJitter(half_width=0.999999).sample(NearZeroRng())
+        assert factor >= _MIN_FACTOR
 
     def test_uniform_jitter_bounds(self):
         rng = np.random.default_rng(0)

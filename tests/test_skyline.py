@@ -1,7 +1,10 @@
-"""Tests for the Skyline tool: knobs, analysis, reports, CLI."""
+"""Tests for the Skyline tool: knobs, sweeps, analysis, reports, CLI."""
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+import numpy as np
 import pytest
 
 from repro.core.bounds import BoundKind
@@ -10,6 +13,7 @@ from repro.skyline.analysis import analyze_design
 from repro.skyline.cli import main as cli_main
 from repro.skyline.knobs import Knobs
 from repro.skyline.plotting import roofline_figure
+from repro.skyline.sweep import sweep_grid, sweep_knob
 from repro.skyline.tool import Skyline
 
 
@@ -108,6 +112,115 @@ class TestSkylineSession:
         session.evaluate_algorithm("dronet")
         session.evaluate_throughput(55.0, label="custom")
         assert len(session.reports) == 2
+
+
+class TestSweepGrid:
+    @pytest.fixture()
+    def grid(self):
+        return sweep_grid(
+            Knobs(),
+            {
+                "compute_tdp_w": (1.0, 7.5, 30.0),
+                "compute_runtime_s": np.geomspace(0.002, 0.5, 4),
+                "payload_weight_g": (0.0, 500.0),
+            },
+        )
+
+    def test_three_knobs_crossed_in_one_call(self, grid):
+        assert grid.knobs == (
+            "compute_tdp_w", "compute_runtime_s", "payload_weight_g",
+        )
+        assert grid.shape == (3, 4, 2)
+        assert len(grid) == 24
+        assert grid.values("safe_velocity").shape == (3, 4, 2)
+        assert "compute_tdp_w[3]" in grid.describe()
+
+    def test_cells_match_scalar_assembly(self, grid):
+        for index in ((0, 0, 0), (2, 1, 1), (1, 3, 0)):
+            knobs = replace(
+                Knobs(),
+                **{
+                    name: float(grid.axis(name)[i])
+                    for name, i in zip(grid.knobs, index)
+                },
+            )
+            model = knobs.build_uav().f1(knobs.f_compute_hz)
+            assert grid.values("safe_velocity")[index] == pytest.approx(
+                model.safe_velocity, abs=1e-9
+            )
+            assert grid.bound_at(*index) is model.bound
+
+    def test_bound_grid_partitions_cells(self, grid):
+        codes = grid.bound_grid()
+        assert codes.shape == grid.shape
+        assert sum(grid.bound_counts().values()) == len(grid)
+
+    def test_slice_matches_single_knob_sweep(self, grid):
+        line = grid.slice(
+            "compute_runtime_s", compute_tdp_w=30.0, payload_weight_g=500.0
+        )
+        fixed_base = replace(
+            Knobs(), compute_tdp_w=30.0, payload_weight_g=500.0
+        )
+        fresh = sweep_knob(
+            fixed_base, "compute_runtime_s",
+            grid.axis("compute_runtime_s"),
+        )
+        assert line.base == fixed_base
+        assert [p.value for p in line.points] == [
+            p.value for p in fresh.points
+        ]
+        for sliced, scalar in zip(line.points, fresh.points):
+            assert sliced.safe_velocity == pytest.approx(
+                scalar.safe_velocity, abs=1e-9
+            )
+            assert sliced.bound is scalar.bound
+        assert "compute_runtime_s" in line.table()
+
+    def test_slice_defaults_unfixed_axes_to_first_value(self, grid):
+        line = grid.slice("compute_tdp_w")
+        assert line.base.compute_runtime_s == pytest.approx(
+            float(grid.axis("compute_runtime_s")[0])
+        )
+        assert line.base.payload_weight_g == 0.0
+
+    def test_slice_validation(self, grid):
+        with pytest.raises(ConfigurationError, match="not a grid axis"):
+            grid.slice("sensor_range_m")
+        with pytest.raises(ConfigurationError, match="not grid axes"):
+            grid.slice("compute_tdp_w", sensor_range_m=5.0)
+        with pytest.raises(ConfigurationError, match="sliced knob"):
+            grid.slice("compute_tdp_w", compute_tdp_w=1.0)
+        with pytest.raises(ConfigurationError, match="not on the"):
+            grid.slice("compute_tdp_w", payload_weight_g=123.0)
+
+    def test_crossovers_locate_bound_flips(self, grid):
+        flips = grid.crossovers("compute_runtime_s")
+        assert flips  # slowing compute always crosses a bound here
+        codes = grid.bound_grid()
+        for crossover in flips:
+            i = list(grid.axis("compute_tdp_w")).index(
+                crossover.fixed["compute_tdp_w"]
+            )
+            k = list(grid.axis("payload_weight_g")).index(
+                crossover.fixed["payload_weight_g"]
+            )
+            j_before = list(grid.axis("compute_runtime_s")).index(
+                crossover.at
+            )
+            assert grid.bound_at(i, j_before, k) is crossover.from_bound
+            assert grid.bound_at(i, j_before + 1, k) is crossover.to_bound
+        assert len(grid.crossovers()) >= len(flips)
+
+    def test_unknown_value_column_rejected(self, grid):
+        with pytest.raises(ConfigurationError, match="unknown grid column"):
+            grid.values("mass")
+
+    def test_unsweepable_or_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot sweep"):
+            sweep_grid(Knobs(), {"rotor_count": (4, 6)})
+        with pytest.raises(ConfigurationError, match="at least one"):
+            sweep_grid(Knobs(), {})
 
 
 class TestRooflineFigure:
