@@ -11,12 +11,17 @@ Two end-to-end comparisons:
   evaluation), the regime `sweep_grid` multi-knob studies live in.
 
 Each runs at 1k / 10k / 100k points, asserting the batch path wins by
-the required margin at 10k and above.  Set ``REPRO_RECORD_BENCH=1`` to
-append the measured numbers to ``benchmarks/results/bench_batch.json``
-so the bench trajectory keeps populating across machines and
-revisions.  Set ``REPRO_BENCH_SMOKE=1`` (CI does) to run tiny grids
-that exercise every code path without timing assertions, so the
-benchmark code itself cannot rot.
+the required margin at 10k and above.  A third comparison — **study**
+— runs the same knob grid through the declarative
+:mod:`repro.study` layer (spec construction + planner compile +
+dispatch) and asserts the abstraction costs < 5% over the raw
+``KnobMatrix`` + ``evaluate_matrix`` path at 100k points, so the
+spec-first API can never quietly become a tax.  Set
+``REPRO_RECORD_BENCH=1`` to append the measured numbers to
+``benchmarks/results/bench_batch.json`` so the bench trajectory keeps
+populating across machines and revisions.  Set ``REPRO_BENCH_SMOKE=1``
+(CI does) to run tiny grids that exercise every code path without
+timing assertions, so the benchmark code itself cannot rot.
 """
 
 from __future__ import annotations
@@ -46,6 +51,10 @@ SIZES = (64,) if SMOKE else (1_000, 10_000, 100_000)
 #: Required end-to-end advantage of the columnar assembly chain at 10k+
 #: points (the acceptance bar; measured speedups are far higher).
 MIN_ASSEMBLY_SPEEDUP = 10.0
+
+#: Allowed relative overhead of the declarative study layer (spec
+#: compile + dispatch) over the raw assembly + evaluation it plans.
+MAX_STUDY_OVERHEAD = 0.05
 
 
 def _grid(n_points: int) -> DesignMatrix:
@@ -207,6 +216,65 @@ def test_bench_batch_100k_under_one_second():
     elapsed, _ = _time(lambda m: evaluate_matrix(m, cache=None), matrix)
     if not SMOKE:
         assert elapsed < 1.0, f"100k-point evaluation took {elapsed:.3f}s"
+
+
+def _study_axes(n_points: int) -> dict:
+    """Three crossed knob axes as plain value tuples (spec input)."""
+    per_axis = int(np.ceil(n_points ** (1.0 / 3.0)))
+    return {
+        "compute_tdp_w": tuple(np.linspace(1.0, 30.0, per_axis)),
+        "compute_runtime_s": tuple(np.geomspace(0.002, 0.5, per_axis)),
+        "payload_weight_g": tuple(np.linspace(0.0, 500.0, per_axis)),
+    }
+
+
+def _raw_knob_run(base: Knobs, axes: dict):
+    """What the planner compiles to, wired by hand (the baseline)."""
+    columns = cartesian_product(axes)
+    matrix = KnobMatrix.from_base(base, **columns).assemble()
+    return evaluate_matrix(matrix, cache=None)
+
+
+def _study_run(axes: dict):
+    """The declarative path: spec -> plan -> result, cache off."""
+    from repro.study import DesignSpec, StudySpec, run_study
+
+    spec = StudySpec(design=DesignSpec.knob_axes(axes=axes))
+    return run_study(spec, cache=None)
+
+
+def _best_of(fn, *args, repeats: int = 3) -> float:
+    fn(*args)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_study_overhead():
+    """Spec compile + dispatch must stay < 5% over raw evaluate_matrix."""
+    n_points = 64 if SMOKE else 100_000
+    axes = _study_axes(n_points)
+    raw_s = _best_of(_raw_knob_run, Knobs(), axes)
+    study_s = _best_of(_study_run, axes)
+    overhead = study_s / raw_s - 1.0
+    per_axis = len(axes["compute_tdp_w"])
+    row = {
+        "points": per_axis ** 3,
+        "raw_s": round(raw_s, 6),
+        "study_s": round(study_s, 6),
+        "overhead": round(overhead, 4),
+    }
+    print(
+        f"[study] {row['points']:>7} points: raw {raw_s:.4f}s, "
+        f"study {study_s:.4f}s ({overhead:+.1%} overhead)"
+    )
+    _record("study", [row])
+    if SMOKE:
+        return
+    assert overhead < MAX_STUDY_OVERHEAD, row
 
 
 def test_bench_sweep_grid_end_to_end():

@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
 """Case study D (Sec. VI-D) as automated design-space exploration.
 
-Sweeps (UAV x compute x algorithm), prints the weight-aware F-1
-characterization of every design point, extracts the Pareto frontier
-(velocity vs TDP) and answers a constrained selection question — the
-paper's concluding "automated DSE" vision.
+Builds the sweep as a declarative ``StudySpec`` — the (UAV x compute x
+algorithm) cross product, filtered and ranked as data — runs it
+through ``run_study``, and shows the spec surviving a JSON round trip
+bit-exactly.  The Pareto frontier and constrained selection then reuse
+``dse.explore``, which compiles to the *same* plan (the shared batch
+cache makes the second pass free).
 
 Run:  python examples/full_system_dse.py
 """
 
 from repro.dse import DesignSpace, SelectionCriteria, explore, pareto_front, select_best
 from repro.dse.explorer import results_table
+from repro.study import DesignSpec, FilterClause, RankClause, StudySpec, run_study
 
 
 def main() -> None:
@@ -19,17 +22,38 @@ def main() -> None:
         compute_names=("intel-ncs", "jetson-tx2", "raspi4", "pulp-gap8"),
         algorithm_names=("dronet", "trailnet", "cad2rl", "vgg16"),
     )
-    print(f"exploring {len(space)} design points...\n")
+
+    # The whole exploration as one serializable request.
+    spec = StudySpec(
+        design=DesignSpec.presets(
+            space.uav_names, space.compute_names, space.algorithm_names
+        ),
+        filters=(FilterClause("total_mass_g", "<=", 2500.0),),
+        rank=RankClause(by="safe_velocity", descending=True, top_k=20),
+    )
+    print(f"exploring {len(space)} design points as a StudySpec...\n")
+    result = run_study(spec)
+    print(result.describe())
+    print()
+    print(result.table())
+
+    # The request is data: it round-trips through JSON bit-exactly.
+    replayed = StudySpec.from_json(spec.to_json()).run()
+    assert replayed.equals(result)
+    print("\nspec -> JSON -> spec replay: identical result "
+          f"({len(spec.to_json())} bytes of JSON)\n")
+
+    # The legacy surface compiles to the same plan (cache hit).
     results = explore(space)
-    print(results_table(results[:20]))
+    print(results_table(results[:10]))
     print(f"... ({len(results)} total)\n")
 
     front = pareto_front(results)
     print("Pareto frontier (maximize velocity, minimize TDP):")
-    for result in front:
+    for entry in front:
         print(
-            f"  {result.label:<44s} v={result.safe_velocity:5.2f} m/s  "
-            f"TDP={result.compute_tdp_w:6.2f} W"
+            f"  {entry.label:<44s} v={entry.safe_velocity:5.2f} m/s  "
+            f"TDP={entry.compute_tdp_w:6.2f} W"
         )
 
     criteria = SelectionCriteria(

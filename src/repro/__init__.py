@@ -45,6 +45,16 @@ from .errors import (
     UnknownComponentError,
 )
 from .skyline import Knobs, Skyline
+from .study import (
+    DesignSpec,
+    FilterClause,
+    RankClause,
+    ScenarioSpec,
+    StudyResult,
+    StudySpec,
+    compile_spec,
+    run_study,
+)
 from .uav import (
     UAVConfiguration,
     asctec_pelican,
@@ -81,6 +91,14 @@ __all__ = [
     "UnknownComponentError",
     "Knobs",
     "Skyline",
+    "DesignSpec",
+    "FilterClause",
+    "RankClause",
+    "ScenarioSpec",
+    "StudyResult",
+    "StudySpec",
+    "compile_spec",
+    "run_study",
     "UAVConfiguration",
     "asctec_pelican",
     "custom_s500",

@@ -1,12 +1,15 @@
 """Exhaustive evaluation of a design space through the F-1 model.
 
-:func:`explore` routes every candidate through the vectorized
-:mod:`repro.batch` engine in one columnar pass — both the F-1 math
-*and* the UAV assembly (mass, heatsink, thrust, acceleration
-accounting, via :func:`repro.batch.assembly.assemble_configurations`)
-— while :func:`evaluate` keeps the scalar single-candidate path for
-spot checks.  Both produce identical :class:`EvaluatedCandidate`
-records.
+:func:`explore` is a thin builder over the declarative
+:mod:`repro.study` layer: it expresses the whole exploration as a
+``StudySpec`` (a ``presets`` design ranked by safe velocity) and runs
+it through the shared planner, which performs the same one-pass
+columnar assembly + evaluation
+(:func:`repro.batch.assembly.assemble_configurations` +
+:func:`repro.batch.engine.evaluate_matrix`) this module used to wire
+directly — same ordering, same numerics.  :func:`evaluate` keeps the
+scalar single-candidate path for spot checks; both produce identical
+:class:`EvaluatedCandidate` records.
 """
 
 from __future__ import annotations
@@ -14,10 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..batch.assembly import assemble_configurations
-from ..batch.engine import evaluate_matrix
 from ..core.bounds import BoundKind
 from ..io.tables import format_table
+from ..study import DesignSpec, RankClause, StudySpec, run_study
 from .space import Candidate, DesignSpace
 
 
@@ -59,35 +61,33 @@ def explore(space: DesignSpace) -> List[EvaluatedCandidate]:
     """Evaluate every candidate, sorted by safe velocity (descending).
 
     All candidates are columnized — including their mass/thrust
-    assembly, via :func:`~repro.batch.assembly.assemble_configurations`
-    — and evaluated in a single vectorized pass; results match the
-    scalar :func:`evaluate` exactly.
+    assembly — and evaluated in a single vectorized pass through the
+    :mod:`repro.study` planner; results match the scalar
+    :func:`evaluate` exactly.  Equivalent to running
+    ``StudySpec(design=DesignSpec.presets(...), rank=RankClause())``.
     """
-    candidates = list(space.candidates())
-    fleet = assemble_configurations(
-        [c.uav for c in candidates],
-        f_compute_hz=[c.f_compute_hz for c in candidates],
-        labels=[
-            f"{c.uav_name}+{c.compute_name}+{c.algorithm_name}"
-            for c in candidates
-        ],
+    spec = StudySpec(
+        design=DesignSpec.presets(
+            space.uav_names, space.compute_names, space.algorithm_names
+        ),
+        rank=RankClause(by="safe_velocity", descending=True),
     )
-    batch = evaluate_matrix(fleet.matrix)
-    results = [
+    study = run_study(spec)
+    candidates = list(space.candidates())
+    batch = study.batch
+    return [
         EvaluatedCandidate(
-            candidate=c,
+            candidate=candidates[i],
             safe_velocity=float(batch.safe_velocity[i]),
             roof_velocity=float(batch.roof_velocity[i]),
             knee_hz=float(batch.knee_hz[i]),
             action_throughput_hz=float(batch.action_throughput_hz[i]),
-            bound=batch.bound_at(i),
-            total_mass_g=float(fleet.total_mass_g[i]),
-            compute_tdp_w=float(fleet.compute_tdp_w[i]),
+            bound=batch.bound_at(int(i)),
+            total_mass_g=float(study.total_mass_g[i]),
+            compute_tdp_w=float(study.compute_tdp_w[i]),
         )
-        for i, c in enumerate(candidates)
+        for i in study.selected_indices
     ]
-    results.sort(key=lambda r: r.safe_velocity, reverse=True)
-    return results
 
 
 def results_table(results: List[EvaluatedCandidate]) -> str:

@@ -1,13 +1,23 @@
-"""JSON-friendly (de)serialization of UAV configurations.
+"""JSON-friendly (de)serialization of UAV configurations and results.
 
 Round-trips every component dataclass through plain dicts so Skyline
-sessions and DSE sweeps can be saved, diffed and re-loaded.
+sessions and DSE sweeps can be saved, diffed and re-loaded, and
+round-trips the batch-engine result types
+(:class:`~repro.batch.matrix.DesignMatrix`,
+:class:`~repro.batch.result.BatchResult`) so whole studies can cross
+process boundaries.
+
+Bound and verdict columns serialize as *names*, never raw ints: the
+integer codes are an in-process encoding the kernels are free to
+reorder, while :data:`BOUND_CODE_TO_NAME` / :data:`STATUS_CODE_TO_NAME`
+below are pinned for all serialized documents (a consistency test
+asserts they agree with the live kernel tables).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, List
 
 from ..errors import ConfigurationError
 from ..uav.components import (
@@ -19,6 +29,29 @@ from ..uav.components import (
     Sensor,
 )
 from ..uav.configuration import UAVConfiguration
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..batch.matrix import DesignMatrix
+    from ..batch.result import BatchResult
+
+#: Version-stable bound-code wire mapping (Sec. III-B classifications).
+BOUND_CODE_TO_NAME = {
+    0: "physics",
+    1: "sensor",
+    2: "compute",
+    3: "control",
+}
+BOUND_NAME_TO_CODE = {name: code for code, name in BOUND_CODE_TO_NAME.items()}
+
+#: Version-stable verdict-code wire mapping (Sec. III-C statuses).
+STATUS_CODE_TO_NAME = {
+    0: "optimal",
+    1: "over-provisioned",
+    2: "under-provisioned",
+}
+STATUS_NAME_TO_CODE = {
+    name: code for code, name in STATUS_CODE_TO_NAME.items()
+}
 
 _COMPONENT_TYPES = {
     "frame": Frame,
@@ -107,3 +140,183 @@ def configuration_from_dict(data: Dict[str, Any]) -> UAVConfiguration:
         if field_name in data:
             kwargs[field_name] = data[field_name]
     return UAVConfiguration(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Batch result types (the wire format of the study layer)
+# ---------------------------------------------------------------------------
+_MATRIX_COLUMNS = (
+    "sensing_range_m",
+    "a_max",
+    "f_sensor_hz",
+    "f_compute_hz",
+    "f_control_hz",
+)
+_RESULT_COLUMNS = (
+    "roof_velocity",
+    "knee_hz",
+    "knee_velocity",
+    "action_throughput_hz",
+    "safe_velocity",
+)
+
+
+def _result_error(field: str, message: str) -> ConfigurationError:
+    return ConfigurationError(f"result field {field!r}: {message}")
+
+
+def _float_list(field: str, data: Dict[str, Any], key: str) -> List[float]:
+    if key not in data:
+        raise _result_error(f"{field}.{key}", "missing")
+    values = data[key]
+    if not isinstance(values, list):
+        raise _result_error(
+            f"{field}.{key}", f"must be a list, got {type(values).__name__}"
+        )
+    return values
+
+
+def _decode_names(
+    field: str, names: List[str], mapping: Dict[str, int]
+) -> List[int]:
+    codes = []
+    for name in names:
+        if name not in mapping:
+            raise _result_error(
+                field,
+                f"unknown name {name!r}; known: "
+                f"{', '.join(sorted(mapping))}",
+            )
+        codes.append(mapping[name])
+    return codes
+
+
+def design_matrix_to_dict(matrix: "DesignMatrix") -> Dict[str, Any]:
+    """Serialize a design matrix to a JSON-compatible dict.
+
+    Floats survive JSON bit-exactly (``json`` emits shortest
+    round-tripping reprs), so a round-tripped matrix is numerically
+    identical to the original.
+    """
+    data: Dict[str, Any] = {
+        name: getattr(matrix, name).tolist() for name in _MATRIX_COLUMNS
+    }
+    if matrix.labels is not None:
+        data["labels"] = list(matrix.labels)
+    if matrix.knee_fraction is not None:
+        data["knee_fraction"] = matrix.knee_fraction
+    return data
+
+
+def design_matrix_from_dict(data: Dict[str, Any]) -> "DesignMatrix":
+    """Rebuild a matrix from :func:`design_matrix_to_dict` output."""
+    from ..batch.matrix import DesignMatrix
+
+    if not isinstance(data, dict):
+        raise _result_error(
+            "matrix", f"must be a mapping, got {type(data).__name__}"
+        )
+    columns = {
+        name: _float_list("matrix", data, name) for name in _MATRIX_COLUMNS
+    }
+    labels = data.get("labels")
+    return DesignMatrix.from_arrays(
+        **columns,
+        labels=tuple(labels) if labels is not None else None,
+        knee_fraction=data.get("knee_fraction"),
+    )
+
+
+def batch_result_to_dict(result: "BatchResult") -> Dict[str, Any]:
+    """Serialize a batch result (and its matrix) to a plain dict.
+
+    Bound and verdict columns are written as names through the pinned
+    code↔name maps, keeping documents readable and stable even if the
+    in-process integer encoding ever changes.
+    """
+    data: Dict[str, Any] = {
+        "matrix": design_matrix_to_dict(result.matrix),
+    }
+    for name in _RESULT_COLUMNS:
+        data[name] = getattr(result, name).tolist()
+    data["bounds"] = [
+        BOUND_CODE_TO_NAME[int(code)] for code in result.bound_codes
+    ]
+    data["statuses"] = [
+        STATUS_CODE_TO_NAME[int(code)] for code in result.status_codes
+    ]
+    data["knee_fraction"] = result.knee_fraction
+    data["tolerance"] = result.tolerance
+    return data
+
+
+def batch_result_from_dict(data: Dict[str, Any]) -> "BatchResult":
+    """Rebuild a batch result from :func:`batch_result_to_dict` output."""
+    import numpy as np
+
+    from ..batch.result import BatchResult
+
+    if not isinstance(data, dict):
+        raise _result_error(
+            "<root>", f"must be a mapping, got {type(data).__name__}"
+        )
+    if "matrix" not in data:
+        raise _result_error("matrix", "missing")
+    matrix = design_matrix_from_dict(data["matrix"])
+    columns = {
+        name: np.asarray(
+            _float_list("<root>", data, name), dtype=np.float64
+        )
+        for name in _RESULT_COLUMNS
+    }
+    for key in ("bounds", "statuses", "knee_fraction", "tolerance"):
+        if key not in data:
+            raise _result_error(key, "missing")
+    bound_codes = np.asarray(
+        _decode_names("bounds", data["bounds"], BOUND_NAME_TO_CODE),
+        dtype=np.int8,
+    )
+    status_codes = np.asarray(
+        _decode_names("statuses", data["statuses"], STATUS_NAME_TO_CODE),
+        dtype=np.int8,
+    )
+    return BatchResult(
+        matrix=matrix,
+        bound_codes=bound_codes,
+        status_codes=status_codes,
+        knee_fraction=data["knee_fraction"],
+        tolerance=data["tolerance"],
+        **columns,
+    )
+
+
+def design_matrices_equal(a: "DesignMatrix", b: "DesignMatrix") -> bool:
+    """Bitwise column equality plus labels and knee rule."""
+    import numpy as np
+
+    return (
+        len(a) == len(b)
+        and all(
+            np.array_equal(left, right)
+            for left, right in zip(a.columns(), b.columns())
+        )
+        and a.labels == b.labels
+        and a.knee_fraction == b.knee_fraction
+    )
+
+
+def batch_results_equal(a: "BatchResult", b: "BatchResult") -> bool:
+    """Bitwise equality of two batch results, matrices included."""
+    import numpy as np
+
+    return (
+        design_matrices_equal(a.matrix, b.matrix)
+        and all(
+            np.array_equal(getattr(a, name), getattr(b, name))
+            for name in _RESULT_COLUMNS
+        )
+        and np.array_equal(a.bound_codes, b.bound_codes)
+        and np.array_equal(a.status_codes, b.status_codes)
+        and a.knee_fraction == b.knee_fraction
+        and a.tolerance == b.tolerance
+    )

@@ -4,22 +4,27 @@ Examples::
 
     repro-skyline analyze --uav dji-spark --compute intel-ncs \\
         --algorithm dronet --plot spark.svg
-    repro-skyline analyze --uav asctec-pelican --runtime 0.909
+    repro-skyline analyze --uav asctec-pelican --runtime 0.909 --json
     repro-skyline sweep --knob compute_tdp_w --values 1 5 15 30
+    repro-skyline sweep --knob compute_tdp_w --values 1 5 15 30 --json
+    repro-skyline study --spec study.json --out result.json
+    repro-skyline study --knob compute_runtime_s --values 0.01 0.1 1.0
     repro-skyline list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from ..autonomy.workloads import ALGORITHMS
 from ..compute.platforms import PLATFORMS
 from ..errors import ReproError
+from ..io.serialization import configuration_to_dict
 from ..uav.registry import UAV_PRESETS
-from .tool import Skyline
+from .tool import Skyline, SkylineReport
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,6 +64,10 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--ascii", action="store_true", help="print a terminal chart"
     )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the full characterization as JSON on stdout",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="sweep one Table II knob over a value range"
@@ -73,9 +82,64 @@ def _build_parser() -> argparse.ArgumentParser:
         help="knob values to evaluate",
     )
     sweep.add_argument("--plot", help="write the sweep chart to this SVG")
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="emit the full study result as JSON on stdout",
+    )
+
+    study = sub.add_parser(
+        "study",
+        help="run a declarative StudySpec (JSON file or quick flags)",
+    )
+    source = study.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--spec", help="path to a StudySpec JSON document ('-' = stdin)"
+    )
+    source.add_argument(
+        "--knob", choices=sorted(SWEEPABLE_KNOBS),
+        help="quick mode: sweep one knob of the default Knobs",
+    )
+    study.add_argument(
+        "--values", type=float, nargs="+",
+        help="knob values for --knob quick mode",
+    )
+    study.add_argument(
+        "--limit", type=int, default=20,
+        help="table rows to print (default 20)",
+    )
+    study.add_argument(
+        "--json", action="store_true",
+        help="emit the full study result as JSON on stdout",
+    )
+    study.add_argument(
+        "--out", help="also write the result JSON to this path"
+    )
 
     sub.add_parser("list", help="list presets, platforms and algorithms")
     return parser
+
+
+def _report_to_dict(report: SkylineReport) -> Dict[str, Any]:
+    """The analyze pane as a JSON-compatible dict (stable names)."""
+    analysis = report.analysis
+    model = analysis.model
+    return {
+        "uav": configuration_to_dict(report.uav),
+        "algorithm": report.algorithm_name,
+        "f_compute_hz": report.f_compute_hz,
+        "analysis": {
+            "safe_velocity": model.safe_velocity,
+            "roof_velocity": model.roof_velocity,
+            "knee_hz": model.knee.throughput_hz,
+            "knee_velocity": model.knee.velocity,
+            "action_throughput_hz": model.action_throughput_hz,
+            "bound": analysis.bound.value,
+            "status": analysis.optimality.status.value,
+            "provisioning_factor": analysis.optimality.provisioning_factor,
+            "tips": list(analysis.tips),
+            "tdp_scenario": analysis.tdp_scenario,
+        },
+    }
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
@@ -91,13 +155,18 @@ def _run_analyze(args: argparse.Namespace) -> int:
         report = session.evaluate_throughput(
             1.0 / args.runtime, label=f"runtime={args.runtime:g}s"
         )
-    print(report.text())
-    if args.ascii:
-        print()
-        print(session.ascii())
+    if args.json:
+        print(json.dumps(_report_to_dict(report), indent=2))
+    else:
+        print(report.text())
+        if args.ascii:
+            print()
+            print(session.ascii())
     if args.plot:
         session.figure().save(args.plot)
-        print(f"\nF-1 chart written to {args.plot}")
+        # Keep stdout pure JSON in --json mode.
+        stream = sys.stderr if args.json else sys.stdout
+        print(f"\nF-1 chart written to {args.plot}", file=stream)
     return 0
 
 
@@ -105,15 +174,67 @@ def _run_sweep(args: argparse.Namespace) -> int:
     from .knobs import Knobs
     from .sweep import sweep_knob
 
-    result = sweep_knob(Knobs(), args.knob, args.values)
-    print(result.table())
-    crossovers = result.crossover_values()
-    if crossovers:
-        print(f"\nbound changes at {args.knob} = "
-              + ", ".join(f"{v:g}" for v in crossovers))
+    if args.json:
+        # The same sweep, expressed as a study; the shared batch cache
+        # means a --plot render below re-evaluates nothing.
+        from ..study import DesignSpec, StudySpec, run_study
+
+        spec = StudySpec(
+            design=DesignSpec.knob_axes(Knobs(), {args.knob: args.values})
+        )
+        print(json.dumps(run_study(spec).to_dict()))
+    else:
+        result = sweep_knob(Knobs(), args.knob, args.values)
+        print(result.table())
+        crossovers = result.crossover_values()
+        if crossovers:
+            print(f"\nbound changes at {args.knob} = "
+                  + ", ".join(f"{v:g}" for v in crossovers))
     if args.plot:
+        result = sweep_knob(Knobs(), args.knob, args.values)
         result.figure().save(args.plot)
-        print(f"sweep chart written to {args.plot}")
+        stream = sys.stderr if args.json else sys.stdout
+        print(f"sweep chart written to {args.plot}", file=stream)
+    return 0
+
+
+def _run_study(args: argparse.Namespace) -> int:
+    from ..study import DesignSpec, StudySpec, run_study
+
+    if args.spec is not None:
+        if args.values is not None:
+            print(
+                "error: --values only applies to --knob quick mode",
+                file=sys.stderr,
+            )
+            return 2
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            from pathlib import Path
+
+            text = Path(args.spec).read_text(encoding="utf-8")
+        spec = StudySpec.from_json(text)
+    else:
+        if not args.values:
+            print(
+                "error: --knob quick mode needs --values", file=sys.stderr
+            )
+            return 2
+        spec = StudySpec(
+            design=DesignSpec.knob_axes(axes={args.knob: args.values})
+        )
+    result = run_study(spec)
+    if args.out:
+        result.save(args.out)
+    if args.json:
+        print(json.dumps(result.to_dict()))
+    else:
+        print(result.describe())
+        print()
+        print(result.table(limit=args.limit))
+        if args.out:
+            print(f"\nstudy result written to {args.out}")
     return 0
 
 
@@ -140,8 +261,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_analyze(args)
         if args.command == "sweep":
             return _run_sweep(args)
+        if args.command == "study":
+            return _run_study(args)
         return _run_list()
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

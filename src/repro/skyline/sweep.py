@@ -3,12 +3,16 @@
 Sweep any Table II knob — or a Cartesian grid of several at once —
 and collect the F-1 consequences (safe velocity, knee, bound) into
 tables, figures and crossover reports, ready for the kind of what-if
-exploration Sec. V demonstrates interactively.  Knob values are
-columnized into a :class:`~repro.batch.assembly.KnobMatrix` whose
-vectorized accounting chain produces the
-:class:`~repro.batch.matrix.DesignMatrix` directly — no per-point
-``build_uav`` loop — and the :mod:`repro.batch` engine evaluates every
-point in one pass.
+exploration Sec. V demonstrates interactively.
+
+Both :func:`sweep_knob` and :func:`sweep_grid` are thin builders over
+the declarative :mod:`repro.study` layer: they assemble a
+:class:`~repro.study.spec.StudySpec` and hand it to
+:func:`~repro.study.runner.run_study`, which compiles the same
+columnar :class:`~repro.batch.assembly.KnobMatrix` chain and one-pass
+:mod:`repro.batch` evaluation these functions used to wire by hand —
+public signatures and numerics unchanged, but every sweep is now also
+expressible (and serializable) as a spec.
 """
 
 from __future__ import annotations
@@ -19,14 +23,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..batch.assembly import KnobMatrix
-from ..batch.engine import evaluate_matrix
-from ..batch.grid import AxisLike, cartesian_product
+from ..batch.grid import AxisLike
 from ..batch.kernels import BOUND_KINDS
 from ..batch.matrix import DesignMatrix
 from ..batch.result import BatchResult
 from ..core.bounds import BoundKind
 from ..errors import ConfigurationError
 from ..io.tables import format_table
+from ..study import DesignSpec, StudySpec, run_study
 from ..viz.lineplot import LinePlot
 from .knobs import Knobs
 
@@ -158,10 +162,17 @@ def _sweep_points(
 def sweep_knob(
     base: Knobs, knob: str, values: Sequence[float]
 ) -> SweepResult:
-    """Evaluate the F-1 model at each value of one knob."""
-    matrix = sweep_matrix(base, knob, values)
-    batch = evaluate_matrix(matrix)
-    points = _sweep_points(batch, values, np.arange(len(matrix)))
+    """Evaluate the F-1 model at each value of one knob.
+
+    A thin builder over :mod:`repro.study`: equivalent to running
+    ``StudySpec(design=DesignSpec.knob_axes(base, {knob: values}))``.
+    """
+    _require_sweepable(knob)
+    spec = StudySpec(design=DesignSpec.knob_axes(base, {knob: values}))
+    study = run_study(spec)
+    points = _sweep_points(
+        study.batch, values, np.arange(len(study.batch))
+    )
     return SweepResult(knob=knob, base=base, points=points)
 
 
@@ -373,25 +384,25 @@ def sweep_grid(
 
     ``axes`` maps knob names to 1-D value axes (scalars allowed); the
     Cartesian product is expanded row-major (last knob fastest) through
-    :func:`repro.batch.grid.cartesian_product`, assembled columnar by
-    :class:`~repro.batch.assembly.KnobMatrix` and evaluated in one
-    batch pass.
+    the :mod:`repro.study` planner — a thin builder over
+    ``StudySpec(design=DesignSpec.knob_axes(base, axes))`` — assembled
+    columnar by :class:`~repro.batch.assembly.KnobMatrix` and
+    evaluated in one batch pass.
     """
     if not axes:
         raise ConfigurationError("sweep_grid needs at least one knob axis")
     for knob in axes:
         _require_sweepable(knob)
-    columns = cartesian_product(axes)
-    matrix = KnobMatrix.from_base(base, **columns).assemble()
-    batch = evaluate_matrix(matrix)
-    axis_arrays = tuple(
-        np.atleast_1d(np.asarray(values, dtype=np.float64))
-        for values in axes.values()
-    )
+    normalized = {
+        knob: np.atleast_1d(np.asarray(values, dtype=np.float64))
+        for knob, values in axes.items()
+    }
+    spec = StudySpec(design=DesignSpec.knob_axes(base, normalized))
+    study = run_study(spec)
     return GridResult(
         base=base,
         knobs=tuple(axes),
-        axes=axis_arrays,
-        matrix=matrix,
-        batch=batch,
+        axes=tuple(normalized.values()),
+        matrix=study.batch.matrix,
+        batch=study.batch,
     )

@@ -13,7 +13,7 @@ The web tool's three panes (Sec. V-A) map to:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..autonomy.workloads import get_algorithm
 from ..compute.platforms import get_platform
@@ -27,6 +27,9 @@ from .analysis import AnalysisResult, analyze_design
 from .knobs import Knobs
 from .plotting import roofline_figure
 from .report import render_report
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..study import StudyResult, StudySpec
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,21 @@ class Skyline:
     def from_knobs(cls, knobs: Knobs) -> "Skyline":
         """Start a session from a fully custom Table II knob set."""
         return cls(knobs.build_uav())
+
+    # ------------------------------------------------------------------
+    # Declarative studies
+    # ------------------------------------------------------------------
+    @staticmethod
+    def study(spec: "StudySpec") -> "StudyResult":
+        """Execute a declarative :class:`~repro.study.spec.StudySpec`.
+
+        The spec-first face of the session API: anything a sweep or a
+        DSE exploration can do is expressible (and JSON-serializable)
+        as a spec, and runs through the shared vectorized planner.
+        """
+        from ..study import run_study
+
+        return run_study(spec)
 
     # ------------------------------------------------------------------
     # Evaluation

@@ -1,0 +1,327 @@
+"""Compile a :class:`~repro.study.spec.StudySpec` into a batch plan.
+
+The planner turns a declarative spec into exactly the vectorized
+:mod:`repro.batch` execution the legacy entry points performed —
+knob-axes designs go through :class:`~repro.batch.assembly.KnobMatrix`
+(identical to ``sweep_knob``/``sweep_grid``), preset and fleet designs
+through :func:`~repro.batch.assembly.assemble_configurations`
+(identical to ``dse.explore``) — so studies are numerically
+indistinguishable from the call stacks they replace.  Scenario axes
+expand design rows design-major (scenario varies fastest) and stay
+columnar throughout.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..batch.assembly import KnobMatrix, assemble_configurations
+from ..batch.grid import cartesian_product
+from ..batch.matrix import DesignMatrix
+from ..errors import ConfigurationError
+from ..uav.configuration import UAVConfiguration
+from .spec import (
+    DesignSpec,
+    ScenarioSpec,
+    StudySpec,
+    spec_error,
+)
+
+
+@dataclass(frozen=True)
+class StudyAxis:
+    """One named axis of the study's logical grid.
+
+    ``values`` are knob floats, scenario values, or registry names —
+    whatever the axis enumerates; ``size`` of all axes multiplies to
+    the evaluated point count, so every result column reshapes onto
+    the axes.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+
+# eq=False: ndarray fields; identity semantics, like the batch types.
+@dataclass(frozen=True, eq=False)
+class StudyPlan:
+    """A compiled, ready-to-evaluate study.
+
+    ``matrix`` feeds :func:`~repro.batch.engine.evaluate_matrix`
+    directly; ``total_mass_g`` / ``compute_tdp_w`` carry the assembly
+    layer's accounting columns so mass/TDP filters and metrics need no
+    per-point Python.
+    """
+
+    spec: StudySpec
+    matrix: DesignMatrix
+    axes: Tuple[StudyAxis, ...]
+    total_mass_g: np.ndarray
+    compute_tdp_w: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.matrix)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Points per axis; multiplies to ``len(self)``."""
+        return tuple(axis.size for axis in self.axes)
+
+
+def _scenario_rows(
+    scenarios: Optional[ScenarioSpec],
+) -> Tuple[Dict[str, Tuple[float, ...]], int]:
+    """The provided scenario axes and their Cartesian row count."""
+    if scenarios is None:
+        return {}, 1
+    axes = scenarios.axes()
+    count = 1
+    for values in axes.values():
+        count *= len(values)
+    return axes, count
+
+
+def _scenario_columns(
+    axes: Dict[str, Tuple[float, ...]]
+) -> Dict[str, np.ndarray]:
+    """Row-major Cartesian columns of the scenario axes (last fastest)."""
+    if not axes:
+        return {}
+    return cartesian_product(
+        {name: np.asarray(values, dtype=np.float64) for name, values in axes.items()}
+    )
+
+
+def _with_scaled_a_max(
+    matrix: DesignMatrix, scale: np.ndarray
+) -> DesignMatrix:
+    """A copy of ``matrix`` with its acceleration column derated."""
+    return DesignMatrix.from_arrays(
+        sensing_range_m=matrix.sensing_range_m,
+        a_max=matrix.a_max * scale,
+        f_sensor_hz=matrix.f_sensor_hz,
+        f_compute_hz=matrix.f_compute_hz,
+        f_control_hz=matrix.f_control_hz,
+        labels=matrix.labels,
+        knee_fraction=matrix.knee_fraction,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Knob-axes designs (the sweep_knob / sweep_grid shape)
+# ---------------------------------------------------------------------------
+def _compile_knobs(spec: StudySpec) -> StudyPlan:
+    design = spec.design
+    base = design.base
+    axes_mapping = {name: np.asarray(values, dtype=np.float64)
+                    for name, values in design.axes}
+    columns = cartesian_product(axes_mapping)
+    scenario_axes, n_scenarios = _scenario_rows(spec.scenarios)
+    if "compute_redundancy" in scenario_axes:
+        raise spec_error(
+            "scenarios.compute_redundancy",
+            "not applicable to a knobs design (knob-built UAVs fly one "
+            "compute module); use a presets or fleet design",
+        )
+
+    if not scenario_axes:
+        # The exact legacy path: same KnobMatrix call, same labels.
+        labels = None
+        if len(design.axes) == 1:
+            knob, values = design.axes[0]
+            labels = [f"{knob}={value:g}" for value in values]
+        knob_matrix = KnobMatrix.from_base(base, labels=labels, **columns)
+        matrix = knob_matrix.assemble()
+        scale = None
+    else:
+        n_designs = len(next(iter(columns.values())))
+        scenario_columns = _scenario_columns(scenario_axes)
+        expanded = {
+            name: np.repeat(column, n_scenarios)
+            for name, column in columns.items()
+        }
+        if "extra_payload_g" in scenario_columns:
+            delta = np.tile(
+                scenario_columns["extra_payload_g"], n_designs
+            )
+            payload = expanded.get("payload_weight_g")
+            if payload is None:
+                payload = np.full(
+                    n_designs * n_scenarios, base.payload_weight_g
+                )
+            payload = payload + delta
+            if np.any(payload < 0.0):
+                worst = float(payload.min())
+                raise spec_error(
+                    "scenarios.extra_payload_g",
+                    f"payload goes negative ({worst:g} g); deltas cannot "
+                    "shed more than the payload knob carries",
+                )
+            expanded["payload_weight_g"] = payload
+        knob_matrix = KnobMatrix.from_base(base, **expanded)
+        matrix = knob_matrix.assemble()
+        scale = None
+        if "a_max_scale" in scenario_columns:
+            scale = np.tile(scenario_columns["a_max_scale"], n_designs)
+
+    if scale is not None:
+        matrix = _with_scaled_a_max(matrix, scale)
+
+    study_axes = tuple(
+        itertools.chain(
+            (StudyAxis(name, values) for name, values in design.axes),
+            (
+                StudyAxis(name, values)
+                for name, values in scenario_axes.items()
+            ),
+        )
+    )
+    return StudyPlan(
+        spec=spec,
+        matrix=matrix,
+        axes=study_axes,
+        total_mass_g=knob_matrix.total_mass_g,
+        compute_tdp_w=knob_matrix.compute_tdp_w,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Preset / fleet designs (the dse.explore shape)
+# ---------------------------------------------------------------------------
+def _materialize_designs(
+    design: DesignSpec,
+) -> Tuple[
+    List[UAVConfiguration],
+    List[float],
+    Optional[List[str]],
+    Tuple[StudyAxis, ...],
+]:
+    if design.kind == "presets":
+        # Enumerate through DesignSpace so ordering and labels match
+        # dse.explore exactly.  Imported lazily: repro.dse imports this
+        # package at module level.
+        from ..dse.space import DesignSpace
+
+        space = DesignSpace(
+            uav_names=design.uav_names,
+            compute_names=design.compute_names,
+            algorithm_names=design.algorithm_names,
+        )
+        candidates = list(space.candidates())
+        uavs = [c.uav for c in candidates]
+        rates = [c.f_compute_hz for c in candidates]
+        labels = [
+            f"{c.uav_name}+{c.compute_name}+{c.algorithm_name}"
+            for c in candidates
+        ]
+        axes = (
+            StudyAxis("uav", design.uav_names),
+            StudyAxis("compute", design.compute_names),
+            StudyAxis("algorithm", design.algorithm_names),
+        )
+        return uavs, rates, labels, axes
+    uavs = list(design.uavs)
+    rates = list(design.f_compute_hz)
+    labels = list(design.labels) if design.labels is not None else None
+    names = (
+        design.labels
+        if design.labels is not None
+        else tuple(u.name for u in uavs)
+    )
+    return uavs, rates, labels, (StudyAxis("design", tuple(names)),)
+
+
+def _apply_scenario(
+    uav: UAVConfiguration, values: Dict[str, float]
+) -> UAVConfiguration:
+    changes: Dict[str, Any] = {}
+    if "extra_payload_g" in values:
+        extra = uav.extra_payload_g + values["extra_payload_g"]
+        if extra < 0.0:
+            raise spec_error(
+                "scenarios.extra_payload_g",
+                f"payload goes negative on configuration {uav.name!r} "
+                f"({extra:g} g)",
+            )
+        changes["extra_payload_g"] = extra
+    if "compute_redundancy" in values:
+        changes["compute_redundancy"] = int(values["compute_redundancy"])
+    return replace(uav, **changes) if changes else uav
+
+
+def _compile_fleet(spec: StudySpec) -> StudyPlan:
+    uavs, rates, labels, design_axes = _materialize_designs(spec.design)
+    scenario_axes, n_scenarios = _scenario_rows(spec.scenarios)
+
+    scale: Optional[np.ndarray] = None
+    if scenario_axes:
+        rows = list(itertools.product(*scenario_axes.values()))
+        names = list(scenario_axes)
+        expanded_uavs: List[UAVConfiguration] = []
+        expanded_labels: Optional[List[str]] = (
+            [] if labels is not None else None
+        )
+        for i, uav in enumerate(uavs):
+            for row in rows:
+                values = dict(zip(names, row))
+                expanded_uavs.append(_apply_scenario(uav, values))
+                if expanded_labels is not None:
+                    suffix = ",".join(
+                        f"{name}={value:g}"
+                        for name, value in values.items()
+                    )
+                    expanded_labels.append(f"{labels[i]} [{suffix}]")
+        rates = list(np.repeat(np.asarray(rates, dtype=np.float64),
+                               n_scenarios))
+        uavs, labels = expanded_uavs, expanded_labels
+        if "a_max_scale" in scenario_axes:
+            per_row = np.asarray(
+                [dict(zip(names, row))["a_max_scale"] for row in rows],
+                dtype=np.float64,
+            )
+            scale = np.tile(per_row, len(uavs) // n_scenarios)
+
+    fleet = assemble_configurations(uavs, rates, labels=labels)
+    matrix = fleet.matrix
+    if scale is not None:
+        matrix = _with_scaled_a_max(matrix, scale)
+
+    study_axes = design_axes + tuple(
+        StudyAxis(name, values) for name, values in scenario_axes.items()
+    )
+    return StudyPlan(
+        spec=spec,
+        matrix=matrix,
+        axes=study_axes,
+        total_mass_g=fleet.total_mass_g,
+        compute_tdp_w=fleet.compute_tdp_w,
+    )
+
+
+def compile_spec(spec: StudySpec) -> StudyPlan:
+    """Compile a spec into the vectorized plan that will execute it."""
+    if not isinstance(spec, StudySpec):
+        raise ConfigurationError(
+            f"compile_spec takes a StudySpec, got {type(spec).__name__}"
+        )
+    if spec.design.kind == "knobs":
+        plan = _compile_knobs(spec)
+    else:
+        plan = _compile_fleet(spec)
+    expected = 1
+    for axis in plan.axes:
+        expected *= axis.size
+    if expected != len(plan):  # pragma: no cover - internal invariant
+        raise ConfigurationError(
+            f"planner produced {len(plan)} rows for axes shape "
+            f"{plan.shape}"
+        )
+    return plan

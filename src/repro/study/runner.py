@@ -1,0 +1,124 @@
+"""Execute compiled study plans through the shared batch engine.
+
+:func:`run_study` is the single execution path every analysis surface
+now funnels through: it evaluates the plan's design matrix with
+:func:`~repro.batch.engine.evaluate_matrix` (sharing the process-wide
+:data:`~repro.batch.engine.DEFAULT_CACHE` unless the caller scopes
+their own), applies the spec's ``filters`` and ``rank`` clauses, and
+wraps everything in a serializable
+:class:`~repro.study.result.StudyResult`.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..batch.cache import BatchCache
+from ..batch.engine import DEFAULT_CACHE, evaluate_matrix
+from ..batch.result import BatchResult
+from ..io.serialization import BOUND_NAME_TO_CODE, STATUS_NAME_TO_CODE
+from .planner import StudyPlan, compile_spec
+from .result import StudyResult
+from .spec import (
+    EXTRA_NUMERIC_COLUMNS,
+    FilterClause,
+    NUMERIC_RESULT_COLUMNS,
+    StudySpec,
+    spec_error,
+)
+
+_OPS: Dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+def _numeric_column(
+    plan: StudyPlan, batch: BatchResult, name: str
+) -> np.ndarray:
+    if name in NUMERIC_RESULT_COLUMNS:
+        return getattr(batch, name)
+    assert name in EXTRA_NUMERIC_COLUMNS  # spec validation guarantees
+    return getattr(plan, name)
+
+
+def _filter_mask(
+    plan: StudyPlan,
+    batch: BatchResult,
+    index: int,
+    clause: FilterClause,
+) -> np.ndarray:
+    op = _OPS[clause.op]
+    if clause.column == "bound":
+        codes = BOUND_NAME_TO_CODE
+        column: np.ndarray = batch.bound_codes
+    elif clause.column == "status":
+        codes = STATUS_NAME_TO_CODE
+        column = batch.status_codes
+    else:
+        return op(
+            _numeric_column(plan, batch, clause.column),
+            float(clause.value),
+        )
+    if clause.value not in codes:
+        raise spec_error(
+            f"filters[{index}].value",
+            f"unknown {clause.column} name {clause.value!r}; known: "
+            f"{', '.join(sorted(codes))}",
+        )
+    return op(column, codes[clause.value])
+
+
+def _select(plan: StudyPlan, batch: BatchResult) -> np.ndarray:
+    """Apply the spec's filters and rank; indices in final order."""
+    spec = plan.spec
+    mask = np.ones(len(batch), dtype=bool)
+    for i, clause in enumerate(spec.filters):
+        mask &= _filter_mask(plan, batch, i, clause)
+    indices = np.flatnonzero(mask)
+    if spec.rank is not None:
+        keys = _numeric_column(plan, batch, spec.rank.by)[indices]
+        if spec.rank.descending:
+            keys = -keys
+        # Stable, like BatchResult.argsort: tied rows keep their
+        # original (enumeration) order in both directions.
+        indices = indices[np.argsort(keys, kind="stable")]
+        if spec.rank.top_k is not None:
+            indices = indices[: spec.rank.top_k]
+    return indices
+
+
+def run_study(
+    study: Union[StudySpec, StudyPlan],
+    cache: Optional[BatchCache] = DEFAULT_CACHE,
+) -> StudyResult:
+    """Compile (if needed) and execute a study.
+
+    ``cache`` scopes result memoization exactly as in
+    :func:`~repro.batch.engine.evaluate_matrix`: the process-wide
+    default is shared with every other analysis surface, so a study
+    re-covering a grid a sweep already evaluated is free.
+    """
+    plan = study if isinstance(study, StudyPlan) else compile_spec(study)
+    spec = plan.spec
+    batch = evaluate_matrix(
+        plan.matrix,
+        knee_fraction=spec.knee_fraction,
+        tolerance=spec.tolerance,
+        cache=cache,
+    )
+    return StudyResult(
+        spec=spec,
+        axes=plan.axes,
+        batch=batch,
+        selected_indices=_select(plan, batch),
+        total_mass_g=plan.total_mass_g,
+        compute_tdp_w=plan.compute_tdp_w,
+    )

@@ -122,3 +122,106 @@ class TestSerialization:
         data["frame"] = ["not", "a", "mapping"]
         with pytest.raises(ConfigurationError, match="'frame'.*mapping"):
             configuration_from_dict(data)
+
+
+class TestResultSerialization:
+    """Round-trip coverage for the result side: DesignMatrix and
+    BatchResult -> dict -> equality, with version-stable code names."""
+
+    @pytest.fixture()
+    def batch(self):
+        import numpy as np
+
+        from repro.batch import DesignMatrix, evaluate_matrix
+
+        matrix = DesignMatrix.from_arrays(
+            sensing_range_m=np.linspace(2.0, 20.0, 6),
+            a_max=np.linspace(5.0, 50.0, 6),
+            f_sensor_hz=60.0,
+            f_compute_hz=np.geomspace(1.0, 1000.0, 6),
+            labels=[f"p{i}" for i in range(6)],
+        )
+        return evaluate_matrix(matrix, cache=None)
+
+    def test_design_matrix_roundtrip(self, batch):
+        from repro.io.serialization import (
+            design_matrices_equal,
+            design_matrix_from_dict,
+            design_matrix_to_dict,
+        )
+
+        data = json.loads(json.dumps(design_matrix_to_dict(batch.matrix)))
+        rebuilt = design_matrix_from_dict(data)
+        assert design_matrices_equal(rebuilt, batch.matrix)
+        assert rebuilt.content_hash() == batch.matrix.content_hash()
+
+    def test_batch_result_roundtrip(self, batch):
+        from repro.io.serialization import (
+            batch_result_from_dict,
+            batch_result_to_dict,
+            batch_results_equal,
+        )
+
+        data = json.loads(json.dumps(batch_result_to_dict(batch)))
+        rebuilt = batch_result_from_dict(data)
+        assert batch_results_equal(rebuilt, batch)
+        assert rebuilt.bounds() == batch.bounds()
+        assert rebuilt.statuses() == batch.statuses()
+
+    def test_bounds_serialize_as_names_not_ints(self, batch):
+        from repro.io.serialization import batch_result_to_dict
+
+        data = batch_result_to_dict(batch)
+        assert all(isinstance(name, str) for name in data["bounds"])
+        assert all(isinstance(name, str) for name in data["statuses"])
+
+    def test_code_maps_pin_the_kernel_tables(self):
+        """The wire mapping stays consistent with the live kernels: if
+        the in-process integer encoding ever changes, this fails and
+        the wire maps must grow a translation, not silently drift."""
+        from repro.batch.kernels import BOUND_KINDS, DESIGN_STATUSES
+        from repro.io.serialization import (
+            BOUND_CODE_TO_NAME,
+            BOUND_NAME_TO_CODE,
+            STATUS_CODE_TO_NAME,
+            STATUS_NAME_TO_CODE,
+        )
+
+        assert BOUND_CODE_TO_NAME == {
+            code: kind.value for code, kind in enumerate(BOUND_KINDS)
+        }
+        assert STATUS_CODE_TO_NAME == {
+            code: status.value
+            for code, status in enumerate(DESIGN_STATUSES)
+        }
+        # Bijections both ways.
+        assert len(BOUND_NAME_TO_CODE) == len(BOUND_CODE_TO_NAME)
+        assert len(STATUS_NAME_TO_CODE) == len(STATUS_CODE_TO_NAME)
+
+    def test_unknown_bound_name_rejected(self, batch):
+        from repro.io.serialization import (
+            batch_result_from_dict,
+            batch_result_to_dict,
+        )
+
+        data = batch_result_to_dict(batch)
+        data["bounds"][0] = "banana"
+        with pytest.raises(ConfigurationError, match="banana"):
+            batch_result_from_dict(data)
+
+    def test_missing_result_field_named(self, batch):
+        from repro.io.serialization import (
+            batch_result_from_dict,
+            batch_result_to_dict,
+        )
+
+        data = batch_result_to_dict(batch)
+        del data["safe_velocity"]
+        with pytest.raises(
+            ConfigurationError, match="safe_velocity"
+        ):
+            batch_result_from_dict(data)
+        data = batch_result_to_dict(batch)
+        del data["matrix"]["a_max"]
+        with pytest.raises(ConfigurationError, match="a_max"):
+            batch_result_from_dict(data)

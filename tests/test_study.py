@@ -1,0 +1,669 @@
+"""Tests for repro.study: spec -> plan -> result, and the rebased
+legacy surfaces (sweep_knob / sweep_grid / dse.explore / CLI)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import DesignSpace, explore
+from repro.errors import ConfigurationError
+from repro.skyline.cli import main as cli_main
+from repro.skyline.knobs import Knobs
+from repro.skyline.sweep import SWEEPABLE_KNOBS, sweep_grid, sweep_knob
+from repro.skyline.tool import Skyline
+from repro.study import (
+    DesignSpec,
+    FilterClause,
+    RankClause,
+    ScenarioSpec,
+    StudyResult,
+    StudySpec,
+    compile_spec,
+    run_study,
+)
+
+
+def knob_spec(**axes) -> StudySpec:
+    return StudySpec(design=DesignSpec.knob_axes(axes=axes))
+
+
+class TestSpecValidation:
+    """The malformed-spec matrix: errors name the offending field."""
+
+    def test_unknown_knob_named(self):
+        with pytest.raises(
+            ConfigurationError, match=r"'design\.axes'.*cannot sweep"
+        ):
+            knob_spec(warp_factor=[1.0, 2.0])
+
+    def test_rotor_count_not_sweepable(self):
+        with pytest.raises(ConfigurationError, match="cannot sweep"):
+            knob_spec(rotor_count=[4, 6])
+
+    def test_empty_axis_named(self):
+        with pytest.raises(
+            ConfigurationError,
+            match=r"'design\.axes\[compute_tdp_w\]'.*at least one",
+        ):
+            knob_spec(compute_tdp_w=[])
+
+    def test_no_axes_at_all(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            DesignSpec.knob_axes(axes={})
+
+    def test_non_finite_axis_values(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            knob_spec(compute_tdp_w=[1.0, float("nan")])
+
+    def test_filter_on_unknown_column_named(self):
+        with pytest.raises(
+            ConfigurationError,
+            match=r"'filters\[0\]\.column'.*unknown column 'banana'",
+        ):
+            StudySpec(
+                design=DesignSpec.knob_axes(axes={"compute_tdp_w": [1.0]}),
+                filters=(FilterClause("banana", ">=", 1.0),),
+            )
+
+    def test_filter_bad_operator(self):
+        with pytest.raises(ConfigurationError, match=r"filters\.op"):
+            FilterClause("safe_velocity", "~=", 1.0)
+
+    def test_bound_filter_needs_name_and_equality(self):
+        with pytest.raises(ConfigurationError, match=r"\.op"):
+            StudySpec(
+                design=DesignSpec.knob_axes(axes={"compute_tdp_w": [1.0]}),
+                filters=(FilterClause("bound", ">=", "physics"),),
+            )
+        with pytest.raises(ConfigurationError, match=r"\.value"):
+            StudySpec(
+                design=DesignSpec.knob_axes(axes={"compute_tdp_w": [1.0]}),
+                filters=(FilterClause("bound", "==", 3),),
+            )
+
+    def test_unknown_bound_name_fails_at_run(self):
+        spec = StudySpec(
+            design=DesignSpec.knob_axes(axes={"compute_tdp_w": [1.0]}),
+            filters=(FilterClause("bound", "==", "banana"),),
+        )
+        with pytest.raises(
+            ConfigurationError, match=r"'filters\[0\]\.value'"
+        ):
+            run_study(spec)
+
+    def test_rank_unknown_column(self):
+        with pytest.raises(ConfigurationError, match=r"'rank\.by'"):
+            StudySpec(
+                design=DesignSpec.knob_axes(axes={"compute_tdp_w": [1.0]}),
+                rank=RankClause(by="bound"),
+            )
+
+    def test_metrics_unknown_column(self):
+        with pytest.raises(ConfigurationError, match="'metrics'"):
+            StudySpec(
+                design=DesignSpec.knob_axes(axes={"compute_tdp_w": [1.0]}),
+                metrics=("banana",),
+            )
+
+    def test_empty_preset_dimension(self):
+        with pytest.raises(
+            ConfigurationError, match=r"'design\.compute_names'"
+        ):
+            DesignSpec.presets(("dji-spark",), (), ("dronet",))
+
+    def test_redundancy_on_knobs_design_named(self):
+        spec = StudySpec(
+            design=DesignSpec.knob_axes(axes={"compute_tdp_w": [1.0]}),
+            scenarios=ScenarioSpec(compute_redundancy=(1, 2)),
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match=r"'scenarios\.compute_redundancy'.*knobs design",
+        ):
+            compile_spec(spec)
+
+    def test_scenario_axis_validation(self):
+        with pytest.raises(
+            ConfigurationError, match=r"'scenarios\.a_max_scale'"
+        ):
+            ScenarioSpec(a_max_scale=(0.0,))
+        with pytest.raises(
+            ConfigurationError, match=r"'scenarios\.compute_redundancy'"
+        ):
+            ScenarioSpec(compute_redundancy=(0,))
+
+    def test_unknown_spec_keys_named(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            StudySpec.from_dict(
+                {"design": {"kind": "knobs", "axes": {}}, "bogus": 1}
+            )
+        with pytest.raises(ConfigurationError, match="'scenarios'"):
+            ScenarioSpec.from_dict({"wind": [1.0]})
+
+    def test_unsupported_version(self):
+        with pytest.raises(ConfigurationError, match="version"):
+            StudySpec.from_json('{"version": 99, "design": {}}')
+
+    def test_duplicate_knob_axis(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            DesignSpec(
+                kind="knobs",
+                base=Knobs(),
+                axes=(
+                    ("compute_tdp_w", (1.0,)),
+                    ("compute_tdp_w", (2.0,)),
+                ),
+            )
+
+    def test_fleet_rate_length_mismatch(self):
+        uav = Knobs().build_uav()
+        with pytest.raises(
+            ConfigurationError, match=r"'design\.f_compute_hz'"
+        ):
+            DesignSpec.fleet((uav, uav, uav), (1.0, 2.0))
+
+
+class TestLegacyEquivalence:
+    """The rebased surfaces are numerically identical to the spec path."""
+
+    def test_sweep_knob_matches_study(self):
+        values = [1.0, 5.0, 15.0, 30.0]
+        legacy = sweep_knob(Knobs(), "compute_tdp_w", values)
+        study = run_study(
+            StudySpec(
+                design=DesignSpec.knob_axes(
+                    Knobs(), {"compute_tdp_w": values}
+                )
+            )
+        )
+        assert [p.safe_velocity for p in legacy.points] == list(
+            study.batch.safe_velocity
+        )
+        assert [p.bound for p in legacy.points] == study.batch.bounds()
+        # Single-axis knob studies keep the sweep-style labels.
+        assert study.batch.matrix.labels[0] == "compute_tdp_w=1"
+
+    def test_sweep_grid_matches_study(self):
+        axes = {
+            "compute_tdp_w": (1.0, 7.5, 30.0),
+            "compute_runtime_s": np.geomspace(0.002, 0.5, 4),
+        }
+        legacy = sweep_grid(Knobs(), axes)
+        study = run_study(
+            StudySpec(design=DesignSpec.knob_axes(Knobs(), axes))
+        )
+        assert study.shape == legacy.shape
+        assert np.array_equal(
+            legacy.values("safe_velocity"), study.values("safe_velocity")
+        )
+        assert np.array_equal(legacy.bound_grid(), study.bound_grid())
+
+    def test_explore_matches_study(self):
+        space = DesignSpace(
+            uav_names=("dji-spark", "asctec-pelican"),
+            compute_names=("intel-ncs", "jetson-tx2"),
+            algorithm_names=("dronet", "trailnet"),
+        )
+        legacy = explore(space)
+        study = run_study(
+            StudySpec(
+                design=DesignSpec.presets(
+                    space.uav_names,
+                    space.compute_names,
+                    space.algorithm_names,
+                ),
+                rank=RankClause(by="safe_velocity", descending=True),
+            )
+        )
+        selected = study.selected
+        assert len(legacy) == len(selected)
+        for i, candidate in enumerate(legacy):
+            assert candidate.safe_velocity == selected.safe_velocity[i]
+            assert candidate.total_mass_g == float(
+                study.total_mass_g[study.selected_indices[i]]
+            )
+            assert candidate.label == selected.matrix.labels[i]
+
+    def test_explore_scalar_equivalence_preserved(self):
+        """The study-routed explore still matches the scalar evaluate."""
+        from repro.dse.explorer import evaluate
+
+        space = DesignSpace(
+            uav_names=("nano-uav",),
+            compute_names=("pulp-gap8",),
+            algorithm_names=("dronet",),
+        )
+        (batch_result,) = explore(space)
+        scalar = evaluate(next(iter(space.candidates())))
+        assert batch_result.safe_velocity == pytest.approx(
+            scalar.safe_velocity, abs=1e-9
+        )
+        assert batch_result.total_mass_g == pytest.approx(
+            scalar.total_mass_g, abs=1e-9
+        )
+        assert batch_result.bound is scalar.bound
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.data(),
+        n_axes=st.integers(min_value=1, max_value=3),
+    )
+    def test_property_study_matches_scalar_and_roundtrip(
+        self, data, n_axes
+    ):
+        """StudySpec -> plan -> result is 1e-9-identical to the scalar
+        legacy path, and spec -> JSON -> spec -> result is bit-identical
+        to spec -> result, over randomized knob axes."""
+        ranges = {
+            "sensor_framerate_hz": (5.0, 240.0),
+            "compute_tdp_w": (0.5, 60.0),
+            "compute_runtime_s": (0.001, 2.0),
+            "sensor_range_m": (0.5, 50.0),
+            "drone_weight_g": (50.0, 5000.0),
+            "rotor_pull_g": (100.0, 2000.0),
+            "payload_weight_g": (0.0, 800.0),
+            "compute_mass_g": (5.0, 400.0),
+        }
+        knobs = data.draw(
+            st.lists(
+                st.sampled_from(sorted(SWEEPABLE_KNOBS)),
+                min_size=n_axes,
+                max_size=n_axes,
+                unique=True,
+            )
+        )
+        axes = {}
+        for knob in knobs:
+            low, high = ranges[knob]
+            axes[knob] = data.draw(
+                st.lists(
+                    st.floats(
+                        min_value=low,
+                        max_value=high,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                    min_size=1,
+                    max_size=3,
+                ),
+                label=knob,
+            )
+        spec = StudySpec(design=DesignSpec.knob_axes(axes=axes))
+        study = run_study(spec, cache=None)
+
+        # 1e-9 against the per-point scalar model chain.
+        base = Knobs()
+        flat = 0
+        for combo in np.ndindex(study.shape):
+            point = replace(
+                base,
+                **{
+                    knob: axes[knob][i]
+                    for knob, i in zip(knobs, combo)
+                },
+            )
+            model = point.build_uav().f1(point.f_compute_hz)
+            assert study.batch.safe_velocity[flat] == pytest.approx(
+                model.safe_velocity, abs=1e-9
+            )
+            flat += 1
+
+        # spec -> JSON -> spec -> result, bit-identical.
+        rebuilt_spec = StudySpec.from_json(spec.to_json())
+        assert rebuilt_spec == spec
+        again = run_study(rebuilt_spec, cache=None)
+        assert study.equals(again)
+
+        # Legacy grid surface agrees bit-for-bit too.
+        legacy = sweep_grid(base, axes)
+        assert np.array_equal(
+            legacy.batch.safe_velocity, study.batch.safe_velocity
+        )
+
+
+class TestScenarios:
+    def test_payload_delta_matches_manual_knobs(self):
+        spec = StudySpec(
+            design=DesignSpec.knob_axes(
+                axes={"compute_runtime_s": [0.01, 0.1]}
+            ),
+            scenarios=ScenarioSpec(extra_payload_g=(0.0, 250.0)),
+        )
+        study = run_study(spec)
+        assert study.shape == (2, 2)
+        grid = study.values("safe_velocity")
+        for i, runtime in enumerate((0.01, 0.1)):
+            for j, delta in enumerate((0.0, 250.0)):
+                knobs = Knobs(
+                    compute_runtime_s=runtime,
+                    payload_weight_g=delta,
+                )
+                model = knobs.build_uav().f1(knobs.f_compute_hz)
+                assert grid[i, j] == pytest.approx(
+                    model.safe_velocity, abs=1e-9
+                )
+
+    def test_a_max_scale_derates_acceleration(self):
+        base_spec = knob_spec(compute_runtime_s=[0.01])
+        derated = StudySpec(
+            design=base_spec.design,
+            scenarios=ScenarioSpec(a_max_scale=(1.0, 0.5)),
+        )
+        study = run_study(derated)
+        baseline = run_study(base_spec)
+        a = study.batch.matrix.a_max
+        assert a[0] == baseline.batch.matrix.a_max[0]
+        assert a[1] == pytest.approx(a[0] * 0.5)
+        # Derated acceleration lowers the physics roof.
+        assert (
+            study.batch.roof_velocity[1] < study.batch.roof_velocity[0]
+        )
+
+    def test_payload_cannot_go_negative(self):
+        spec = StudySpec(
+            design=knob_spec(compute_runtime_s=[0.01]).design,
+            scenarios=ScenarioSpec(extra_payload_g=(-100.0,)),
+        )
+        with pytest.raises(
+            ConfigurationError, match=r"'scenarios\.extra_payload_g'"
+        ):
+            compile_spec(spec)
+
+    def test_redundancy_on_fleet_matches_with_redundancy(self):
+        uav = Skyline.from_preset(
+            "asctec-pelican", compute_name="jetson-tx2"
+        ).uav
+        spec = StudySpec(
+            design=DesignSpec.fleet((uav,), 178.0),
+            scenarios=ScenarioSpec(compute_redundancy=(1, 3)),
+        )
+        study = run_study(spec)
+        assert study.shape == (1, 2)
+        tmr = uav.with_redundancy(3)
+        assert float(study.total_mass_g[1]) == pytest.approx(
+            tmr.total_mass_g, abs=1e-9
+        )
+        model = tmr.f1(178.0)
+        assert study.batch.safe_velocity[1] == pytest.approx(
+            model.safe_velocity, abs=1e-9
+        )
+
+    def test_scenario_axes_cross_and_scenario_varies_fastest(self):
+        spec = StudySpec(
+            design=knob_spec(compute_runtime_s=[0.01, 0.1]).design,
+            scenarios=ScenarioSpec(
+                extra_payload_g=(0.0, 100.0), a_max_scale=(1.0, 0.8)
+            ),
+        )
+        study = run_study(spec)
+        assert study.shape == (2, 2, 2)
+        assert [a.name for a in study.axes] == [
+            "compute_runtime_s",
+            "extra_payload_g",
+            "a_max_scale",
+        ]
+        f_c = study.batch.matrix.f_compute_hz
+        # Design axis outermost: first 4 rows share the first runtime.
+        assert np.allclose(f_c[:4], 100.0) and np.allclose(f_c[4:], 10.0)
+
+
+class TestFiltersAndRank:
+    @pytest.fixture()
+    def spec(self):
+        return StudySpec(
+            design=DesignSpec.knob_axes(
+                axes={
+                    "compute_tdp_w": np.linspace(1.0, 30.0, 5),
+                    "compute_runtime_s": np.geomspace(0.002, 0.5, 5),
+                }
+            )
+        )
+
+    def test_filters_match_manual_mask(self, spec):
+        filtered = StudySpec(
+            design=spec.design,
+            filters=(
+                FilterClause("safe_velocity", ">=", 6.0),
+                FilterClause("bound", "==", "compute"),
+            ),
+        )
+        study = run_study(filtered)
+        batch = run_study(spec).batch
+        mask = (batch.safe_velocity >= 6.0) & (
+            np.asarray([b.value for b in batch.bounds()]) == "compute"
+        )
+        assert np.array_equal(
+            study.selected_indices, np.flatnonzero(mask)
+        )
+
+    def test_mass_filter_uses_assembly_column(self, spec):
+        study = run_study(
+            StudySpec(
+                design=spec.design,
+                filters=(FilterClause("total_mass_g", "<", 1400.0),),
+            )
+        )
+        assert len(study.selected_indices) > 0
+        assert np.all(
+            study.total_mass_g[study.selected_indices] < 1400.0
+        )
+
+    def test_rank_matches_batch_top_k(self, spec):
+        ranked = StudySpec(
+            design=spec.design,
+            rank=RankClause(by="safe_velocity", top_k=5),
+        )
+        study = run_study(ranked)
+        expected = run_study(spec).batch.top_k(5, by="safe_velocity")
+        assert np.array_equal(
+            study.selected.safe_velocity, expected.safe_velocity
+        )
+
+    def test_metrics_clause_controls_reporting(self, spec):
+        study = run_study(
+            StudySpec(
+                design=spec.design,
+                metrics=("safe_velocity", "bound"),
+                rank=RankClause(top_k=3),
+            )
+        )
+        metrics = study.metrics()
+        assert set(metrics) == {"safe_velocity", "bound"}
+        assert len(metrics["safe_velocity"]) == 3
+        assert all(isinstance(name, str) for name in metrics["bound"])
+
+    def test_empty_selection_is_legal(self, spec):
+        study = run_study(
+            StudySpec(
+                design=spec.design,
+                filters=(FilterClause("safe_velocity", ">", 1e6),),
+            )
+        )
+        assert len(study.selected_indices) == 0
+        assert len(study.selected) == 0
+        rebuilt = StudyResult.from_json(study.to_json())
+        assert rebuilt.equals(study)
+
+
+class TestResultRoundTrip:
+    def test_result_dict_roundtrip_all_kinds(self):
+        specs = [
+            knob_spec(compute_tdp_w=[1.0, 30.0]),
+            StudySpec(
+                design=DesignSpec.presets(
+                    ("dji-spark",), ("intel-ncs",), ("dronet", "trailnet")
+                ),
+                rank=RankClause(top_k=1),
+            ),
+            StudySpec(
+                design=DesignSpec.fleet(
+                    (Knobs().build_uav(),), 100.0, labels=("one",)
+                ),
+                scenarios=ScenarioSpec(a_max_scale=(1.0, 0.9)),
+            ),
+        ]
+        for spec in specs:
+            study = run_study(spec)
+            rebuilt = StudyResult.from_dict(
+                json.loads(json.dumps(study.to_dict()))
+            )
+            assert rebuilt.equals(study)
+            assert rebuilt.spec == spec
+            assert rebuilt.shape == study.shape
+
+    # Regression: a trivial ScenarioSpec() used to break the lossless
+    # round trip (to_dict omits it, from_dict restored None, specs
+    # compared unequal despite identical plans).
+    def test_trivial_scenarios_normalize_to_none(self):
+        spec = StudySpec(
+            design=DesignSpec.knob_axes(axes={"compute_tdp_w": [1.0]}),
+            scenarios=ScenarioSpec(),
+        )
+        assert spec.scenarios is None
+        assert StudySpec.from_json(spec.to_json()) == spec
+
+    # Regression: a result document missing the accounting columns
+    # used to fail with a shape error instead of naming the key.
+    def test_missing_result_extras_named(self):
+        study = run_study(knob_spec(compute_tdp_w=[1.0, 30.0]))
+        data = study.to_dict()
+        del data["total_mass_g"]
+        with pytest.raises(
+            ConfigurationError, match="'total_mass_g'.*missing"
+        ):
+            StudyResult.from_dict(data)
+
+    def test_save_load_files(self, tmp_path):
+        spec = knob_spec(compute_runtime_s=[0.01, 0.1])
+        spec_path = tmp_path / "spec.json"
+        spec.save(spec_path)
+        assert StudySpec.load(spec_path) == spec
+        study = run_study(spec)
+        result_path = tmp_path / "result.json"
+        study.save(result_path)
+        assert StudyResult.load(result_path).equals(study)
+
+    def test_skyline_study_entry_point(self):
+        spec = knob_spec(compute_tdp_w=[1.0, 30.0])
+        study = Skyline.study(spec)
+        assert study.equals(run_study(spec))
+
+
+class TestStudyCli:
+    def test_study_from_spec_file(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        knob_spec(compute_tdp_w=[1.0, 30.0]).save(spec_path)
+        out_path = tmp_path / "result.json"
+        code = cli_main(
+            ["study", "--spec", str(spec_path), "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "study compute_tdp_w[2]" in out
+        loaded = StudyResult.load(out_path)
+        assert loaded.spec == StudySpec.load(spec_path)
+
+    def test_study_quick_mode_json(self, capsys):
+        code = cli_main(
+            [
+                "study", "--knob", "compute_runtime_s",
+                "--values", "0.01", "0.1", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        rebuilt = StudyResult.from_dict(data)
+        assert rebuilt.shape == (2,)
+
+    def test_study_quick_mode_requires_values(self, capsys):
+        assert cli_main(["study", "--knob", "compute_tdp_w"]) == 2
+
+    def test_study_malformed_spec_is_a_clean_error(self, capsys, tmp_path):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(
+            '{"design": {"kind": "knobs", "base": {}, '
+            '"axes": {"warp": [1.0]}}}'
+        )
+        code = cli_main(["study", "--spec", str(spec_path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "design.axes" in err and "cannot sweep" in err
+
+    def test_study_missing_file_is_a_clean_error(self, capsys):
+        assert cli_main(["study", "--spec", "/nonexistent.json"]) == 1
+
+    def test_sweep_json_output(self, capsys):
+        code = cli_main(
+            [
+                "sweep", "--knob", "compute_tdp_w",
+                "--values", "1", "30", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        rebuilt = StudyResult.from_dict(data)
+        assert rebuilt.spec.design.kind == "knobs"
+        assert len(rebuilt.batch) == 2
+
+    def test_analyze_json_output(self, capsys):
+        code = cli_main(
+            [
+                "analyze", "--uav", "dji-spark", "--compute", "intel-ncs",
+                "--algorithm", "dronet", "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["algorithm"] == "dronet"
+        assert data["uav"]["compute"]["name"] == "intel-ncs"
+        analysis = data["analysis"]
+        assert analysis["bound"] in (
+            "physics", "sensor", "compute", "control"
+        )
+        assert analysis["safe_velocity"] > 0
+
+    def test_analyze_json_with_plot_keeps_stdout_pure(
+        self, capsys, tmp_path
+    ):
+        plot = tmp_path / "out.svg"
+        code = cli_main(
+            [
+                "analyze", "--uav", "dji-spark", "--compute", "intel-ncs",
+                "--algorithm", "dronet", "--json", "--plot", str(plot),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is valid JSON, nothing else
+        assert plot.exists()
+        assert "written" in captured.err
+
+
+class TestCacheSharing:
+    def test_study_and_sweep_share_the_default_cache(self):
+        from repro.batch.engine import DEFAULT_CACHE
+
+        values = [2.0, 4.0, 8.0]
+        sweep_knob(Knobs(), "sensor_range_m", values)
+        hits_before = DEFAULT_CACHE.stats.hits
+        run_study(
+            StudySpec(
+                design=DesignSpec.knob_axes(
+                    Knobs(), {"sensor_range_m": values}
+                )
+            )
+        )
+        assert DEFAULT_CACHE.stats.hits == hits_before + 1
+
+    def test_plan_reuse_skips_recompilation(self):
+        spec = knob_spec(compute_tdp_w=[1.0, 30.0])
+        plan = compile_spec(spec)
+        a = run_study(plan, cache=None)
+        b = run_study(spec, cache=None)
+        assert a.equals(b)
