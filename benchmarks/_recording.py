@@ -1,0 +1,61 @@
+"""Shared benchmark-recording helpers (not collected as a bench).
+
+Two environment knobs control recording:
+
+* ``REPRO_RECORD_BENCH=1`` — append entries to the *committed*
+  baselines under ``benchmarks/results/`` (how the per-revision
+  trajectory in the repo keeps populating).
+* ``REPRO_BENCH_OUT=<dir>`` — append entries to ``<dir>`` instead
+  (how CI records a fresh run for the regression gate and the
+  workflow artifact, without touching the checkout).
+
+Unlike the pre-gate recorder, smoke runs record too: every entry is
+stamped with its ``smoke`` flag (and the host's ``cpu_count``), and
+``check_regression.py`` only ever compares entries whose
+``(benchmark, smoke, points)`` coordinates match, so tiny smoke rows
+can never masquerade as full-scale baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import List
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+OUT_DIR = os.environ.get("REPRO_BENCH_OUT")
+
+#: Gate mode: a smoke-speed run that *records* (for the CI regression
+#: gate, or to refresh its committed baselines).  Sizes are bumped
+#: from "tiny" to "small" (e.g. 64 -> 1000 points) because
+#: machine-normalized ratios at tiny N are too noisy to gate.
+GATE = SMOKE and bool(OUT_DIR or os.environ.get("REPRO_RECORD_BENCH"))
+
+
+def record(results_file: str, benchmark: str, rows: List[dict]) -> None:
+    """Append one benchmark entry, when recording is enabled."""
+    if not (os.environ.get("REPRO_RECORD_BENCH") or OUT_DIR):
+        return
+    directory = Path(OUT_DIR) if OUT_DIR else RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / results_file
+    history = json.loads(path.read_text()) if path.exists() else []
+    history.append(
+        {
+            "recorded_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "benchmark": benchmark,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "smoke": SMOKE,
+            "rows": rows,
+        }
+    )
+    path.write_text(json.dumps(history, indent=2) + "\n")

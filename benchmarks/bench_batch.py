@@ -21,20 +21,20 @@ spec-first API can never quietly become a tax.  Set
 ``benchmarks/results/bench_batch.json`` so the bench trajectory keeps
 populating across machines and revisions.  Set ``REPRO_BENCH_SMOKE=1``
 (CI does) to run tiny grids that exercise every code path without
-timing assertions, so the benchmark code itself cannot rot.
+timing assertions, so the benchmark code itself cannot rot; adding
+``REPRO_BENCH_OUT=<dir>`` (the CI regression gate does) records a
+smoke-speed run at small-but-stable sizes into ``<dir>`` for
+``check_regression.py`` (see ``_recording.py``).
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import time
 from dataclasses import replace
-from pathlib import Path
 
 import numpy as np
 
+from _recording import GATE, SMOKE, record
 from repro.batch import (
     DesignMatrix,
     KnobMatrix,
@@ -44,9 +44,10 @@ from repro.batch import (
 )
 from repro.skyline.knobs import Knobs
 
-RESULTS_PATH = Path(__file__).parent / "results" / "bench_batch.json"
-SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
-SIZES = (64,) if SMOKE else (1_000, 10_000, 100_000)
+if SMOKE:
+    SIZES = (1_000,) if GATE else (64,)
+else:
+    SIZES = (1_000, 10_000, 100_000)
 
 #: Required end-to-end advantage of the columnar assembly chain at 10k+
 #: points (the acceptance bar; measured speedups are far higher).
@@ -161,22 +162,7 @@ def _measure_assembly(n_points: int) -> dict:
 
 
 def _record(benchmark: str, rows: list) -> None:
-    if not os.environ.get("REPRO_RECORD_BENCH") or SMOKE:
-        return
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    history = []
-    if RESULTS_PATH.exists():
-        history = json.loads(RESULTS_PATH.read_text())
-    history.append(
-        {
-            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            "benchmark": benchmark,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "rows": rows,
-        }
-    )
-    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    record("bench_batch.json", benchmark, rows)
 
 
 def _print_rows(title: str, rows: list) -> None:
@@ -255,7 +241,7 @@ def _best_of(fn, *args, repeats: int = 3) -> float:
 
 def test_bench_study_overhead():
     """Spec compile + dispatch must stay < 5% over raw evaluate_matrix."""
-    n_points = 64 if SMOKE else 100_000
+    n_points = (1_000 if GATE else 64) if SMOKE else 100_000
     axes = _study_axes(n_points)
     raw_s = _best_of(_raw_knob_run, Knobs(), axes)
     study_s = _best_of(_study_run, axes)

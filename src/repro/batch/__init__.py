@@ -36,11 +36,30 @@ Quickstart::
 from . import kernels
 from .assembly import FleetAssembly, KnobMatrix, assemble_configurations
 from .cache import BatchCache, CacheStats
-from .engine import DEFAULT_CACHE, evaluate_matrix
-from .grid import cartesian_product, scenario_grid
+from .engine import DEFAULT_CACHE, clear_default_cache, evaluate_matrix
+from .executor import (
+    BACKENDS,
+    CheckpointStore,
+    ParallelExecutor,
+    Shard,
+    ShardManifest,
+    ShardResult,
+    default_chunk_rows,
+    evaluate_matrix_sharded,
+    evaluate_spec_sharded,
+    iter_chunks,
+    shard_ranges,
+    top_k_sharded,
+)
+from .grid import (
+    cartesian_product,
+    cartesian_row_count,
+    cartesian_slice,
+    scenario_grid,
+)
 from .kernels import BOUND_KINDS, DESIGN_STATUSES
 from .matrix import DesignMatrix
-from .result import BatchResult, BatchRow
+from .result import BatchResult, BatchRow, concat_results, merge_top_k
 
 # The raw kernels stay namespaced (`repro.batch.kernels.*`): several
 # share names with the *validated* scalar helpers in repro.core, and
@@ -54,12 +73,29 @@ __all__ = [
     "BatchCache",
     "CacheStats",
     "DEFAULT_CACHE",
+    "clear_default_cache",
     "evaluate_matrix",
+    "BACKENDS",
+    "CheckpointStore",
+    "ParallelExecutor",
+    "Shard",
+    "ShardManifest",
+    "ShardResult",
+    "default_chunk_rows",
+    "evaluate_matrix_sharded",
+    "evaluate_spec_sharded",
+    "iter_chunks",
+    "shard_ranges",
+    "top_k_sharded",
     "cartesian_product",
+    "cartesian_row_count",
+    "cartesian_slice",
     "scenario_grid",
     "BOUND_KINDS",
     "DESIGN_STATUSES",
     "DesignMatrix",
     "BatchResult",
     "BatchRow",
+    "concat_results",
+    "merge_top_k",
 ]

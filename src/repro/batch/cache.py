@@ -51,6 +51,18 @@ class BatchCache:
     evaluated under several tolerances or knee fractions) count its
     columns once each — a deliberate overestimate that errs toward
     evicting early rather than pinning more memory than budgeted.
+
+    Lifecycle contract (load-bearing for the sharded executor): a
+    cache is safe to share between *threads* (every operation takes
+    the instance lock) but must never be shared between *processes* —
+    a fork copies the entries and the counters, silently pinning the
+    parent's memory in every child and making :attr:`stats`
+    meaningless.  Anything that inherits a cache across a fork must
+    call :meth:`clear` before first use (worker initializers do; see
+    :func:`repro.batch.engine.clear_default_cache`).  :meth:`clear`
+    and :attr:`stats` are the public reset/observability API — tests
+    asserting on hit counts should scope their own instance or clear
+    the default one rather than reason about prior traffic.
     """
 
     def __init__(

@@ -5,11 +5,17 @@ columns of a :class:`~repro.batch.matrix.DesignMatrix` and assembles a
 :class:`~repro.batch.result.BatchResult`.  Results are memoized in a
 content-addressed :class:`~repro.batch.cache.BatchCache` (pass
 ``cache=None`` to opt out, or your own instance to scope one).
+
+Passing ``executor=`` or ``chunk_rows=`` routes the evaluation through
+the sharded layer (:mod:`repro.batch.executor`): the matrix is split
+into row-range chunks and evaluated serially, across threads, or
+across worker processes, with a result bitwise identical to the
+one-pass path.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.knee import DEFAULT_KNEE_FRACTION
 from ..units import require_fraction, require_nonnegative
@@ -18,8 +24,29 @@ from .cache import BatchCache
 from .matrix import DesignMatrix
 from .result import BatchResult
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executor import ParallelExecutor
+
 #: Process-wide cache used when callers do not bring their own.
+#:
+#: This is deliberately module-global *mutable* state, so two rules keep
+#: it sound: results are immutable and content-addressed (a hit can
+#: never be stale — equal key means equal input), and worker processes
+#: must never trust a copy inherited across a fork (a forked child
+#: starts with the parent's entries *and* the parent's hit/miss
+#: counters).  :func:`clear_default_cache` is the reset hook; the
+#: sharded executor installs it as every worker's initializer.
 DEFAULT_CACHE = BatchCache(maxsize=64)
+
+
+def clear_default_cache() -> None:
+    """Drop every entry (and the counters) of :data:`DEFAULT_CACHE`.
+
+    Called by worker-process initializers so forked workers start from
+    a fresh cache instead of a snapshot of the parent's, and by tests
+    that assert on cache statistics.
+    """
+    DEFAULT_CACHE.clear()
 
 
 def evaluate_matrix(
@@ -27,6 +54,10 @@ def evaluate_matrix(
     knee_fraction: Optional[float] = None,
     tolerance: float = 0.05,
     cache: Optional[BatchCache] = DEFAULT_CACHE,
+    executor: Optional["ParallelExecutor"] = None,
+    chunk_rows: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> BatchResult:
     """Evaluate every design point of ``matrix`` in one vectorized pass.
 
@@ -36,6 +67,15 @@ def evaluate_matrix(
     back to the calibrated default.  ``tolerance`` is the optimality
     band around the knee.  The result is numerically identical to
     building an :class:`~repro.core.model.F1Model` per row.
+
+    ``executor`` / ``chunk_rows`` / ``checkpoint_dir`` / ``resume``
+    opt into sharded evaluation: the matrix is chunked into row ranges
+    of at most ``chunk_rows`` and fanned out over the executor's
+    workers (or evaluated serially, chunk by chunk, when only
+    ``chunk_rows`` is given), with one JSONL checkpoint record per
+    completed shard when ``checkpoint_dir`` is set.  The merged result
+    is bitwise identical to the one-pass path, is served from
+    ``cache`` when already known, and lands there under the same key.
     """
     if knee_fraction is None:
         knee_fraction = (
@@ -52,30 +92,48 @@ def evaluate_matrix(
         if cached is not None:
             return cached
 
-    d = matrix.sensing_range_m
-    a = matrix.a_max
-    f_action = kernels.action_throughput(
-        matrix.f_sensor_hz, matrix.f_compute_hz, matrix.f_control_hz
-    )
-    knee_hz = kernels.knee_throughput(d, a, knee_fraction)
-    result = BatchResult(
-        matrix=matrix,
-        roof_velocity=kernels.roof_velocity(d, a),
-        knee_hz=knee_hz,
-        knee_velocity=kernels.knee_velocity(d, a, knee_fraction),
-        action_throughput_hz=f_action,
-        safe_velocity=kernels.safe_velocity_at_rate(f_action, d, a),
-        bound_codes=kernels.classify_bounds(
-            matrix.f_sensor_hz,
-            matrix.f_compute_hz,
-            matrix.f_control_hz,
-            f_action,
-            knee_hz,
-        ),
-        status_codes=kernels.optimality_status(f_action, knee_hz, tolerance),
-        knee_fraction=knee_fraction,
-        tolerance=tolerance,
-    )
+    if (
+        executor is not None or chunk_rows is not None
+        or checkpoint_dir is not None or resume
+    ):
+        from .executor import evaluate_matrix_sharded
+
+        result = evaluate_matrix_sharded(
+            matrix,
+            knee_fraction=knee_fraction,
+            tolerance=tolerance,
+            executor=executor,
+            chunk_rows=chunk_rows,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+    else:
+        d = matrix.sensing_range_m
+        a = matrix.a_max
+        f_action = kernels.action_throughput(
+            matrix.f_sensor_hz, matrix.f_compute_hz, matrix.f_control_hz
+        )
+        knee_hz = kernels.knee_throughput(d, a, knee_fraction)
+        result = BatchResult(
+            matrix=matrix,
+            roof_velocity=kernels.roof_velocity(d, a),
+            knee_hz=knee_hz,
+            knee_velocity=kernels.knee_velocity(d, a, knee_fraction),
+            action_throughput_hz=f_action,
+            safe_velocity=kernels.safe_velocity_at_rate(f_action, d, a),
+            bound_codes=kernels.classify_bounds(
+                matrix.f_sensor_hz,
+                matrix.f_compute_hz,
+                matrix.f_control_hz,
+                f_action,
+                knee_hz,
+            ),
+            status_codes=kernels.optimality_status(
+                f_action, knee_hz, tolerance
+            ),
+            knee_fraction=knee_fraction,
+            tolerance=tolerance,
+        )
     if cache is not None:
         cache.put(key, result)
     return result

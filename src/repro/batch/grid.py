@@ -58,6 +58,50 @@ def cartesian_product(axes: Mapping[str, AxisLike]) -> Dict[str, np.ndarray]:
     return {name: mesh.ravel() for name, mesh in zip(axes, meshes)}
 
 
+def cartesian_row_count(axes: Mapping[str, AxisLike]) -> int:
+    """How many rows :func:`cartesian_product` would expand, without
+    expanding them."""
+    if not axes:
+        raise ConfigurationError("a grid needs at least one axis")
+    count = 1
+    for name, values in axes.items():
+        count *= _axis(name, values).size
+    return count
+
+
+def cartesian_slice(
+    axes: Mapping[str, AxisLike], start: int, stop: int
+) -> Dict[str, np.ndarray]:
+    """Rows ``[start, stop)`` of :func:`cartesian_product`, by index
+    arithmetic.
+
+    Bitwise identical to ``{k: v[start:stop] for k, v in
+    cartesian_product(axes).items()}`` but needs ``O(stop - start)``
+    memory instead of the full ``prod(len(axis))`` expansion: the flat
+    row indices are unraveled onto the axes
+    (:func:`numpy.unravel_index`) and each axis is fancy-indexed.  This
+    is what lets the sharded executor stream a multi-million-point grid
+    chunk by chunk.
+    """
+    if not axes:
+        raise ConfigurationError("a grid needs at least one axis")
+    arrays = {name: _axis(name, values) for name, values in axes.items()}
+    total = 1
+    for array in arrays.values():
+        total *= array.size
+    if not 0 <= start <= stop <= total:
+        raise ConfigurationError(
+            f"slice [{start}, {stop}) out of range for a {total}-row grid"
+        )
+    flat = np.arange(start, stop, dtype=np.int64)
+    shape = tuple(array.size for array in arrays.values())
+    unraveled = np.unravel_index(flat, shape)
+    return {
+        name: array[indices]
+        for (name, array), indices in zip(arrays.items(), unraveled)
+    }
+
+
 def grid_shape(
     sensing_range_m: AxisLike,
     a_max: AxisLike,

@@ -289,3 +289,41 @@ class DesignMatrix:
             labels=labels,
             knee_fraction=self.knee_fraction,
         )
+
+    @classmethod
+    def concat(cls, matrices: Sequence["DesignMatrix"]) -> "DesignMatrix":
+        """Stack matrices row-wise, in order (the shard-merge primitive).
+
+        All parts must agree on the knee rule, and either all carry
+        labels or none do — concatenating a labelled shard into an
+        unlabelled matrix would silently misattribute rows.  A single
+        part is returned as-is (no copy).
+        """
+        parts = list(matrices)
+        if not parts:
+            raise ConfigurationError("concat needs at least one matrix")
+        if len(parts) == 1:
+            return parts[0]
+        fractions = {m.knee_fraction for m in parts}
+        if len(fractions) > 1:
+            raise ConfigurationError(
+                f"matrices mix knee fractions {sorted(map(str, fractions))}; "
+                "one matrix takes one knee rule"
+            )
+        labelled = [m.labels is not None for m in parts]
+        if any(labelled) and not all(labelled):
+            raise ConfigurationError(
+                "cannot concat labelled and unlabelled matrices"
+            )
+        labels: Optional[Tuple[str, ...]] = None
+        if all(labelled):
+            labels = tuple(
+                label for m in parts for label in m.labels  # type: ignore[union-attr]
+            )
+        columns = (
+            np.concatenate([getattr(m, name) for m in parts])
+            for name in _COLUMN_NAMES
+        )
+        return cls.from_arrays(
+            *columns, labels=labels, knee_fraction=fractions.pop()
+        )

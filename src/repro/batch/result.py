@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -225,13 +225,16 @@ class BatchResult:
         """A new result sorted by one column."""
         return self.take(self.argsort(by, descending))
 
-    def top_k(
+    def top_k_indices(
         self, k: int, by: str = "safe_velocity", descending: bool = True
-    ) -> "BatchResult":
-        """The ``k`` best rows by one column, best first.
+    ) -> np.ndarray:
+        """Row indices of the ``k`` best rows by one column, best first.
 
         Uses an O(n) partition before the O(k log k) sort, so taking a
-        handful of winners from a million-point grid stays cheap.
+        handful of winners from a million-point grid stays cheap.  The
+        indices are what shard merges need: offset by a shard's global
+        start row, they stay meaningful after
+        :func:`merge_top_k` combines shards.
         """
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
@@ -252,7 +255,13 @@ class BatchResult:
         else:
             shortlist = np.arange(n)
         order = np.argsort(keys[shortlist], kind="stable")
-        return self.take(shortlist[order])
+        return shortlist[order]
+
+    def top_k(
+        self, k: int, by: str = "safe_velocity", descending: bool = True
+    ) -> "BatchResult":
+        """The ``k`` best rows by one column, best first."""
+        return self.take(self.top_k_indices(k, by, descending))
 
     # ------------------------------------------------------------------
     # Rendering
@@ -302,3 +311,108 @@ class BatchResult:
             f"{float(self.safe_velocity.max()):.2f}] m/s | "
             f"bounds {{{by_bound}}}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Shard merging (the reduce side of repro.batch.executor)
+# ---------------------------------------------------------------------------
+_RESULT_COLUMN_NAMES = (
+    "roof_velocity",
+    "knee_hz",
+    "knee_velocity",
+    "action_throughput_hz",
+    "safe_velocity",
+    "bound_codes",
+    "status_codes",
+)
+
+
+def concat_results(
+    results: Sequence[BatchResult],
+    matrix: Optional[DesignMatrix] = None,
+) -> BatchResult:
+    """Stack per-shard results row-wise into one result, in order.
+
+    Because every kernel is elementwise, concatenating the results of
+    row-range shards is *bitwise* identical to evaluating the
+    concatenated matrix in one pass — the property the sharded
+    executor's equivalence suite pins down.  All parts must share one
+    ``knee_fraction`` and ``tolerance`` (one evaluation contract per
+    merged result).  A single part is returned as-is (no copy).
+
+    When the caller still holds the matrix the shards were cut from,
+    passing it as ``matrix`` reuses it instead of reassembling a
+    second full-size copy from the chunk matrices (the parts' row
+    count must match it).
+    """
+    parts = list(results)
+    if not parts:
+        raise ConfigurationError("concat needs at least one result")
+    if len(parts) == 1 and matrix is None:
+        return parts[0]
+    contracts = {(r.knee_fraction, r.tolerance) for r in parts}
+    if len(contracts) > 1:
+        raise ConfigurationError(
+            "results mix evaluation contracts (knee_fraction, tolerance): "
+            f"{sorted(contracts)}"
+        )
+    knee_fraction, tolerance = contracts.pop()
+    if matrix is None:
+        matrix = DesignMatrix.concat([r.matrix for r in parts])
+    else:
+        total = sum(len(r) for r in parts)
+        if total != len(matrix):
+            raise ConfigurationError(
+                f"{total} shard rows for a {len(matrix)}-row matrix"
+            )
+    columns = {
+        name: np.concatenate([getattr(r, name) for r in parts])
+        for name in _RESULT_COLUMN_NAMES
+    }
+    return BatchResult(
+        matrix=matrix,
+        knee_fraction=knee_fraction,
+        tolerance=tolerance,
+        **columns,
+    )
+
+
+def merge_top_k(
+    candidates: Sequence[Tuple[np.ndarray, BatchResult]],
+    k: int,
+    by: str = "safe_velocity",
+    descending: bool = True,
+) -> Tuple[np.ndarray, BatchResult]:
+    """Merge per-shard top-k candidate sets into the global top-k.
+
+    ``candidates`` pairs each shard's candidate rows with their *global*
+    row indices (shard-local ``top_k_indices`` plus the shard's start
+    row).  Returns ``(global_indices, result)`` with at most ``k``
+    rows, best first.  Provided every shard contributes its own top-k
+    (any global winner is necessarily among its shard's local winners,
+    since both orders tie-break on original row position), the merge is
+    exactly ``full_result.top_k(k)`` with global indices attached —
+    ties at the boundary resolve to the lowest global index, matching
+    the stable full sort.  The merge is associative, so a streaming
+    reduce may fold shards in as they complete, keeping ``O(k)`` state.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    parts = list(candidates)
+    if not parts:
+        raise ConfigurationError("merge needs at least one candidate set")
+    indices = np.concatenate(
+        [np.asarray(idx, dtype=np.intp) for idx, _ in parts]
+    )
+    merged = concat_results([result for _, result in parts])
+    if indices.shape != (len(merged),):
+        raise ConfigurationError(
+            f"{indices.size} global indices for {len(merged)} candidate rows"
+        )
+    keys = merged._column(by)
+    if descending:
+        keys = -keys
+    # Primary key: the ranked column; secondary: global row index, so
+    # boundary ties resolve exactly as the stable full-grid sort does.
+    order = np.lexsort((indices, keys))[: min(k, len(merged))]
+    return indices[order], merged.take(order)

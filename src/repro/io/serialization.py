@@ -5,7 +5,9 @@ sessions and DSE sweeps can be saved, diffed and re-loaded, and
 round-trips the batch-engine result types
 (:class:`~repro.batch.matrix.DesignMatrix`,
 :class:`~repro.batch.result.BatchResult`) so whole studies can cross
-process boundaries.
+process boundaries, plus the shard-checkpoint wire format
+(:func:`shard_manifest_to_dict` / :func:`shard_record_to_dict`) the
+sharded executor uses to make interrupted studies resumable.
 
 Bound and verdict columns serialize as *names*, never raw ints: the
 integer codes are an in-process encoding the kernels are free to
@@ -31,6 +33,7 @@ from ..uav.components import (
 from ..uav.configuration import UAVConfiguration
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..batch.executor import ShardManifest, ShardResult
     from ..batch.matrix import DesignMatrix
     from ..batch.result import BatchResult
 
@@ -287,6 +290,185 @@ def batch_result_from_dict(data: Dict[str, Any]) -> "BatchResult":
         knee_fraction=data["knee_fraction"],
         tolerance=data["tolerance"],
         **columns,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shard checkpoints (the wire format of the sharded executor)
+# ---------------------------------------------------------------------------
+#: Version stamped on every shard manifest document.
+MANIFEST_VERSION = 1
+
+#: Manifest kinds a checkpoint directory may hold.
+MANIFEST_KINDS = ("study", "matrix")
+
+_MANIFEST_FIELDS = (
+    "kind",
+    "digest",
+    "total_rows",
+    "chunk_rows",
+    "n_shards",
+    "knee_fraction",
+    "tolerance",
+    "reduce",
+)
+
+
+def shard_manifest_to_dict(manifest: "ShardManifest") -> Dict[str, Any]:
+    """Serialize a shard manifest to its JSON wire format.
+
+    ``manifest.json`` pins a checkpoint directory to one sharded run::
+
+        {
+          "version": 1,
+          "kind": "study",             // or "matrix"
+          "digest": "9f2c...",         // content digest of the source
+          "total_rows": 1000000,       // rows in the full grid
+          "chunk_rows": 65536,         // rows per shard
+          "n_shards": 16,
+          "knee_fraction": null,       // evaluation contract ...
+          "tolerance": 0.05,
+          "reduce": null               // or {"k", "by", "descending"}
+        }
+
+    Each completed shard sits next to it as ``shard-<index>.jsonl``,
+    one :func:`shard_record_to_dict` object per (single-line) file.
+    Resume compares every manifest field; any mismatch rejects the
+    directory rather than mixing rows from different runs.
+    """
+    data: Dict[str, Any] = {"version": MANIFEST_VERSION}
+    for name in _MANIFEST_FIELDS:
+        data[name] = getattr(manifest, name)
+    return data
+
+
+def _manifest_error(field: str, message: str) -> ConfigurationError:
+    return ConfigurationError(f"shard manifest field {field!r}: {message}")
+
+
+def shard_manifest_from_dict(data: Any) -> "ShardManifest":
+    """Rebuild a manifest from :func:`shard_manifest_to_dict` output."""
+    from ..batch.executor import ShardManifest
+
+    if not isinstance(data, dict):
+        raise _manifest_error(
+            "<root>", f"must be a mapping, got {type(data).__name__}"
+        )
+    version = data.get("version")
+    if version != MANIFEST_VERSION:
+        raise _manifest_error(
+            "version",
+            f"unsupported version {version!r}; this build reads "
+            f"version {MANIFEST_VERSION}",
+        )
+    missing = [name for name in _MANIFEST_FIELDS if name not in data]
+    if missing:
+        raise _manifest_error(missing[0], "missing")
+    if data["kind"] not in MANIFEST_KINDS:
+        raise _manifest_error(
+            "kind",
+            f"unknown kind {data['kind']!r}; known: "
+            f"{', '.join(MANIFEST_KINDS)}",
+        )
+    for name in ("total_rows", "chunk_rows", "n_shards"):
+        if not isinstance(data[name], int) or data[name] < 0:
+            raise _manifest_error(
+                name, f"must be a non-negative integer, got {data[name]!r}"
+            )
+    reduce = data["reduce"]
+    if reduce is not None and (
+        not isinstance(reduce, dict)
+        or set(reduce) != {"k", "by", "descending"}
+    ):
+        raise _manifest_error(
+            "reduce",
+            "must be null or a {'k', 'by', 'descending'} mapping, got "
+            f"{reduce!r}",
+        )
+    return ShardManifest(**{name: data[name] for name in _MANIFEST_FIELDS})
+
+
+def shard_record_to_dict(result: "ShardResult") -> Dict[str, Any]:
+    """Serialize one completed shard to its JSONL wire format.
+
+    One object per shard file, on a single line::
+
+        {"index": 3, "start": 196608, "stop": 262144,
+         "local_indices": null,          // or top-k row indices
+         "extras": {"total_mass_g": [...], ...},
+         "batch": { ...batch_result_to_dict... }}
+
+    ``local_indices`` is ``null`` for a full shard (its batch covers
+    exactly ``[start, stop)``) and the shard-local winner indices for a
+    reduced (top-k) shard.
+    """
+    return {
+        "index": result.index,
+        "start": result.start,
+        "stop": result.stop,
+        "local_indices": (
+            None
+            if result.local_indices is None
+            else [int(i) for i in result.local_indices]
+        ),
+        "extras": {
+            name: column.tolist()
+            for name, column in (result.extras or {}).items()
+        },
+        "batch": batch_result_to_dict(result.batch),
+    }
+
+
+def shard_record_from_dict(data: Any) -> "ShardResult":
+    """Rebuild a shard record from :func:`shard_record_to_dict` output."""
+    import numpy as np
+
+    from ..batch.executor import ShardResult
+
+    if not isinstance(data, dict):
+        raise _result_error(
+            "shard", f"must be a mapping, got {type(data).__name__}"
+        )
+    for key in ("index", "start", "stop", "extras", "batch"):
+        if key not in data:
+            raise _result_error(f"shard.{key}", "missing")
+    for key in ("index", "start", "stop"):
+        if not isinstance(data[key], int):
+            raise _result_error(
+                f"shard.{key}",
+                f"must be an integer, got {data[key]!r}",
+            )
+    batch = batch_result_from_dict(data["batch"])
+    local_indices = data.get("local_indices")
+    if local_indices is not None:
+        local_indices = np.asarray(local_indices, dtype=np.intp)
+        if local_indices.shape != (len(batch),):
+            raise _result_error(
+                "shard.local_indices",
+                f"{local_indices.size} indices for {len(batch)} rows",
+            )
+    elif len(batch) != data["stop"] - data["start"]:
+        raise _result_error(
+            "shard.batch",
+            f"{len(batch)} rows for range "
+            f"[{data['start']}, {data['stop']})",
+        )
+    extras = data["extras"]
+    if not isinstance(extras, dict):
+        raise _result_error(
+            "shard.extras",
+            f"must be a mapping, got {type(extras).__name__}",
+        )
+    return ShardResult(
+        index=data["index"],
+        start=data["start"],
+        stop=data["stop"],
+        batch=batch,
+        local_indices=local_indices,
+        extras={
+            name: np.asarray(column, dtype=np.float64)
+            for name, column in extras.items()
+        },
     )
 
 

@@ -9,6 +9,9 @@ Examples::
     repro-skyline sweep --knob compute_tdp_w --values 1 5 15 30 --json
     repro-skyline study --spec study.json --out result.json
     repro-skyline study --knob compute_runtime_s --values 0.01 0.1 1.0
+    repro-skyline study --spec big.json --workers 4 --chunk-rows 65536 \\
+        --checkpoint ckpt/
+    repro-skyline study --spec big.json --workers 4 --resume ckpt/
     repro-skyline list
 """
 
@@ -114,6 +117,30 @@ def _build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--out", help="also write the result JSON to this path"
     )
+    study.add_argument(
+        "--workers", type=int,
+        help="fan shards out over this many workers (>= 1)",
+    )
+    study.add_argument(
+        "--chunk-rows", type=int,
+        help="rows per shard (>= 1; default scales with --workers, "
+        "capped to bound memory)",
+    )
+    study.add_argument(
+        "--backend", choices=("process", "thread", "serial"),
+        help="worker backend (requires --workers; default: process)",
+    )
+    resume_group = study.add_mutually_exclusive_group()
+    resume_group.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="write one JSONL record per completed shard to DIR "
+        "(re-running reuses completed shards)",
+    )
+    resume_group.add_argument(
+        "--resume", metavar="DIR",
+        help="resume from DIR's completed shards (DIR must hold a "
+        "matching run's manifest)",
+    )
 
     sub.add_parser("list", help="list presets, platforms and algorithms")
     return parser
@@ -201,6 +228,25 @@ def _run_sweep(args: argparse.Namespace) -> int:
 def _run_study(args: argparse.Namespace) -> int:
     from ..study import DesignSpec, StudySpec, run_study
 
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chunk_rows is not None and args.chunk_rows < 1:
+        print(
+            f"error: --chunk-rows must be >= 1, got {args.chunk_rows}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backend is not None and args.workers is None:
+        print(
+            "error: --backend requires --workers (without workers the "
+            "study runs single-process)",
+            file=sys.stderr,
+        )
+        return 2
     if args.spec is not None:
         if args.values is not None:
             print(
@@ -224,7 +270,25 @@ def _run_study(args: argparse.Namespace) -> int:
         spec = StudySpec(
             design=DesignSpec.knob_axes(axes={args.knob: args.values})
         )
-    result = run_study(spec)
+
+    executor = None
+    if args.workers is not None:
+        from ..batch.executor import ParallelExecutor
+
+        executor = ParallelExecutor(
+            n_workers=args.workers, backend=args.backend or "process"
+        )
+    try:
+        result = run_study(
+            spec,
+            executor=executor,
+            chunk_rows=args.chunk_rows,
+            checkpoint=args.resume or args.checkpoint,
+            resume=args.resume is not None,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     if args.out:
         result.save(args.out)
     if args.json:

@@ -29,6 +29,7 @@ from .plotting import roofline_figure
 from .report import render_report
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..batch.executor import ParallelExecutor
     from ..study import StudyResult, StudySpec
 
 
@@ -89,16 +90,33 @@ class Skyline:
     # Declarative studies
     # ------------------------------------------------------------------
     @staticmethod
-    def study(spec: "StudySpec") -> "StudyResult":
+    def study(
+        spec: "StudySpec",
+        executor: Optional["ParallelExecutor"] = None,
+        chunk_rows: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+    ) -> "StudyResult":
         """Execute a declarative :class:`~repro.study.spec.StudySpec`.
 
         The spec-first face of the session API: anything a sweep or a
         DSE exploration can do is expressible (and JSON-serializable)
         as a spec, and runs through the shared vectorized planner.
+
+        ``executor`` / ``chunk_rows`` / ``checkpoint`` / ``resume``
+        opt into sharded (optionally parallel, optionally resumable)
+        execution, exactly as in :func:`repro.study.run_study` — the
+        result is bitwise identical to the single-pass path.
         """
         from ..study import run_study
 
-        return run_study(spec)
+        return run_study(
+            spec,
+            executor=executor,
+            chunk_rows=chunk_rows,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
 
     # ------------------------------------------------------------------
     # Evaluation

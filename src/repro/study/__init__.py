@@ -34,7 +34,15 @@ Quickstart::
     again = StudySpec.from_json(text).run()   # ...same result
 """
 
-from .planner import StudyAxis, StudyPlan, compile_spec
+from .planner import (
+    ShardPlan,
+    StudyAxis,
+    StudyPlan,
+    compile_chunk,
+    compile_spec,
+    study_axes,
+    study_size,
+)
 from .result import RESULT_VERSION, StudyResult
 from .runner import run_study
 from .spec import (
@@ -53,9 +61,13 @@ from .spec import (
 )
 
 __all__ = [
+    "ShardPlan",
     "StudyAxis",
     "StudyPlan",
+    "compile_chunk",
     "compile_spec",
+    "study_axes",
+    "study_size",
     "RESULT_VERSION",
     "StudyResult",
     "run_study",

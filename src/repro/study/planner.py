@@ -14,6 +14,7 @@ columnar throughout.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -325,3 +326,191 @@ def compile_spec(spec: StudySpec) -> StudyPlan:
             f"{plan.shape}"
         )
     return plan
+
+
+# ---------------------------------------------------------------------------
+# Chunked planning (the worker side of the sharded executor)
+# ---------------------------------------------------------------------------
+def _check_knob_scenarios(
+    spec: StudySpec, scenario_axes: Dict[str, Tuple[float, ...]]
+) -> None:
+    if spec.design.kind == "knobs" and "compute_redundancy" in scenario_axes:
+        raise spec_error(
+            "scenarios.compute_redundancy",
+            "not applicable to a knobs design (knob-built UAVs fly one "
+            "compute module); use a presets or fleet design",
+        )
+
+
+def study_axes(spec: StudySpec) -> Tuple[StudyAxis, ...]:
+    """The spec's logical axes, without materializing any design rows.
+
+    Identical to ``compile_spec(spec).axes`` (by construction and by
+    test), but O(axes) instead of O(grid): the sharded executor uses it
+    to shape results for grids it never holds in one piece.
+    """
+    if not isinstance(spec, StudySpec):
+        raise ConfigurationError(
+            f"study_axes takes a StudySpec, got {type(spec).__name__}"
+        )
+    design = spec.design
+    scenario_axes, _ = _scenario_rows(spec.scenarios)
+    _check_knob_scenarios(spec, scenario_axes)
+    if design.kind == "knobs":
+        design_axes: Tuple[StudyAxis, ...] = tuple(
+            StudyAxis(name, values) for name, values in design.axes
+        )
+    elif design.kind == "presets":
+        design_axes = (
+            StudyAxis("uav", design.uav_names),
+            StudyAxis("compute", design.compute_names),
+            StudyAxis("algorithm", design.algorithm_names),
+        )
+    else:
+        names = (
+            design.labels
+            if design.labels is not None
+            else tuple(u.name for u in design.uavs)
+        )
+        design_axes = (StudyAxis("design", tuple(names)),)
+    return design_axes + tuple(
+        StudyAxis(name, values) for name, values in scenario_axes.items()
+    )
+
+
+def study_size(spec: StudySpec) -> int:
+    """How many design points the spec expands to, in O(axes) time."""
+    size = 1
+    for axis in study_axes(spec):
+        size *= axis.size
+    return size
+
+
+# eq=False: ndarray fields; identity semantics, like the batch types.
+@dataclass(frozen=True, eq=False)
+class ShardPlan:
+    """The ``[start, stop)`` rows of a compiled study.
+
+    Concatenating shard plans in row order reproduces the full
+    :class:`StudyPlan`'s matrix and accounting columns bitwise — the
+    invariant the executor equivalence suite pins.
+    """
+
+    start: int
+    stop: int
+    matrix: DesignMatrix
+    total_mass_g: np.ndarray
+    compute_tdp_w: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.matrix)
+
+
+def _compile_knob_chunk(spec: StudySpec, start: int, stop: int) -> ShardPlan:
+    """Rows ``[start, stop)`` of a knobs design, by index arithmetic.
+
+    The full planner expands ``cartesian_product(design axes)`` and
+    repeats/tiles scenario columns; because the combined expansion is
+    exactly the row-major Cartesian product of design axes followed by
+    scenario axes (scenario varies fastest), a chunk is just
+    :func:`~repro.batch.grid.cartesian_slice` of the combined axes —
+    O(chunk) memory however large the grid.
+    """
+    from ..batch.grid import cartesian_slice
+
+    design = spec.design
+    base = design.base
+    scenario_axes, _ = _scenario_rows(spec.scenarios)
+    _check_knob_scenarios(spec, scenario_axes)
+    combined: Dict[str, Any] = {
+        name: np.asarray(values, dtype=np.float64)
+        for name, values in design.axes
+    }
+    for name, values in scenario_axes.items():
+        combined[name] = np.asarray(values, dtype=np.float64)
+    columns = cartesian_slice(combined, start, stop)
+
+    knob_columns = {name: columns[name] for name, _ in design.axes}
+    labels = None
+    if len(design.axes) == 1 and not scenario_axes:
+        knob = design.axes[0][0]
+        labels = [f"{knob}={value:g}" for value in knob_columns[knob]]
+    if "extra_payload_g" in columns:
+        payload = knob_columns.get("payload_weight_g")
+        if payload is None:
+            payload = np.full(stop - start, base.payload_weight_g)
+        payload = payload + columns["extra_payload_g"]
+        if np.any(payload < 0.0):
+            worst = float(payload.min())
+            raise spec_error(
+                "scenarios.extra_payload_g",
+                f"payload goes negative ({worst:g} g); deltas cannot "
+                "shed more than the payload knob carries",
+            )
+        knob_columns["payload_weight_g"] = payload
+    knob_matrix = KnobMatrix.from_base(base, labels=labels, **knob_columns)
+    matrix = knob_matrix.assemble()
+    if "a_max_scale" in columns:
+        matrix = _with_scaled_a_max(matrix, columns["a_max_scale"])
+    return ShardPlan(
+        start=start,
+        stop=stop,
+        matrix=matrix,
+        total_mass_g=knob_matrix.total_mass_g,
+        compute_tdp_w=knob_matrix.compute_tdp_w,
+    )
+
+
+#: Per-process memo of fully compiled fleet/preset plans, keyed by the
+#: spec's canonical JSON.  Fleet designs enumerate Python objects, so a
+#: chunk cannot be built by index arithmetic; instead each worker
+#: compiles the (inherently small, configuration-bounded) full plan
+#: once and slices every subsequent chunk out of it.  The lock keeps
+#: thread-backend workers from compiling N copies of the full plan at
+#: once (or racing the eviction loop) — plans are immutable, so
+#: serializing the compile is the cheap, correct choice.
+_FLEET_PLAN_MEMO: Dict[str, StudyPlan] = {}
+_FLEET_PLAN_MEMO_SIZE = 4
+_FLEET_PLAN_LOCK = threading.Lock()
+
+
+def _fleet_plan(spec: StudySpec) -> StudyPlan:
+    key = spec.content_digest()
+    with _FLEET_PLAN_LOCK:
+        plan = _FLEET_PLAN_MEMO.get(key)
+        if plan is None:
+            plan = compile_spec(spec)
+            while len(_FLEET_PLAN_MEMO) >= _FLEET_PLAN_MEMO_SIZE:
+                _FLEET_PLAN_MEMO.pop(next(iter(_FLEET_PLAN_MEMO)))
+            _FLEET_PLAN_MEMO[key] = plan
+    return plan
+
+
+def compile_chunk(spec: StudySpec, start: int, stop: int) -> ShardPlan:
+    """Compile only rows ``[start, stop)`` of a spec.
+
+    Knob-axes designs are rebuilt by Cartesian index arithmetic (O(chunk)
+    memory); preset/fleet designs slice a per-process memoized full plan
+    (their size is bounded by real configuration counts).  Chunks
+    concatenate bitwise-identically to ``compile_spec(spec)``.
+    """
+    if not isinstance(spec, StudySpec):
+        raise ConfigurationError(
+            f"compile_chunk takes a StudySpec, got {type(spec).__name__}"
+        )
+    total = study_size(spec)
+    if not 0 <= start < stop <= total:
+        raise ConfigurationError(
+            f"chunk [{start}, {stop}) out of range for a {total}-row study"
+        )
+    if spec.design.kind == "knobs":
+        return _compile_knob_chunk(spec, start, stop)
+    plan = _fleet_plan(spec)
+    rows = np.arange(start, stop)
+    return ShardPlan(
+        start=start,
+        stop=stop,
+        matrix=plan.matrix.take(rows),
+        total_mass_g=plan.total_mass_g[rows],
+        compute_tdp_w=plan.compute_tdp_w[rows],
+    )

@@ -77,6 +77,22 @@ class StudyResult:
         """Evaluated points (the full grid, before filters)."""
         return len(self.batch)
 
+    @cached_property
+    def nbytes(self) -> int:
+        """Memory pinned by the result's columns (batch, matrix,
+        accounting).
+
+        The figure the scaling docs trade off against ``chunk_rows``:
+        a sharded run's *peak* is bounded by chunk size while it
+        streams, but a fully merged ``StudyResult`` still pins this
+        much."""
+        return (
+            self.batch.nbytes
+            + self.selected_indices.nbytes
+            + self.total_mass_g.nbytes
+            + self.compute_tdp_w.nbytes
+        )
+
     @property
     def shape(self) -> Tuple[int, ...]:
         """Points per study axis; multiplies to ``len(self)``."""

@@ -7,12 +7,23 @@ now funnels through: it evaluates the plan's design matrix with
 their own), applies the spec's ``filters`` and ``rank`` clauses, and
 wraps everything in a serializable
 :class:`~repro.study.result.StudyResult`.
+
+Passing ``executor=`` / ``chunk_rows=`` / ``checkpoint=`` runs the
+study through the sharded layer instead
+(:mod:`repro.batch.executor`): the grid is evaluated in row-range
+chunks — serially, across threads, or across worker processes that
+rebuild only their own rows — and merged back into a result that is
+bitwise identical to the single-pass path.  With ``checkpoint`` set,
+every completed shard persists as one JSONL record, and a re-run (or
+``resume=True``, the CLI's ``--resume``) picks up from the completed
+shards instead of starting over.
 """
 
 from __future__ import annotations
 
 import operator
-from typing import Callable, Dict, Optional, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -20,7 +31,7 @@ from ..batch.cache import BatchCache
 from ..batch.engine import DEFAULT_CACHE, evaluate_matrix
 from ..batch.result import BatchResult
 from ..io.serialization import BOUND_NAME_TO_CODE, STATUS_NAME_TO_CODE
-from .planner import StudyPlan, compile_spec
+from .planner import StudyPlan, compile_spec, study_axes
 from .result import StudyResult
 from .spec import (
     EXTRA_NUMERIC_COLUMNS,
@@ -29,6 +40,9 @@ from .spec import (
     StudySpec,
     spec_error,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..batch.executor import ParallelExecutor
 
 _OPS: Dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
     "<": operator.lt,
@@ -41,16 +55,16 @@ _OPS: Dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
 
 
 def _numeric_column(
-    plan: StudyPlan, batch: BatchResult, name: str
+    extras: Dict[str, np.ndarray], batch: BatchResult, name: str
 ) -> np.ndarray:
     if name in NUMERIC_RESULT_COLUMNS:
         return getattr(batch, name)
     assert name in EXTRA_NUMERIC_COLUMNS  # spec validation guarantees
-    return getattr(plan, name)
+    return extras[name]
 
 
 def _filter_mask(
-    plan: StudyPlan,
+    extras: Dict[str, np.ndarray],
     batch: BatchResult,
     index: int,
     clause: FilterClause,
@@ -64,7 +78,7 @@ def _filter_mask(
         column = batch.status_codes
     else:
         return op(
-            _numeric_column(plan, batch, clause.column),
+            _numeric_column(extras, batch, clause.column),
             float(clause.value),
         )
     if clause.value not in codes:
@@ -76,15 +90,18 @@ def _filter_mask(
     return op(column, codes[clause.value])
 
 
-def _select(plan: StudyPlan, batch: BatchResult) -> np.ndarray:
+def _select(
+    spec: StudySpec,
+    batch: BatchResult,
+    extras: Dict[str, np.ndarray],
+) -> np.ndarray:
     """Apply the spec's filters and rank; indices in final order."""
-    spec = plan.spec
     mask = np.ones(len(batch), dtype=bool)
     for i, clause in enumerate(spec.filters):
-        mask &= _filter_mask(plan, batch, i, clause)
+        mask &= _filter_mask(extras, batch, i, clause)
     indices = np.flatnonzero(mask)
     if spec.rank is not None:
-        keys = _numeric_column(plan, batch, spec.rank.by)[indices]
+        keys = _numeric_column(extras, batch, spec.rank.by)[indices]
         if spec.rank.descending:
             keys = -keys
         # Stable, like BatchResult.argsort: tied rows keep their
@@ -98,6 +115,10 @@ def _select(plan: StudyPlan, batch: BatchResult) -> np.ndarray:
 def run_study(
     study: Union[StudySpec, StudyPlan],
     cache: Optional[BatchCache] = DEFAULT_CACHE,
+    executor: Optional["ParallelExecutor"] = None,
+    chunk_rows: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> StudyResult:
     """Compile (if needed) and execute a study.
 
@@ -105,20 +126,65 @@ def run_study(
     :func:`~repro.batch.engine.evaluate_matrix`: the process-wide
     default is shared with every other analysis surface, so a study
     re-covering a grid a sweep already evaluated is free.
+
+    ``executor`` / ``chunk_rows`` opt into sharded execution (see the
+    module docstring); ``checkpoint`` names a directory that receives
+    one JSONL record per completed shard, and ``resume=True``
+    additionally *requires* that directory to hold a matching run's
+    manifest (the ``--resume`` contract: resuming a checkpoint that
+    does not exist is an error, not a silent fresh start).
     """
-    plan = study if isinstance(study, StudyPlan) else compile_spec(study)
-    spec = plan.spec
-    batch = evaluate_matrix(
-        plan.matrix,
-        knee_fraction=spec.knee_fraction,
-        tolerance=spec.tolerance,
-        cache=cache,
+    sharded = (
+        executor is not None or chunk_rows is not None
+        or checkpoint is not None or resume
     )
+    if sharded and isinstance(study, StudySpec):
+        from ..batch.executor import evaluate_spec_sharded
+
+        spec = study
+        batch, extras = evaluate_spec_sharded(
+            spec,
+            executor=executor,
+            chunk_rows=chunk_rows,
+            checkpoint_dir=checkpoint,
+            resume=resume,
+        )
+        # A spec-sharded run cannot consult the cache up front — the
+        # cache is keyed by the full matrix's content hash and the full
+        # matrix deliberately never exists here — but it seeds the
+        # cache on the way out, so later single-pass runs over the
+        # same grid are free.
+        if cache is not None:
+            key = (
+                batch.matrix.content_hash(),
+                batch.knee_fraction,
+                batch.tolerance,
+            )
+            cache.put(key, batch)
+        axes = study_axes(spec)
+    else:
+        plan = study if isinstance(study, StudyPlan) else compile_spec(study)
+        spec = plan.spec
+        batch = evaluate_matrix(
+            plan.matrix,
+            knee_fraction=spec.knee_fraction,
+            tolerance=spec.tolerance,
+            cache=cache,
+            executor=executor if sharded else None,
+            chunk_rows=chunk_rows if sharded else None,
+            checkpoint_dir=checkpoint if sharded else None,
+            resume=resume,
+        )
+        extras = {
+            "total_mass_g": plan.total_mass_g,
+            "compute_tdp_w": plan.compute_tdp_w,
+        }
+        axes = plan.axes
     return StudyResult(
         spec=spec,
-        axes=plan.axes,
+        axes=axes,
         batch=batch,
-        selected_indices=_select(plan, batch),
-        total_mass_g=plan.total_mass_g,
-        compute_tdp_w=plan.compute_tdp_w,
+        selected_indices=_select(spec, batch, extras),
+        total_mass_g=extras["total_mass_g"],
+        compute_tdp_w=extras["compute_tdp_w"],
     )

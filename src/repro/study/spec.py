@@ -759,6 +759,28 @@ class StudySpec:
         """The spec as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent)
 
+    def canonical_json(self) -> str:
+        """The one canonical serialization of this spec's identity.
+
+        Key-sorted, separator-normalized JSON: equal specs produce
+        equal strings across processes and interpreter restarts.  This
+        is *the* definition of spec identity for everything
+        content-addressed — checkpoint-manifest digests, per-process
+        plan memos — so it must only ever change together with a
+        manifest version bump.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def content_digest(self) -> str:
+        """A compact blake2b digest of :meth:`canonical_json`."""
+        import hashlib
+
+        return hashlib.blake2b(
+            self.canonical_json().encode("utf-8"), digest_size=16
+        ).hexdigest()
+
     @classmethod
     def from_json(cls, text: str) -> "StudySpec":
         try:
