@@ -49,11 +49,16 @@ METRICS = {
     "executor-topk": ("speedup", "higher", 10_000),
     "executor-serial": ("overhead", "lower", 10_000),
     "executor-memory": ("peak_ratio", "lower", 0),
+    "obs-overhead": ("amp_ratio", "lower", 0),
 }
 
 #: Absolute slack for lower-is-better metrics whose baseline sits near
 #: zero (a 25% relative band around 0.01 would gate on noise).
-ABSOLUTE_SLACK = {"overhead": 0.05, "peak_ratio": 0.05}
+#: ``amp_ratio`` (tracing cost per shard relative to a minimal one-row
+#: shard) gets a wider band: its minima-of-3 smoke measurement swings
+#: by ~0.1 on a noisy runner while a real per-shard regression
+#: (doubling the instrumentation cost) moves it by ~0.2.
+ABSOLUTE_SLACK = {"overhead": 0.05, "peak_ratio": 0.05, "amp_ratio": 0.08}
 
 Key = Tuple[str, str, bool, int]
 

@@ -41,9 +41,11 @@ from .errors import (
     ConfigurationError,
     InfeasibleDesignError,
     ReproError,
+    ShardExecutionError,
     SimulationError,
     UnknownComponentError,
 )
+from .obs import Progress, ProgressPrinter, Tracer, metrics_report
 from .skyline import Knobs, Skyline
 from .study import (
     DesignSpec,
@@ -87,8 +89,13 @@ __all__ = [
     "ConfigurationError",
     "InfeasibleDesignError",
     "ReproError",
+    "ShardExecutionError",
     "SimulationError",
     "UnknownComponentError",
+    "Progress",
+    "ProgressPrinter",
+    "Tracer",
+    "metrics_report",
     "Knobs",
     "Skyline",
     "DesignSpec",

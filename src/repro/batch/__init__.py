@@ -37,6 +37,7 @@ from . import kernels
 from .assembly import FleetAssembly, KnobMatrix, assemble_configurations
 from .cache import BatchCache, CacheStats
 from .engine import DEFAULT_CACHE, clear_default_cache, evaluate_matrix
+from ..errors import ShardExecutionError
 from .executor import (
     BACKENDS,
     CheckpointStore,
@@ -79,6 +80,7 @@ __all__ = [
     "CheckpointStore",
     "ParallelExecutor",
     "Shard",
+    "ShardExecutionError",
     "ShardManifest",
     "ShardResult",
     "default_chunk_rows",

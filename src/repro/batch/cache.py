@@ -39,6 +39,28 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """The traffic between ``since`` and this snapshot.
+
+        Counter fields subtract (hits/misses accrued in the window);
+        state fields (entries, bounds, bytes) keep this snapshot's
+        values.  This is how per-study cache attribution works against
+        a long-lived cache whose raw counters only ever grow::
+
+            before = cache.stats_snapshot()
+            ...run the study...
+            window = cache.stats_snapshot().delta(before)
+            window.hit_rate   # this study's hit rate, nothing else's
+        """
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            entries=self.entries,
+            maxsize=self.maxsize,
+            total_bytes=self.total_bytes,
+            max_bytes=self.max_bytes,
+        )
+
 
 class BatchCache:
     """A bounded, thread-safe LRU of :class:`BatchResult` objects.
@@ -59,10 +81,11 @@ class BatchCache:
     parent's memory in every child and making :attr:`stats`
     meaningless.  Anything that inherits a cache across a fork must
     call :meth:`clear` before first use (worker initializers do; see
-    :func:`repro.batch.engine.clear_default_cache`).  :meth:`clear`
-    and :attr:`stats` are the public reset/observability API — tests
-    asserting on hit counts should scope their own instance or clear
-    the default one rather than reason about prior traffic.
+    :func:`repro.batch.engine.clear_default_cache`).  :meth:`clear`,
+    :meth:`reset_stats` and :attr:`stats`/:meth:`stats_snapshot` are
+    the public reset/observability API — code attributing hits to one
+    run should diff two :meth:`stats_snapshot` calls
+    (:meth:`CacheStats.delta`) rather than reason about prior traffic.
     """
 
     def __init__(
@@ -122,6 +145,18 @@ class BatchCache:
             self._hits = 0
             self._misses = 0
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters *without* touching the entries.
+
+        For run-scoped attribution on a warm cache when a
+        :meth:`stats_snapshot` delta is inconvenient (e.g. tests that
+        want absolute counts): the entries — and therefore future
+        hits — survive, only the counters restart.
+        """
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -137,3 +172,14 @@ class BatchCache:
                 total_bytes=self._total_bytes,
                 max_bytes=self._max_bytes,
             )
+
+    def stats_snapshot(self) -> CacheStats:
+        """An atomic copy of the counters, for windowed deltas.
+
+        The method spelling of :attr:`stats`, named for its role in
+        the snapshot/:meth:`CacheStats.delta` attribution pattern the
+        observability layer uses: both ends of the window come from
+        one lock acquisition each, so concurrent traffic can never
+        tear a snapshot.
+        """
+        return self.stats

@@ -15,6 +15,7 @@ one-pass path.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Optional
 
 from ..core.knee import DEFAULT_KNEE_FRACTION
@@ -25,6 +26,8 @@ from .matrix import DesignMatrix
 from .result import BatchResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.progress import ProgressCallback
+    from ..obs.tracer import Tracer
     from .executor import ParallelExecutor
 
 #: Process-wide cache used when callers do not bring their own.
@@ -58,6 +61,8 @@ def evaluate_matrix(
     chunk_rows: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
+    tracer: Optional["Tracer"] = None,
+    progress: Optional["ProgressCallback"] = None,
 ) -> BatchResult:
     """Evaluate every design point of ``matrix`` in one vectorized pass.
 
@@ -76,6 +81,14 @@ def evaluate_matrix(
     completed shard when ``checkpoint_dir`` is set.  The merged result
     is bitwise identical to the one-pass path, is served from
     ``cache`` when already known, and lands there under the same key.
+
+    ``tracer`` opts into observability (see :mod:`repro.obs`): the
+    evaluation records an ``engine.evaluate`` span (with a
+    ``cache_hit`` attribute) plus ``cache.hits``/``cache.misses``
+    counters attributed via :meth:`~repro.batch.cache.BatchCache.stats_snapshot`
+    deltas and a ``rows.evaluated`` counter.  ``progress`` only fires
+    on the sharded path (per completed shard).  Both default to
+    ``None`` — uninstrumented calls pay a null-check, nothing more.
     """
     if knee_fraction is None:
         knee_fraction = (
@@ -86,10 +99,22 @@ def evaluate_matrix(
     require_fraction("knee_fraction", knee_fraction)
     require_nonnegative("tolerance", tolerance)
 
+    started = perf_counter() if tracer is not None else 0.0
+    cache_before = (
+        cache.stats_snapshot()
+        if cache is not None and tracer is not None
+        else None
+    )
+
     if cache is not None:
         key = (matrix.content_hash(), knee_fraction, tolerance)
         cached = cache.get(key)
         if cached is not None:
+            if tracer is not None:
+                _record_evaluation(
+                    tracer, started, cache, cache_before, matrix,
+                    cache_hit=True,
+                )
             return cached
 
     if (
@@ -106,6 +131,8 @@ def evaluate_matrix(
             chunk_rows=chunk_rows,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
+            tracer=tracer,
+            progress=progress,
         )
     else:
         d = matrix.sensing_range_m
@@ -136,4 +163,33 @@ def evaluate_matrix(
         )
     if cache is not None:
         cache.put(key, result)
+    if tracer is not None:
+        tracer.counter("rows.evaluated").add(len(matrix))
+        _record_evaluation(
+            tracer, started, cache, cache_before, matrix, cache_hit=False
+        )
     return result
+
+
+def _record_evaluation(
+    tracer: "Tracer",
+    started: float,
+    cache: Optional[BatchCache],
+    cache_before,
+    matrix: DesignMatrix,
+    cache_hit: bool,
+) -> None:
+    """Close out one traced evaluation: span + windowed cache counters."""
+    tracer.record_clock(
+        "engine.evaluate",
+        started,
+        perf_counter(),
+        rows=len(matrix),
+        cache_hit=cache_hit,
+    )
+    if cache is not None and cache_before is not None:
+        window = cache.stats_snapshot().delta(cache_before)
+        if window.hits:
+            tracer.counter("cache.hits").add(window.hits)
+        if window.misses:
+            tracer.counter("cache.misses").add(window.misses)

@@ -45,6 +45,7 @@ import os
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import (
     Any,
     Dict,
@@ -60,12 +61,14 @@ from typing import (
 import numpy as np
 
 from ..core.knee import DEFAULT_KNEE_FRACTION
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ShardExecutionError
 from ..io.serialization import (
     shard_manifest_to_dict,
     shard_record_from_dict,
     shard_record_to_dict,
 )
+from ..obs.progress import Progress, ProgressCallback
+from ..obs.tracer import Tracer, maybe_span
 from .engine import DEFAULT_CACHE, clear_default_cache, evaluate_matrix
 from .matrix import DesignMatrix
 from .result import BatchResult, concat_results, merge_top_k
@@ -120,6 +123,13 @@ class ShardResult:
     batch: BatchResult
     local_indices: Optional[np.ndarray] = None
     extras: Optional[Dict[str, np.ndarray]] = None
+    #: The worker's shipped observability payload (``{"events",
+    #: "counters", "elapsed_s"}``) when a traced shard ran in a worker
+    #: *process*; ``None`` otherwise — untraced runs, dedupe copies,
+    #: and in-process (serial/thread) shards, whose spans land directly
+    #: in the parent tracer.  Not part of the checkpoint wire format —
+    #: timings of a past run are not needed to resume it.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def global_indices(self) -> np.ndarray:
@@ -244,6 +254,9 @@ def iter_chunks(
                 stop=stop,
                 task={
                     "kind": "matrix",
+                    "index": index,
+                    "start": start,
+                    "stop": stop,
                     "columns": {
                         name: getattr(chunk, name)
                         for name in chunk.column_names
@@ -270,6 +283,7 @@ def iter_chunks(
                 stop=stop,
                 task={
                     "kind": "study",
+                    "index": index,
                     "spec": source,
                     "start": start,
                     "stop": stop,
@@ -303,48 +317,103 @@ def _init_worker() -> None:
 
 
 def _evaluate_shard(task: Dict[str, Any]) -> Dict[str, Any]:
-    """Evaluate one shard task (runs in a worker, or inline)."""
-    if task["kind"] == "matrix":
-        matrix = DesignMatrix.from_arrays(
-            **task["columns"],
-            labels=task["labels"],
-            knee_fraction=task["matrix_knee_fraction"],
-        )
-        extras: Dict[str, np.ndarray] = {}
-    else:
-        from ..study.planner import compile_chunk
+    """Evaluate one shard task (runs in a worker, or inline).
 
-        plan = compile_chunk(task["spec"], task["start"], task["stop"])
-        matrix = plan.matrix
-        extras = {
-            "total_mass_g": plan.total_mass_g,
-            "compute_tdp_w": plan.compute_tdp_w,
-        }
+    Any failure re-raises as a
+    :class:`~repro.errors.ShardExecutionError` carrying the shard
+    index and ``[start, stop)`` row range (the original exception
+    stays attached as ``__cause__``): a bare worker traceback from a
+    process pool says nothing about *which* rows died, and re-running
+    just that range is the first debugging step.
+    """
+    try:
+        return _evaluate_shard_task(task)
+    except ShardExecutionError:
+        raise
+    except Exception as exc:
+        index = task.get("index")
+        start, stop = task.get("start"), task.get("stop")
+        where = (
+            f" (rows [{start}, {stop}))"
+            if start is not None and stop is not None
+            else ""
+        )
+        raise ShardExecutionError(
+            f"shard {index}{where} failed: "
+            f"{type(exc).__name__}: {exc}",
+            shard_index=index,
+            start=start,
+            stop=stop,
+        ) from exc
+
+
+def _evaluate_shard_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    # In-process workers (serial/thread) get a ``tracer`` view of the
+    # parent's tracer and record directly — same process, same epoch.
+    # Process workers only see ``trace``: they build their own tracer
+    # and ship its spans home as wire dicts for the parent to absorb.
+    tracer = task.get("tracer")
+    local = None
+    if tracer is None and task.get("trace"):
+        tracer = local = Tracer()
+    shard_started = perf_counter() if tracer is not None else 0.0
+    with maybe_span(tracer, "shard.compile"):
+        if task["kind"] == "matrix":
+            matrix = DesignMatrix.from_arrays(
+                **task["columns"],
+                labels=task["labels"],
+                knee_fraction=task["matrix_knee_fraction"],
+            )
+            extras: Dict[str, np.ndarray] = {}
+        else:
+            from ..study.planner import compile_chunk
+
+            plan = compile_chunk(task["spec"], task["start"], task["stop"])
+            matrix = plan.matrix
+            extras = {
+                "total_mass_g": plan.total_mass_g,
+                "compute_tdp_w": plan.compute_tdp_w,
+            }
     # In-process (serial) streaming exists to bound memory by the chunk
     # size; memoizing every chunk in the shared default cache would
     # quietly pin the whole grid again, so streaming shards opt out.
     # Worker processes keep the (fresh, bounded) per-worker cache.
-    result = evaluate_matrix(
-        matrix,
-        knee_fraction=task["knee_fraction"],
-        tolerance=task["tolerance"],
-        cache=None if task.get("streaming") else DEFAULT_CACHE,
-    )
+    with maybe_span(tracer, "shard.evaluate", rows=len(matrix)):
+        result = evaluate_matrix(
+            matrix,
+            knee_fraction=task["knee_fraction"],
+            tolerance=task["tolerance"],
+            cache=None if task.get("streaming") else DEFAULT_CACHE,
+            tracer=tracer,
+        )
     local_indices: Optional[np.ndarray] = None
     reduce = task.get("reduce")
     if reduce is not None:
-        local_indices = result.top_k_indices(
-            reduce["k"], reduce["by"], reduce["descending"]
-        )
-        result = result.take(local_indices)
-        extras = {
-            name: column[local_indices] for name, column in extras.items()
-        }
-    return {
+        with maybe_span(tracer, "shard.reduce", k=reduce["k"]):
+            local_indices = result.top_k_indices(
+                reduce["k"], reduce["by"], reduce["descending"]
+            )
+            result = result.take(local_indices)
+            extras = {
+                name: column[local_indices]
+                for name, column in extras.items()
+            }
+    outcome: Dict[str, Any] = {
         "batch": result,
         "local_indices": local_indices,
         "extras": extras,
     }
+    if tracer is not None:
+        elapsed = perf_counter() - shard_started
+        if local is None:
+            outcome["elapsed_s"] = elapsed
+        else:
+            outcome["telemetry"] = {
+                "events": local.to_events(),
+                "counters": local.counters_snapshot(),
+                "elapsed_s": elapsed,
+            }
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -416,13 +485,35 @@ class ParallelExecutor:
         pool = self._ensure_pool()
         wait([pool.submit(os.getpid) for _ in range(self.n_workers)])
 
-    def map_shards(self, shards: Iterable[Shard]) -> Iterator[ShardResult]:
+    def map_shards(
+        self,
+        shards: Iterable[Shard],
+        tracer: Optional[Tracer] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> Iterator[ShardResult]:
         """Evaluate shards, yielding results as they complete.
 
         Identical shards (same content ``key``) are evaluated once and
         fanned back out to every duplicate.  Completion order is
         arbitrary for parallel backends; consumers that need global
         order collect by :attr:`ShardResult.index`.
+
+        ``tracer`` opts workers into span recording: each unique shard
+        contributes a parent-side ``shard.task`` span (dispatch →
+        result receipt, with ``queue_wait_s``/``compute_s``
+        attributes) and its worker-side spans
+        (``shard.compile``/``shard.evaluate``/…) under
+        ``tid = shard_index + 1``, plus ``shards.completed``/
+        ``shards.dedupe_hits`` counters, worker cache counters, and a
+        running ``rows_per_s`` gauge.  In-process workers (serial and
+        thread backends) record those spans directly into ``tracer``
+        via :meth:`~repro.obs.tracer.Tracer.track`; process workers
+        ship them home as wire dicts (rebased on absorption, and also
+        exposed as :attr:`ShardResult.telemetry`).
+        ``progress`` is called with a
+        :class:`~repro.obs.progress.Progress` snapshot after every
+        yielded result (dedupe copies included) — the hook a progress
+        bar or a serving layer's progress endpoint attaches to.
         """
         shard_list = list(shards)
         primaries: Dict[str, Shard] = {}
@@ -438,50 +529,143 @@ class ParallelExecutor:
             else:
                 followers[first.index].append(shard)
 
+        total = len(shard_list)
+        rows_total = sum(len(s) for s in shard_list)
+        completed = 0
+        rows_done = 0
+        started = perf_counter()
+        overrides: Dict[str, Any] = (
+            {"trace": True} if tracer is not None else {}
+        )
+        # Serial and thread backends share the parent's DEFAULT_CACHE:
+        # memoizing every chunk there would pin (up to) the whole grid
+        # in the process-wide cache against the caller's wishes.  Only
+        # process workers — with their own fresh, bounded caches —
+        # memoize chunks.
+        in_process = self.backend in ("serial", "thread")
+        if in_process:
+            overrides["streaming"] = True
+
+        def worker_task(shard: Shard) -> Dict[str, Any]:
+            task = {**shard.task, **overrides}
+            if tracer is not None and in_process:
+                # Same process, same epoch: record spans directly onto
+                # the shard's track instead of shipping wire dicts.
+                task["tracer"] = tracer.track(shard.index + 1)
+            return task
+
+        # Metric handles are stable objects; resolve them once instead
+        # of taking the tracer's registry lock on every shard.
+        rate_gauge = (
+            tracer.gauge("rows_per_s") if tracer is not None else None
+        )
+        completed_counter = (
+            tracer.counter("shards.completed") if tracer is not None else None
+        )
+
+        def advance(result: ShardResult) -> ShardResult:
+            nonlocal completed, rows_done
+            completed += 1
+            rows_done += result.stop - result.start
+            elapsed = perf_counter() - started
+            if rate_gauge is not None and elapsed > 0:
+                rate_gauge.set(rows_done / elapsed)
+            if progress is not None:
+                progress(
+                    Progress(
+                        done=completed,
+                        total=total,
+                        rows_done=rows_done,
+                        rows_total=rows_total,
+                        elapsed_s=elapsed,
+                    )
+                )
+            return result
+
+        def note_unique(
+            shard: Shard,
+            outcome: Dict[str, Any],
+            dispatch_clock: float,
+            finish_clock: float,
+        ) -> None:
+            """Record the parent-side view of one evaluated shard."""
+            if tracer is None:
+                return
+            telemetry = outcome.get("telemetry")
+            worker_s = (
+                outcome.get("elapsed_s")
+                if telemetry is None
+                else telemetry.get("elapsed_s")
+            )
+            attrs: Dict[str, Any] = {
+                "shard": shard.index, "rows": len(shard)
+            }
+            if worker_s is not None:
+                attrs["compute_s"] = round(worker_s, 6)
+                attrs["queue_wait_s"] = round(
+                    max(0.0, finish_clock - dispatch_clock - worker_s), 6
+                )
+            tracer.record_clock(
+                "shard.task", dispatch_clock, finish_clock, **attrs
+            )
+            if telemetry:  # process workers: merge the wire payload
+                if telemetry.get("events"):
+                    tracer.absorb(
+                        telemetry["events"],
+                        tid=shard.index + 1,
+                        end_clock=finish_clock,
+                        shard=shard.index,
+                    )
+                if telemetry.get("counters"):
+                    tracer.merge_counters(telemetry["counters"])
+            completed_counter.add()
+
         def fan_out(
             shard: Shard, outcome: Dict[str, Any]
         ) -> Iterator[ShardResult]:
             for target in (shard, *followers[shard.index]):
-                yield ShardResult(
-                    index=target.index,
-                    start=target.start,
-                    stop=target.stop,
-                    batch=outcome["batch"],
-                    local_indices=outcome["local_indices"],
-                    extras=outcome["extras"],
+                if target is not shard and tracer is not None:
+                    tracer.counter("shards.dedupe_hits").add()
+                yield advance(
+                    ShardResult(
+                        index=target.index,
+                        start=target.start,
+                        stop=target.stop,
+                        batch=outcome["batch"],
+                        local_indices=outcome["local_indices"],
+                        extras=outcome["extras"],
+                        telemetry=(
+                            outcome.get("telemetry")
+                            if target is shard
+                            else None
+                        ),
+                    )
                 )
 
         if self.backend == "serial":
             for shard in unique:
-                outcome = _evaluate_shard({**shard.task, "streaming": True})
+                dispatched = perf_counter()
+                outcome = _evaluate_shard(worker_task(shard))
+                note_unique(shard, outcome, dispatched, perf_counter())
                 yield from fan_out(shard, outcome)
             return
-        if self.backend == "thread":
-            # Threads share the parent's DEFAULT_CACHE: memoizing every
-            # chunk there would pin (up to) the whole grid in the
-            # process-wide cache against the caller's wishes, exactly
-            # like serial streaming would.  Only process workers — with
-            # their own fresh, bounded caches — memoize chunks.
-            unique = [
-                Shard(
-                    index=s.index,
-                    start=s.start,
-                    stop=s.stop,
-                    task={**s.task, "streaming": True},
-                    key=s.key,
-                )
-                for s in unique
-            ]
         pool = self._ensure_pool()
-        future_to_shard: Dict[Future, Shard] = {
-            pool.submit(_evaluate_shard, shard.task): shard
-            for shard in unique
-        }
+        future_to_shard: Dict[Future, Shard] = {}
+        dispatch_clock: Dict[Future, float] = {}
+        for shard in unique:
+            future = pool.submit(_evaluate_shard, worker_task(shard))
+            future_to_shard[future] = shard
+            dispatch_clock[future] = perf_counter()
         pending = set(future_to_shard)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                yield from fan_out(future_to_shard[future], future.result())
+                shard = future_to_shard[future]
+                outcome = future.result()
+                note_unique(
+                    shard, outcome, dispatch_clock[future], perf_counter()
+                )
+                yield from fan_out(shard, outcome)
 
 
 # ---------------------------------------------------------------------------
@@ -642,23 +826,64 @@ def _stream_results(
     shards: Sequence[Shard],
     executor: Optional[ParallelExecutor],
     checkpoint: Optional[CheckpointStore],
+    tracer: Optional[Tracer] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Iterator[ShardResult]:
-    """Yield shard results (checkpointed first, then freshly computed)."""
+    """Yield shard results (checkpointed first, then freshly computed).
+
+    Progress accounting lives here, not in ``map_shards``, so shards
+    restored from a checkpoint count toward the same done/total a
+    resumed run reports; checkpoint persistence is timed as
+    ``checkpoint.write`` spans.
+    """
     completed: Dict[int, ShardResult] = (
         checkpoint.load_completed() if checkpoint is not None else {}
     )
+    total = len(shards)
+    rows_total = sum(len(s) for s in shards)
+    done = 0
+    rows_done = 0
+    started = perf_counter()
+
+    def advance(result: ShardResult) -> ShardResult:
+        nonlocal done, rows_done
+        done += 1
+        rows_done += result.stop - result.start
+        if progress is not None:
+            progress(
+                Progress(
+                    done=done,
+                    total=total,
+                    rows_done=rows_done,
+                    rows_total=rows_total,
+                    elapsed_s=perf_counter() - started,
+                )
+            )
+        return result
+
     for index in sorted(completed):
-        yield completed[index]
+        if tracer is not None:
+            tracer.counter("shards.resumed").add()
+        yield advance(completed[index])
     remaining = [s for s in shards if s.index not in completed]
     if not remaining:
         return
     own = executor is None
     executor = executor or ParallelExecutor(backend="serial")
     try:
-        for result in executor.map_shards(remaining):
+        for result in executor.map_shards(remaining, tracer=tracer):
             if checkpoint is not None:
+                write_started = perf_counter()
                 checkpoint.write(result)
-            yield result
+                if tracer is not None:
+                    tracer.record_clock(
+                        "checkpoint.write",
+                        write_started,
+                        perf_counter(),
+                        shard=result.index,
+                    )
+                    tracer.counter("checkpoint.writes").add()
+            yield advance(result)
     finally:
         if own:
             executor.close()
@@ -668,9 +893,14 @@ def _collect_ordered(
     shards: Sequence[Shard],
     executor: Optional[ParallelExecutor],
     checkpoint: Optional[CheckpointStore],
+    tracer: Optional[Tracer] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[ShardResult]:
     results = {
-        r.index: r for r in _stream_results(shards, executor, checkpoint)
+        r.index: r
+        for r in _stream_results(
+            shards, executor, checkpoint, tracer=tracer, progress=progress
+        )
     }
     missing = [s.index for s in shards if s.index not in results]
     if missing:  # pragma: no cover - internal invariant
@@ -736,13 +966,17 @@ def evaluate_matrix_sharded(
     chunk_rows: Optional[int] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    tracer: Optional[Tracer] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> BatchResult:
     """Sharded :func:`~repro.batch.engine.evaluate_matrix`.
 
     Bitwise identical to the one-pass engine (every kernel is
     elementwise, so chunk boundaries cannot change a single double).
     Prefer calling ``evaluate_matrix(..., executor=...)``, which also
-    consults the result cache.
+    consults the result cache.  ``tracer``/``progress`` opt into
+    per-shard spans and completion callbacks (see
+    :meth:`ParallelExecutor.map_shards`).
     """
     if knee_fraction is None:
         knee_fraction = (
@@ -771,10 +1005,13 @@ def evaluate_matrix_sharded(
             tolerance=tolerance,
         )
     )
-    ordered = _collect_ordered(shards, executor, checkpoint)
-    # Reuse the caller's matrix rather than reassembling a second
-    # full-size copy from the chunk matrices.
-    return concat_results([r.batch for r in ordered], matrix=matrix)
+    ordered = _collect_ordered(
+        shards, executor, checkpoint, tracer=tracer, progress=progress
+    )
+    with maybe_span(tracer, "study.merge", shards=len(ordered)):
+        # Reuse the caller's matrix rather than reassembling a second
+        # full-size copy from the chunk matrices.
+        return concat_results([r.batch for r in ordered], matrix=matrix)
 
 
 def evaluate_spec_sharded(
@@ -783,6 +1020,8 @@ def evaluate_spec_sharded(
     chunk_rows: Optional[int] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    tracer: Optional[Tracer] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Tuple[BatchResult, Dict[str, np.ndarray]]:
     """Evaluate a :class:`~repro.study.spec.StudySpec` shard by shard.
 
@@ -801,25 +1040,31 @@ def evaluate_spec_sharded(
             f"{type(spec).__name__}"
         )
     n_workers = executor.n_workers if executor is not None else 1
-    checkpoint, chunk_rows = _open_checkpoint(
-        checkpoint_dir,
-        resume,
-        kind="study",
-        digest=_spec_digest(spec),
-        total_rows=study_size(spec),
-        chunk_rows=chunk_rows,
-        n_workers=n_workers,
-        knee_fraction=spec.knee_fraction,
-        tolerance=spec.tolerance,
-        reduce=None,
+    with maybe_span(tracer, "study.compile") as compile_span:
+        total_rows = study_size(spec)
+        checkpoint, chunk_rows = _open_checkpoint(
+            checkpoint_dir,
+            resume,
+            kind="study",
+            digest=_spec_digest(spec),
+            total_rows=total_rows,
+            chunk_rows=chunk_rows,
+            n_workers=n_workers,
+            knee_fraction=spec.knee_fraction,
+            tolerance=spec.tolerance,
+            reduce=None,
+        )
+        shards = list(iter_chunks(spec, chunk_rows=chunk_rows))
+        compile_span.set(rows=total_rows, shards=len(shards))
+    ordered = _collect_ordered(
+        shards, executor, checkpoint, tracer=tracer, progress=progress
     )
-    shards = list(iter_chunks(spec, chunk_rows=chunk_rows))
-    ordered = _collect_ordered(shards, executor, checkpoint)
-    batch = concat_results([r.batch for r in ordered])
-    extras = {
-        name: np.concatenate([r.extras[name] for r in ordered])
-        for name in EXTRA_COLUMNS
-    }
+    with maybe_span(tracer, "study.merge", shards=len(ordered)):
+        batch = concat_results([r.batch for r in ordered])
+        extras = {
+            name: np.concatenate([r.extras[name] for r in ordered])
+            for name in EXTRA_COLUMNS
+        }
     return batch, extras
 
 
@@ -834,6 +1079,8 @@ def top_k_sharded(
     chunk_rows: Optional[int] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    tracer: Optional[Tracer] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Tuple[np.ndarray, BatchResult]:
     """The global top-k of a grid, streamed shard by shard.
 
@@ -892,9 +1139,12 @@ def top_k_sharded(
         reduce=reduce,
     )
     running: Optional[Tuple[np.ndarray, BatchResult]] = None
-    for result in _stream_results(list(shards), executor, checkpoint):
+    for result in _stream_results(
+        list(shards), executor, checkpoint, tracer=tracer, progress=progress
+    ):
         candidate = (result.global_indices, result.batch)
         parts = [candidate] if running is None else [running, candidate]
-        running = merge_top_k(parts, k, by=by, descending=descending)
+        with maybe_span(tracer, "study.merge", k=k, shard=result.index):
+            running = merge_top_k(parts, k, by=by, descending=descending)
     assert running is not None  # shard_ranges yields >= 1 range
     return running

@@ -30,3 +30,31 @@ class SimulationError(ReproError):
 
 class UnknownComponentError(ReproError, KeyError):
     """A named component (platform, algorithm, sensor) is not registered."""
+
+
+class ShardExecutionError(ReproError):
+    """A sharded-executor worker failed while evaluating one shard.
+
+    Raised in place of the worker's original exception (which is kept
+    as ``__cause__``) so failures surface *with* their shard context —
+    the shard index and the ``[start, stop)`` row range — instead of a
+    bare traceback from deep inside a process-pool worker.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_index: "int | None" = None,
+        start: "int | None" = None,
+        stop: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.start = start
+        self.stop = stop
+
+    def __reduce__(self):  # picklable across process-pool boundaries
+        return (
+            type(self),
+            (self.args[0], self.shard_index, self.start, self.stop),
+        )

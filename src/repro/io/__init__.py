@@ -2,6 +2,8 @@
 
 from .serialization import (
     BOUND_CODE_TO_NAME,
+    TELEMETRY_VERSION,
+    TRACE_EVENT_VERSION,
     BOUND_NAME_TO_CODE,
     STATUS_CODE_TO_NAME,
     STATUS_NAME_TO_CODE,
@@ -13,11 +15,16 @@ from .serialization import (
     design_matrices_equal,
     design_matrix_from_dict,
     design_matrix_to_dict,
+    telemetry_from_dict,
+    trace_event_from_dict,
+    trace_event_to_dict,
 )
 from .tables import format_table
 
 __all__ = [
     "BOUND_CODE_TO_NAME",
+    "TELEMETRY_VERSION",
+    "TRACE_EVENT_VERSION",
     "BOUND_NAME_TO_CODE",
     "STATUS_CODE_TO_NAME",
     "STATUS_NAME_TO_CODE",
@@ -30,4 +37,7 @@ __all__ = [
     "design_matrix_from_dict",
     "design_matrix_to_dict",
     "format_table",
+    "telemetry_from_dict",
+    "trace_event_from_dict",
+    "trace_event_to_dict",
 ]

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..batch.executor import ShardManifest, ShardResult
     from ..batch.matrix import DesignMatrix
     from ..batch.result import BatchResult
+    from ..obs.tracer import SpanRecord
 
 #: Version-stable bound-code wire mapping (Sec. III-B classifications).
 BOUND_CODE_TO_NAME = {
@@ -470,6 +471,124 @@ def shard_record_from_dict(data: Any) -> "ShardResult":
             for name, column in extras.items()
         },
     )
+
+
+# ---------------------------------------------------------------------------
+# Trace events and telemetry (the wire format of repro.obs)
+# ---------------------------------------------------------------------------
+#: Version of the trace-event wire format (JSONL log lines, telemetry
+#: event lists).  Bump on any shape change, exactly like
+#: :data:`MANIFEST_VERSION` above.
+TRACE_EVENT_VERSION = 1
+
+#: Version stamped on :attr:`repro.study.result.StudyResult.telemetry`
+#: documents (``{"version", "events", "counters", "gauges"}``).
+TELEMETRY_VERSION = 1
+
+
+def trace_event_to_dict(span: "SpanRecord") -> Dict[str, Any]:
+    """Serialize one finished span to the trace-event wire format.
+
+    One object per span::
+
+        {"name": "shard.evaluate",   // span name
+         "start_us": 18234,          // microseconds since tracer epoch
+         "dur_us": 912,              // span duration, microseconds
+         "tid": 4,                   // track: 0 = driver, i+1 = shard i
+         "args": {"rows": 4096}}     // attributes (JSON scalars)
+
+    Times are integer microseconds on a *monotonic* clock
+    (:func:`time.perf_counter` relative to the recording tracer's
+    epoch) — never wall-clock dates, so events from one run always
+    order correctly and diff cleanly.  The same objects appear as the
+    body lines of the JSONL event log
+    (:func:`repro.obs.export.write_trace_jsonl`, behind a
+    ``{"version", "kind": "trace", "counters", "gauges"}`` header
+    line) and, converted to Chrome's ``ph``/``ts``/``dur`` spelling,
+    in the ``chrome://tracing`` export.
+    """
+    return {
+        "name": span.name,
+        "start_us": round(span.start_s * 1e6),
+        "dur_us": round(span.duration_s * 1e6),
+        "tid": span.tid,
+        "args": dict(span.attributes),
+    }
+
+
+def _trace_error(field: str, message: str) -> ConfigurationError:
+    return ConfigurationError(f"trace event field {field!r}: {message}")
+
+
+def trace_event_from_dict(data: Any) -> "SpanRecord":
+    """Rebuild a span from :func:`trace_event_to_dict` output."""
+    from ..obs.tracer import SpanRecord
+
+    if not isinstance(data, dict):
+        raise _trace_error(
+            "<root>", f"must be a mapping, got {type(data).__name__}"
+        )
+    for key in ("name", "start_us", "dur_us", "tid", "args"):
+        if key not in data:
+            raise _trace_error(key, "missing")
+    if not isinstance(data["name"], str) or not data["name"]:
+        raise _trace_error(
+            "name", f"must be a non-empty string, got {data['name']!r}"
+        )
+    for key in ("start_us", "dur_us"):
+        if not isinstance(data[key], int) or data[key] < 0:
+            raise _trace_error(
+                key,
+                f"must be a non-negative integer of microseconds, got "
+                f"{data[key]!r}",
+            )
+    if not isinstance(data["tid"], int) or data["tid"] < 0:
+        raise _trace_error(
+            "tid", f"must be a non-negative integer, got {data['tid']!r}"
+        )
+    if not isinstance(data["args"], dict):
+        raise _trace_error(
+            "args",
+            f"must be a mapping, got {type(data['args']).__name__}",
+        )
+    return SpanRecord(
+        name=data["name"],
+        start_s=data["start_us"] / 1e6,
+        duration_s=data["dur_us"] / 1e6,
+        tid=data["tid"],
+        attributes=dict(data["args"]),
+    )
+
+
+def telemetry_from_dict(data: Any) -> Dict[str, Any]:
+    """Validate a :meth:`repro.obs.Tracer.to_telemetry` document.
+
+    Returns the document unchanged (telemetry stays plain data on the
+    result; spans rebuild on demand via :func:`trace_event_from_dict`),
+    after checking the version pin and the events' wire shape.
+    """
+    if data is None:
+        return data
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            "telemetry field '<root>': must be a mapping or null, got "
+            f"{type(data).__name__}"
+        )
+    version = data.get("version")
+    if version != TELEMETRY_VERSION:
+        raise ConfigurationError(
+            f"telemetry field 'version': unsupported version {version!r}; "
+            f"this build reads version {TELEMETRY_VERSION}"
+        )
+    for event in data.get("events", ()):
+        trace_event_from_dict(event)
+    for key in ("counters", "gauges"):
+        if key in data and not isinstance(data[key], dict):
+            raise ConfigurationError(
+                f"telemetry field {key!r}: must be a mapping, got "
+                f"{type(data[key]).__name__}"
+            )
+    return data
 
 
 def design_matrices_equal(a: "DesignMatrix", b: "DesignMatrix") -> bool:

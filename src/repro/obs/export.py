@@ -1,0 +1,209 @@
+"""Exporters: JSONL event logs, Chrome traces, metrics summaries.
+
+Three views of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — the versioned
+  JSONL event log (one trace event per line behind a header line; see
+  :func:`repro.io.serialization.trace_event_to_dict` for the event
+  wire format).  The machine-first format: greppable, appendable,
+  streamable.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON consumed by ``chrome://tracing`` / Perfetto.  Every
+  span becomes a complete ("ph": "X") event; worker spans sit on their
+  shard's ``tid`` track so a sharded study renders as one lane per
+  shard under the driver lane.
+* :func:`metrics_report` — the human summary: per-span-name timing
+  aggregates plus every counter and gauge, rendered with
+  :func:`repro.io.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..io.tables import format_table
+from .tracer import SpanRecord, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "metrics_report",
+    "read_trace_jsonl",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]
+
+
+# ---------------------------------------------------------------------------
+# JSONL event log
+# ---------------------------------------------------------------------------
+def write_trace_jsonl(path: Union[str, Path], tracer: Tracer) -> None:
+    """Write the tracer's spans and metrics as a JSONL event log.
+
+    Line 1 is a header ``{"version", "kind": "trace", "counters",
+    "gauges"}``; every following line is one trace event
+    (:func:`repro.io.serialization.trace_event_to_dict`).
+    """
+    from ..io.serialization import TRACE_EVENT_VERSION
+
+    header = {
+        "version": TRACE_EVENT_VERSION,
+        "kind": "trace",
+        "counters": tracer.counters_snapshot(),
+        "gauges": tracer.gauges_snapshot(),
+    }
+    lines = [json.dumps(header)]
+    lines.extend(json.dumps(event) for event in tracer.to_events())
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_trace_jsonl(
+    path: Union[str, Path],
+) -> Tuple[List[SpanRecord], Dict[str, Any]]:
+    """Read a :func:`write_trace_jsonl` log back.
+
+    Returns ``(spans, metrics)`` where ``metrics`` is the header's
+    ``{"counters", "gauges"}`` mapping.  Version mismatches and
+    malformed lines are :class:`~repro.errors.ConfigurationError`\\ s.
+    """
+    from ..io.serialization import TRACE_EVENT_VERSION, trace_event_from_dict
+
+    text = Path(path).read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ConfigurationError(f"trace log {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"trace log {path} has an unreadable header: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("kind") != "trace":
+        raise ConfigurationError(
+            f"trace log {path} does not start with a trace header line"
+        )
+    version = header.get("version")
+    if version != TRACE_EVENT_VERSION:
+        raise ConfigurationError(
+            f"trace log {path} is version {version!r}; this build reads "
+            f"version {TRACE_EVENT_VERSION}"
+        )
+    spans = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            spans.append(trace_event_from_dict(json.loads(line)))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"trace log {path} line {number} is not valid JSON: {exc}"
+            ) from exc
+    metrics = {
+        "counters": header.get("counters", {}),
+        "gauges": header.get("gauges", {}),
+    }
+    return spans, metrics
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The tracer's spans as a Chrome trace-event document.
+
+    The JSON-object flavour of the trace-event format: spans become
+    complete events (``"ph": "X"``, microsecond ``ts``/``dur``), the
+    counters/gauges ride along under ``otherData``, and ``tid`` tracks
+    are labelled via ``thread_name`` metadata so shard lanes read as
+    ``shard 3`` rather than bare ints.  Load the written file in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events: List[Dict[str, Any]] = []
+    tids = sorted({span.tid for span in tracer.spans})
+    for tid in tids:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {
+                    "name": "driver" if tid == 0 else f"shard {tid - 1}"
+                },
+            }
+        )
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round(span.start_s * 1e6),
+                "dur": round(span.duration_s * 1e6),
+                "pid": 0,
+                "tid": span.tid,
+                "args": dict(span.attributes),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": tracer.counters_snapshot(),
+            "gauges": tracer.gauges_snapshot(),
+        },
+    }
+
+
+def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> None:
+    """Write :func:`chrome_trace` output to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(chrome_trace(tracer), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Human summary
+# ---------------------------------------------------------------------------
+def metrics_report(tracer: Tracer) -> str:
+    """An aligned text summary of the tracer's spans and metrics.
+
+    One row per span *name* (count, total/mean/max milliseconds), then
+    one per counter and gauge — the ``--metrics`` pane of the CLI.
+    """
+    by_name: Dict[str, List[SpanRecord]] = {}
+    for span in tracer.spans:
+        by_name.setdefault(span.name, []).append(span)
+    span_rows = []
+    for name in sorted(by_name):
+        durations = [span.duration_s for span in by_name[name]]
+        span_rows.append(
+            (
+                name,
+                len(durations),
+                sum(durations) * 1e3,
+                sum(durations) / len(durations) * 1e3,
+                max(durations) * 1e3,
+            )
+        )
+    sections = []
+    if span_rows:
+        sections.append(
+            format_table(
+                ("span", "count", "total_ms", "mean_ms", "max_ms"),
+                span_rows,
+            )
+        )
+    counters = tracer.counters_snapshot()
+    gauges = tracer.gauges_snapshot()
+    metric_rows = [
+        (name, "counter", float(value)) for name, value in sorted(counters.items())
+    ] + [
+        (name, "gauge", value) for name, value in sorted(gauges.items())
+    ]
+    if metric_rows:
+        sections.append(
+            format_table(("metric", "kind", "value"), metric_rows)
+        )
+    if not sections:
+        return "(no spans or metrics recorded)"
+    return "\n\n".join(sections)

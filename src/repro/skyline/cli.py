@@ -12,6 +12,8 @@ Examples::
     repro-skyline study --spec big.json --workers 4 --chunk-rows 65536 \\
         --checkpoint ckpt/
     repro-skyline study --spec big.json --workers 4 --resume ckpt/
+    repro-skyline study --spec big.json --workers 4 --chunk-rows 65536 \\
+        --trace trace.json --metrics --progress --json > result.json
     repro-skyline list
 """
 
@@ -140,6 +142,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume", metavar="DIR",
         help="resume from DIR's completed shards (DIR must hold a "
         "matching run's manifest)",
+    )
+    study.add_argument(
+        "--trace", metavar="FILE",
+        help="record phase/shard spans and write a chrome://tracing "
+        "trace JSON to FILE (load it in Perfetto)",
+    )
+    study.add_argument(
+        "--metrics", action="store_true",
+        help="print a span/counter metrics table to stderr after the run",
+    )
+    study.add_argument(
+        "--progress", action="store_true",
+        help="print per-shard progress lines (shards done, rows/s, ETA) "
+        "to stderr while the study runs",
     )
 
     sub.add_parser("list", help="list presets, platforms and algorithms")
@@ -271,6 +287,19 @@ def _run_study(args: argparse.Namespace) -> int:
             design=DesignSpec.knob_axes(axes={args.knob: args.values})
         )
 
+    tracer = None
+    if args.trace or args.metrics:
+        from ..obs import Tracer
+
+        tracer = Tracer()
+    progress = None
+    if args.progress:
+        from ..obs import ProgressPrinter
+
+        # Progress (like every diagnostic) goes to stderr so --json
+        # stdout stays machine-parseable.
+        progress = ProgressPrinter()
+
     executor = None
     if args.workers is not None:
         from ..batch.executor import ParallelExecutor
@@ -285,10 +314,20 @@ def _run_study(args: argparse.Namespace) -> int:
             chunk_rows=args.chunk_rows,
             checkpoint=args.resume or args.checkpoint,
             resume=args.resume is not None,
+            tracer=tracer,
+            progress=progress,
         )
     finally:
         if executor is not None:
             executor.close()
+    if args.trace:
+        from ..obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, tracer)
+    if args.metrics:
+        from ..obs import metrics_report
+
+        print(metrics_report(tracer), file=sys.stderr)
     if args.out:
         result.save(args.out)
     if args.json:
@@ -299,6 +338,8 @@ def _run_study(args: argparse.Namespace) -> int:
         print(result.table(limit=args.limit))
         if args.out:
             print(f"\nstudy result written to {args.out}")
+        if args.trace:
+            print(f"trace written to {args.trace}")
     return 0
 
 

@@ -30,6 +30,8 @@ from .report import render_report
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..batch.executor import ParallelExecutor
+    from ..obs.progress import ProgressCallback
+    from ..obs.tracer import Tracer
     from ..study import StudyResult, StudySpec
 
 
@@ -96,6 +98,8 @@ class Skyline:
         chunk_rows: Optional[int] = None,
         checkpoint: Optional[str] = None,
         resume: bool = False,
+        tracer: Optional["Tracer"] = None,
+        progress: Optional["ProgressCallback"] = None,
     ) -> "StudyResult":
         """Execute a declarative :class:`~repro.study.spec.StudySpec`.
 
@@ -107,6 +111,9 @@ class Skyline:
         opt into sharded (optionally parallel, optionally resumable)
         execution, exactly as in :func:`repro.study.run_study` — the
         result is bitwise identical to the single-pass path.
+        ``tracer`` / ``progress`` opt into :mod:`repro.obs`
+        instrumentation (phase spans, metrics, per-shard progress),
+        again exactly as in :func:`repro.study.run_study`.
         """
         from ..study import run_study
 
@@ -116,6 +123,8 @@ class Skyline:
             chunk_rows=chunk_rows,
             checkpoint=checkpoint,
             resume=resume,
+            tracer=tracer,
+            progress=progress,
         )
 
     # ------------------------------------------------------------------

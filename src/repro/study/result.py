@@ -27,6 +27,7 @@ from ..io.serialization import (
     batch_result_from_dict,
     batch_result_to_dict,
     batch_results_equal,
+    telemetry_from_dict,
 )
 from ..batch.result import BatchResult
 from .planner import StudyAxis
@@ -57,6 +58,12 @@ class StudyResult:
     selected_indices: np.ndarray
     total_mass_g: np.ndarray
     compute_tdp_w: np.ndarray
+    #: Observability payload of the run that produced this result
+    #: (:meth:`repro.obs.Tracer.to_telemetry`), or ``None`` for an
+    #: untraced run.  Round-trips through ``to_dict``/``from_dict`` but
+    #: is deliberately ignored by :meth:`equals` — two runs of the same
+    #: study are the *same result* even though their timings differ.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         indices = np.asarray(self.selected_indices, dtype=np.intp)
@@ -180,7 +187,7 @@ class StudyResult:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "version": RESULT_VERSION,
             "spec": self.spec.to_dict(),
             "axes": [
@@ -192,6 +199,9 @@ class StudyResult:
             "total_mass_g": self.total_mass_g.tolist(),
             "compute_tdp_w": self.compute_tdp_w.tolist(),
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
     @classmethod
     def from_dict(cls, data: Any) -> "StudyResult":
@@ -235,6 +245,7 @@ class StudyResult:
             compute_tdp_w=np.asarray(
                 data["compute_tdp_w"], dtype=np.float64
             ),
+            telemetry=telemetry_from_dict(data.get("telemetry")),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -260,7 +271,13 @@ class StudyResult:
         return cls.from_json(Path(path).read_text())
 
     def equals(self, other: "StudyResult") -> bool:
-        """Deep value equality (bitwise on every column)."""
+        """Deep value equality (bitwise on every column).
+
+        ``telemetry`` is excluded on purpose: span timings vary
+        run-to-run, and two executions of the same study must still
+        compare equal (the bitwise-identity contracts of the sharded
+        paths depend on this).
+        """
         return (
             isinstance(other, StudyResult)
             and self.spec == other.spec

@@ -31,6 +31,7 @@ from ..batch.cache import BatchCache
 from ..batch.engine import DEFAULT_CACHE, evaluate_matrix
 from ..batch.result import BatchResult
 from ..io.serialization import BOUND_NAME_TO_CODE, STATUS_NAME_TO_CODE
+from ..obs.tracer import maybe_span
 from .planner import StudyPlan, compile_spec, study_axes
 from .result import StudyResult
 from .spec import (
@@ -43,6 +44,8 @@ from .spec import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..batch.executor import ParallelExecutor
+    from ..obs.progress import ProgressCallback
+    from ..obs.tracer import Tracer
 
 _OPS: Dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
     "<": operator.lt,
@@ -119,6 +122,8 @@ def run_study(
     chunk_rows: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    tracer: Optional["Tracer"] = None,
+    progress: Optional["ProgressCallback"] = None,
 ) -> StudyResult:
     """Compile (if needed) and execute a study.
 
@@ -133,7 +138,16 @@ def run_study(
     additionally *requires* that directory to hold a matching run's
     manifest (the ``--resume`` contract: resuming a checkpoint that
     does not exist is an error, not a silent fresh start).
+
+    ``tracer`` opts into observability (:mod:`repro.obs`): the run
+    records ``study.compile`` / ``shard.evaluate`` / ``study.merge`` /
+    ``study.select`` phase spans (plus engine- and executor-level
+    detail), and the finished result carries the whole payload in
+    :attr:`StudyResult.telemetry`.  ``progress`` fires once per
+    completed shard on the sharded paths.  Both default to ``None``
+    and cost only a null-check when unset.
     """
+
     sharded = (
         executor is not None or chunk_rows is not None
         or checkpoint is not None or resume
@@ -148,6 +162,8 @@ def run_study(
             chunk_rows=chunk_rows,
             checkpoint_dir=checkpoint,
             resume=resume,
+            tracer=tracer,
+            progress=progress,
         )
         # A spec-sharded run cannot consult the cache up front — the
         # cache is keyed by the full matrix's content hash and the full
@@ -163,7 +179,12 @@ def run_study(
             cache.put(key, batch)
         axes = study_axes(spec)
     else:
-        plan = study if isinstance(study, StudyPlan) else compile_spec(study)
+        if isinstance(study, StudyPlan):
+            plan = study
+        else:
+            with maybe_span(tracer, "study.compile") as span:
+                plan = compile_spec(study)
+                span.set(rows=len(plan.matrix))
         spec = plan.spec
         batch = evaluate_matrix(
             plan.matrix,
@@ -174,17 +195,23 @@ def run_study(
             chunk_rows=chunk_rows if sharded else None,
             checkpoint_dir=checkpoint if sharded else None,
             resume=resume,
+            tracer=tracer,
+            progress=progress,
         )
         extras = {
             "total_mass_g": plan.total_mass_g,
             "compute_tdp_w": plan.compute_tdp_w,
         }
         axes = plan.axes
+    with maybe_span(tracer, "study.select", rows=len(batch)) as span:
+        selected = _select(spec, batch, extras)
+        span.set(selected=len(selected))
     return StudyResult(
         spec=spec,
         axes=axes,
         batch=batch,
-        selected_indices=_select(spec, batch, extras),
+        selected_indices=selected,
         total_mass_g=extras["total_mass_g"],
         compute_tdp_w=extras["compute_tdp_w"],
+        telemetry=tracer.to_telemetry() if tracer is not None else None,
     )

@@ -494,3 +494,79 @@ class TestConsumerEquivalence:
         assert velocities == sorted(velocities)  # range helps v_safe
         with pytest.raises(ConfigurationError):
             sweep_knob(Knobs(), "sensor_range_m", np.array([]))
+
+
+class TestCacheStatsAttribution:
+    def _result(self, rate: float = 100.0):
+        return evaluate_matrix(
+            DesignMatrix.from_arrays(10.0, 50.0, 60.0, rate), cache=None
+        )
+
+    def test_hit_rate_zero_traffic_is_zero_not_nan(self):
+        from repro.batch import CacheStats
+
+        stats = BatchCache().stats
+        assert stats.hits == stats.misses == 0
+        assert stats.hit_rate == 0.0
+        # Same for a zero-traffic delta window.
+        window = stats.delta(stats)
+        assert isinstance(window, CacheStats)
+        assert window.hit_rate == 0.0
+
+    def test_snapshot_delta_isolates_a_window(self):
+        cache = BatchCache()
+        cache.put("a", self._result())
+        cache.get("a")
+        cache.get("missing")
+        before = cache.stats_snapshot()
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        window = cache.stats_snapshot().delta(before)
+        assert window.hits == 2
+        assert window.misses == 1
+        assert window.hit_rate == pytest.approx(2 / 3)
+        # State fields keep the *latest* snapshot's values.
+        assert window.entries == 1
+        assert window.total_bytes == cache.stats.total_bytes
+
+    def test_reset_stats_keeps_entries(self):
+        cache = BatchCache()
+        cache.put("a", self._result())
+        cache.get("a")
+        cache.get("missing")
+        cache.reset_stats()
+        stats = cache.stats
+        assert stats.hits == 0 and stats.misses == 0
+        assert len(cache) == 1
+        assert cache.get("a") is not None  # entry survived the reset
+
+    def test_concurrent_get_put_counters_consistent(self):
+        import threading
+
+        cache = BatchCache(maxsize=64)
+        result = self._result()
+        n_threads, rounds = 6, 200
+        barrier = threading.Barrier(n_threads)
+
+        def traffic(thread_id: int) -> None:
+            barrier.wait()
+            key = ("k", thread_id)
+            for _ in range(rounds):
+                cache.get(key)    # miss first time, hits after the put
+                cache.put(key, result)
+                cache.get(key)
+
+        threads = [
+            threading.Thread(target=traffic, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats_snapshot()
+        # Every get() incremented exactly one counter: no tears, no
+        # double counts, under the instance lock.
+        assert stats.hits + stats.misses == n_threads * rounds * 2
+        assert stats.misses == n_threads  # only each key's first get

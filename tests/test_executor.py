@@ -736,3 +736,364 @@ class TestStudyCLIScaling:
                 ["study", "--knob", "compute_tdp_w", "--values", "1",
                  "--checkpoint", str(tmp_path), "--resume", str(tmp_path)]
             )
+
+
+# ---------------------------------------------------------------------------
+# Shard failure context (ShardExecutionError)
+# ---------------------------------------------------------------------------
+class TestShardFailureContext:
+    def _failing_shard(self, index: int = 3) -> "Shard":
+        # Mismatched column lengths make DesignMatrix.from_arrays raise
+        # inside the worker — a genuine in-shard failure that survives
+        # pickling to a process pool.
+        from repro.batch import Shard
+
+        return Shard(
+            index=index,
+            start=10,
+            stop=20,
+            task={
+                "kind": "matrix",
+                "index": index,
+                "start": 10,
+                "stop": 20,
+                "columns": {
+                    "sensing_range_m": np.full(10, 10.0),
+                    "a_max": np.full(10, 50.0),
+                    "f_sensor_hz": np.full(10, 60.0),
+                    "f_compute_hz": np.full(3, 100.0),  # wrong length
+                    "f_control_hz": np.full(10, 200.0),
+                },
+                "labels": None,
+                "matrix_knee_fraction": None,
+                "knee_fraction": 0.85,
+                "tolerance": 0.05,
+            },
+        )
+
+    def test_serial_failure_names_shard_and_row_range(self):
+        from repro.errors import ShardExecutionError
+
+        executor = ParallelExecutor(n_workers=1, backend="serial")
+        with pytest.raises(ShardExecutionError) as excinfo:
+            list(executor.map_shards([self._failing_shard()]))
+        err = excinfo.value
+        assert err.shard_index == 3
+        assert (err.start, err.stop) == (10, 20)
+        assert "shard 3" in str(err)
+        assert "[10, 20)" in str(err)
+        # The original failure stays attached for debugging.
+        assert isinstance(err.__cause__, ConfigurationError)
+
+    def test_process_pool_failure_keeps_shard_context(self):
+        # Regression: a worker-process traceback used to surface as a
+        # bare ConfigurationError with no hint of which rows died.
+        from repro.errors import ShardExecutionError
+
+        with ParallelExecutor(n_workers=1, backend="process") as executor:
+            with pytest.raises(ShardExecutionError) as excinfo:
+                list(executor.map_shards([self._failing_shard(index=7)]))
+        err = excinfo.value
+        assert err.shard_index == 7
+        assert (err.start, err.stop) == (10, 20)
+        assert "shard 7" in str(err)
+
+    def test_shard_error_is_picklable_with_fields(self):
+        import pickle
+
+        from repro.errors import ShardExecutionError
+
+        err = ShardExecutionError(
+            "shard 2 (rows [4, 8)) failed", shard_index=2, start=4, stop=8
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, ShardExecutionError)
+        assert clone.shard_index == 2
+        assert (clone.start, clone.stop) == (4, 8)
+        assert str(clone) == str(err)
+
+    def test_wrapper_does_not_double_wrap(self, monkeypatch):
+        import repro.batch.executor as executor_module
+        from repro.errors import ShardExecutionError
+
+        inner = ShardExecutionError("already wrapped", shard_index=1)
+
+        def explode(task):
+            raise inner
+
+        monkeypatch.setattr(
+            executor_module, "_evaluate_shard_task", explode
+        )
+        with pytest.raises(ShardExecutionError) as excinfo:
+            executor_module._evaluate_shard({"index": 0})
+        assert excinfo.value is inner
+
+
+# ---------------------------------------------------------------------------
+# Observability: tracer + progress through the executor stack
+# ---------------------------------------------------------------------------
+class TestExecutorObservability:
+    def test_sharded_matrix_records_phase_spans(self):
+        from repro.obs import Tracer
+
+        matrix = _grid(40)
+        tracer = Tracer()
+        result = evaluate_matrix_sharded(
+            matrix, chunk_rows=11, tracer=tracer
+        )
+        names = set(tracer.span_names())
+        assert {
+            "shard.compile", "shard.evaluate", "shard.task",
+            "engine.evaluate", "study.merge",
+        } <= names
+        # Worker-side rows attributes sum to the grid size.
+        rows = sum(
+            s.attributes["rows"]
+            for s in tracer.spans
+            if s.name == "shard.evaluate"
+        )
+        assert rows == len(matrix)
+        assert tracer.counters_snapshot()["shards.completed"] == 4
+        # Tracing never perturbs the numbers.
+        assert batch_results_equal(
+            result, evaluate_matrix(matrix, cache=None)
+        )
+
+    def test_spec_sharded_records_compile_span_with_totals(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        evaluate_spec_sharded(_knob_spec(), chunk_rows=5, tracer=tracer)
+        compile_spans = [
+            s for s in tracer.spans if s.name == "study.compile"
+        ]
+        assert len(compile_spans) == 1
+        assert compile_spans[0].attributes["rows"] == 18
+        assert compile_spans[0].attributes["shards"] == 4
+
+    def test_worker_spans_land_on_shard_tracks(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        evaluate_matrix_sharded(_grid(30), chunk_rows=10, tracer=tracer)
+        worker_tids = {
+            s.tid for s in tracer.spans if s.name == "shard.evaluate"
+        }
+        assert worker_tids == {1, 2, 3}  # shard index + 1
+        driver_tids = {
+            s.tid for s in tracer.spans if s.name == "shard.task"
+        }
+        assert driver_tids == {0}
+
+    def test_process_workers_ship_telemetry_home(self):
+        from repro.obs import Tracer
+
+        matrix = _grid(24)
+        tracer = Tracer()
+        with ParallelExecutor(n_workers=2, backend="process") as executor:
+            result = evaluate_matrix_sharded(
+                matrix, executor=executor, chunk_rows=12, tracer=tracer
+            )
+        names = set(tracer.span_names())
+        assert "shard.evaluate" in names  # absorbed from the workers
+        task_spans = [s for s in tracer.spans if s.name == "shard.task"]
+        assert len(task_spans) == 2
+        for span in task_spans:
+            assert span.attributes["compute_s"] >= 0.0
+            assert span.attributes["queue_wait_s"] >= 0.0
+        counters = tracer.counters_snapshot()
+        assert counters["rows.evaluated"] == len(matrix)
+        assert batch_results_equal(
+            result, evaluate_matrix(matrix, cache=None)
+        )
+
+    def test_shard_results_carry_worker_telemetry(self):
+        from repro.batch import iter_chunks
+        from repro.obs import Tracer
+
+        shards = list(iter_chunks(_grid(20), chunk_rows=10))
+        with ParallelExecutor(n_workers=2, backend="process") as executor:
+            results = list(executor.map_shards(shards, tracer=Tracer()))
+        for result in results:
+            assert result.telemetry is not None
+            assert result.telemetry["elapsed_s"] >= 0.0
+            assert any(
+                e["name"] == "shard.evaluate"
+                for e in result.telemetry["events"]
+            )
+
+    def test_in_process_shards_record_directly(self):
+        # Serial/thread workers share the parent's process and epoch:
+        # their spans land straight in the tracer (exact times, shard
+        # tracks), and the ShardResult ships no wire payload at all.
+        from repro.batch import iter_chunks
+        from repro.obs import Tracer
+
+        executor = ParallelExecutor(n_workers=1, backend="serial")
+        shards = list(iter_chunks(_grid(20), chunk_rows=10))
+        tracer = Tracer()
+        results = list(executor.map_shards(shards, tracer=tracer))
+        for result in results:
+            assert result.telemetry is None
+        evaluate_tids = {
+            s.tid for s in tracer.spans if s.name == "shard.evaluate"
+        }
+        assert evaluate_tids == {1, 2}
+        task_spans = [s for s in tracer.spans if s.name == "shard.task"]
+        assert len(task_spans) == 2
+        for span in task_spans:
+            assert span.attributes["compute_s"] >= 0.0
+            assert span.attributes["queue_wait_s"] >= 0.0
+        assert tracer.counters_snapshot()["rows.evaluated"] == 20
+        # Untraced runs carry none either.
+        for result in executor.map_shards(shards):
+            assert result.telemetry is None
+
+    def test_progress_fires_per_shard_with_row_totals(self):
+        from repro.obs import Progress
+
+        snapshots = []
+        matrix = _grid(35)
+        evaluate_matrix_sharded(
+            matrix, chunk_rows=10, progress=snapshots.append
+        )
+        assert [p.done for p in snapshots] == [1, 2, 3, 4]
+        assert all(isinstance(p, Progress) for p in snapshots)
+        assert all(p.total == 4 for p in snapshots)
+        assert all(p.rows_total == len(matrix) for p in snapshots)
+        assert snapshots[-1].rows_done == len(matrix)
+        assert snapshots[-1].fraction == 1.0
+
+    def test_progress_counts_checkpoint_restored_shards(self, tmp_path):
+        snapshots = []
+        matrix = _grid(30)
+        evaluate_matrix_sharded(
+            matrix, chunk_rows=10, checkpoint_dir=tmp_path
+        )
+        evaluate_matrix_sharded(
+            matrix,
+            chunk_rows=10,
+            checkpoint_dir=tmp_path,
+            progress=snapshots.append,
+        )
+        # Every shard resumes from the checkpoint, yet progress still
+        # walks to completion.
+        assert [p.done for p in snapshots] == [1, 2, 3]
+        assert snapshots[-1].rows_done == len(matrix)
+
+    def test_resumed_shards_counted_in_tracer(self, tmp_path):
+        from repro.obs import Tracer
+
+        matrix = _grid(30)
+        evaluate_matrix_sharded(
+            matrix, chunk_rows=10, checkpoint_dir=tmp_path
+        )
+        tracer = Tracer()
+        evaluate_matrix_sharded(
+            matrix, chunk_rows=10, checkpoint_dir=tmp_path, tracer=tracer
+        )
+        assert tracer.counters_snapshot()["shards.resumed"] == 3
+
+    def test_checkpoint_writes_traced(self, tmp_path):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        evaluate_matrix_sharded(
+            _grid(30), chunk_rows=10, checkpoint_dir=tmp_path, tracer=tracer
+        )
+        assert tracer.counters_snapshot()["checkpoint.writes"] == 3
+        assert "checkpoint.write" in tracer.span_names()
+
+    def test_dedupe_hits_counted(self):
+        from repro.obs import Tracer
+
+        column = np.full(30, 10.0)
+        matrix = DesignMatrix.from_arrays(
+            column, column, column, column, column
+        )
+        tracer = Tracer()
+        evaluate_matrix_sharded(matrix, chunk_rows=10, tracer=tracer)
+        counters = tracer.counters_snapshot()
+        assert counters["shards.completed"] == 1  # one unique chunk
+        assert counters["shards.dedupe_hits"] == 2
+
+    def test_top_k_sharded_traced(self):
+        from repro.obs import Tracer
+
+        matrix = _grid(40)
+        tracer = Tracer()
+        indices, batch = top_k_sharded(
+            matrix, k=5, chunk_rows=10, tracer=tracer
+        )
+        names = set(tracer.span_names())
+        assert "shard.reduce" in names
+        assert "study.merge" in names
+        reference_indices, reference = top_k_sharded(
+            matrix, k=5, chunk_rows=10
+        )
+        np.testing.assert_array_equal(indices, reference_indices)
+        assert batch_results_equal(batch, reference)
+
+
+# ---------------------------------------------------------------------------
+# CLI observability flags
+# ---------------------------------------------------------------------------
+class TestStudyCLIObservability:
+    def _spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(_knob_spec().to_json())
+        return str(path)
+
+    def test_traced_sharded_study_emits_chrome_trace(
+        self, capsys, tmp_path
+    ):
+        # The acceptance path: a sharded study with --trace writes a
+        # valid Chrome trace whose spans cover every phase and whose
+        # per-shard row counts sum to the grid size.
+        trace = tmp_path / "trace.json"
+        code = cli_main(
+            [
+                "study", "--spec", self._spec_file(tmp_path),
+                "--workers", "2", "--backend", "thread",
+                "--chunk-rows", "5", "--trace", str(trace), "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {
+            "study.compile", "shard.evaluate", "study.merge",
+            "study.select",
+        } <= names
+        rows = sum(
+            e["args"]["rows"]
+            for e in events
+            if e["ph"] == "X" and e["name"] == "shard.evaluate"
+        )
+        assert rows == 18  # the full 3 x 3 x 2 grid, exactly once
+        # stdout stays pure JSON, telemetry included.
+        data = json.loads(capsys.readouterr().out)
+        assert data["telemetry"]["counters"]["shards.completed"] == 4
+
+    def test_metrics_and_progress_go_to_stderr(self, capsys, tmp_path):
+        code = cli_main(
+            [
+                "study", "--spec", self._spec_file(tmp_path),
+                "--chunk-rows", "5", "--metrics", "--progress", "--json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout still parses
+        assert "shards 4/4" in captured.err  # progress reached the end
+        assert "shard.evaluate" in captured.err  # metrics table
+        assert "rows.evaluated" in captured.err
+
+    def test_untraced_study_carries_no_telemetry(self, capsys, tmp_path):
+        code = cli_main(
+            ["study", "--spec", self._spec_file(tmp_path), "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "telemetry" not in data

@@ -225,3 +225,126 @@ class TestResultSerialization:
         del data["matrix"]["a_max"]
         with pytest.raises(ConfigurationError, match="a_max"):
             batch_result_from_dict(data)
+
+
+class TestTraceEventWireFormat:
+    def _span(self, **overrides):
+        from repro.obs import SpanRecord
+
+        fields = dict(
+            name="shard.evaluate",
+            start_s=0.018234,
+            duration_s=0.000912,
+            tid=4,
+            attributes={"rows": 4096},
+        )
+        fields.update(overrides)
+        return SpanRecord(**fields)
+
+    def test_roundtrip_preserves_span(self):
+        from repro.io.serialization import (
+            trace_event_from_dict,
+            trace_event_to_dict,
+        )
+
+        span = self._span()
+        clone = trace_event_from_dict(trace_event_to_dict(span))
+        assert clone.name == span.name
+        assert clone.tid == span.tid
+        assert dict(clone.attributes) == dict(span.attributes)
+        # Times quantize to whole microseconds on the wire.
+        assert clone.start_s == pytest.approx(span.start_s, abs=1e-6)
+        assert clone.duration_s == pytest.approx(
+            span.duration_s, abs=1e-6
+        )
+
+    def test_wire_times_are_integer_microseconds(self):
+        from repro.io.serialization import trace_event_to_dict
+
+        data = trace_event_to_dict(self._span())
+        assert data["start_us"] == 18234
+        assert data["dur_us"] == 912
+        assert isinstance(data["start_us"], int)
+        json.dumps(data)
+
+    def test_missing_field_named(self):
+        from repro.io.serialization import (
+            trace_event_from_dict,
+            trace_event_to_dict,
+        )
+
+        for key in ("name", "start_us", "dur_us", "tid", "args"):
+            data = trace_event_to_dict(self._span())
+            del data[key]
+            with pytest.raises(ConfigurationError, match=key):
+                trace_event_from_dict(data)
+
+    def test_bad_values_rejected(self):
+        from repro.io.serialization import (
+            trace_event_from_dict,
+            trace_event_to_dict,
+        )
+
+        good = trace_event_to_dict(self._span())
+        for key, bad in (
+            ("name", ""),
+            ("start_us", -1),
+            ("dur_us", 1.5),
+            ("tid", -2),
+            ("args", [1, 2]),
+        ):
+            data = dict(good, **{key: bad})
+            with pytest.raises(ConfigurationError, match=key):
+                trace_event_from_dict(data)
+        with pytest.raises(ConfigurationError, match="mapping"):
+            trace_event_from_dict("not a dict")
+
+    def test_telemetry_document_validation(self):
+        from repro.io.serialization import (
+            TELEMETRY_VERSION,
+            telemetry_from_dict,
+            trace_event_to_dict,
+        )
+
+        doc = {
+            "version": TELEMETRY_VERSION,
+            "events": [trace_event_to_dict(self._span())],
+            "counters": {"rows.evaluated": 4096},
+            "gauges": {"rows_per_s": 1e6},
+        }
+        assert telemetry_from_dict(doc) is doc  # validated, unchanged
+        assert telemetry_from_dict(None) is None
+        with pytest.raises(ConfigurationError, match="version"):
+            telemetry_from_dict({"version": 99})
+        with pytest.raises(ConfigurationError, match="counters"):
+            telemetry_from_dict(
+                {"version": TELEMETRY_VERSION, "counters": [1]}
+            )
+        bad_event = dict(trace_event_to_dict(self._span()), name="")
+        with pytest.raises(ConfigurationError, match="name"):
+            telemetry_from_dict(
+                {"version": TELEMETRY_VERSION, "events": [bad_event]}
+            )
+
+    def test_study_result_telemetry_roundtrip(self):
+        from repro.obs import Tracer
+        from repro.study import DesignSpec, StudySpec, run_study
+        from repro.study.result import StudyResult
+
+        spec = StudySpec(
+            design=DesignSpec.knob_axes(
+                axes={"compute_tdp_w": (1.0, 10.0)}
+            )
+        )
+        traced = run_study(spec, tracer=Tracer())
+        assert traced.telemetry is not None
+        clone = StudyResult.from_dict(traced.to_dict())
+        assert clone.telemetry == traced.telemetry
+        assert clone.equals(traced)
+        # An untraced run's dict carries no telemetry key at all.
+        plain = run_study(spec)
+        assert plain.telemetry is None
+        assert "telemetry" not in plain.to_dict()
+        assert StudyResult.from_dict(plain.to_dict()).telemetry is None
+        # equals() ignores telemetry: same numbers, different timings.
+        assert traced.equals(plain)
