@@ -1,0 +1,46 @@
+"""Repo-specific static analysis (``reprolint``).
+
+The test suite pins down what the code *computes*; this package pins
+down the contracts the tests cannot reach — conventions that hold by
+discipline today and must keep holding as the codebase grows:
+
+* the :mod:`repro.units` suffix discipline (``_g``/``_w``/``_hz``/...)
+  that keeps the F-1 roofline chain dimensionally consistent (RPL001),
+* the :mod:`repro.errors` taxonomy and its field-naming messages
+  (RPL002),
+* version-pinned wire formats in :mod:`repro.io.serialization`
+  (RPL003),
+* kernel purity in the :mod:`repro.batch` hot paths (RPL004),
+* the opt-in ``tracer is not None`` observability idiom (RPL005),
+* picklability of everything submitted to process pools (RPL006).
+
+Every rule is AST-based (no imports of the analyzed code), registered
+in :data:`repro.analysis.core.REGISTRY`, suppressible per line with
+``# reprolint: disable=RPL00x`` comments, and exercised by fixture
+files under ``tests/data/reprolint_fixtures/``.  The ``reprolint``
+console script (see :mod:`repro.analysis.cli`) runs the suite over a
+tree and is wired into CI next to ruff.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Analyzer,
+    AnalyzerConfig,
+    Finding,
+    ModuleContext,
+    REGISTRY,
+    Rule,
+    all_rules,
+)
+from . import rules as _rules  # noqa: F401  (imports register the rules)
+
+__all__ = [
+    "Analyzer",
+    "AnalyzerConfig",
+    "Finding",
+    "ModuleContext",
+    "REGISTRY",
+    "Rule",
+    "all_rules",
+]

@@ -1,0 +1,174 @@
+"""``reprolint`` — the console entry point of :mod:`repro.analysis`.
+
+Usage::
+
+    reprolint [PATHS ...]              # default: src/repro
+    reprolint --json src/repro        # machine-readable report
+    reprolint --select RPL001,RPL004  # run a subset of rules
+    reprolint --list-rules            # the catalog, one rule per block
+    reprolint --update-wire-snapshot  # regenerate the RPL003 snapshot
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
+errors (argparse) or unreadable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+from .core import (
+    REGISTRY,
+    Analyzer,
+    AnalyzerConfig,
+    iter_python_files,
+    report_to_dict,
+)
+from . import wire
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Repo-specific static analysis for the repro package: "
+            "units-suffix consistency, error taxonomy, wire-format "
+            "versioning, kernel purity, tracer opt-in discipline and "
+            "process-pool picklability."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--wire-snapshot",
+        metavar="PATH",
+        help=(
+            "wire-fingerprint snapshot for RPL003 (default: "
+            "tests/data/wire_fingerprints.json under the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--update-wire-snapshot",
+        action="store_true",
+        help=(
+            "regenerate the wire-fingerprint snapshot from the live "
+            "serialization module and exit"
+        ),
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    blocks = []
+    for rule_id in sorted(REGISTRY):
+        cls = REGISTRY[rule_id]
+        blocks.append(f"{rule_id} [{cls.name}]\n    {cls.rationale}")
+    return "\n\n".join(blocks)
+
+
+def _update_snapshot(snapshot_arg: Optional[str]) -> int:
+    from ..io import serialization
+
+    source_path = Path(serialization.__file__)
+    if snapshot_arg is not None:
+        snapshot_path = Path(snapshot_arg)
+    else:
+        root = wire.find_repo_root(Path.cwd()) or wire.find_repo_root(
+            source_path
+        )
+        if root is None:
+            print(
+                "reprolint: cannot locate the repo root (pyproject.toml); "
+                "pass --wire-snapshot PATH explicitly",
+                file=sys.stderr,
+            )
+            return 2
+        snapshot_path = root / wire.DEFAULT_SNAPSHOT_RELPATH
+    snapshot = wire.build_snapshot(
+        source_path.read_text(encoding="utf-8")
+    )
+    wire.write_snapshot(snapshot_path, snapshot)
+    print(f"reprolint: wrote wire snapshot to {snapshot_path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.update_wire_snapshot:
+        return _update_snapshot(args.wire_snapshot)
+
+    paths: List[str] = list(args.paths or [])
+    if not paths:
+        default = Path("src") / "repro"
+        if not default.is_dir():
+            parser.error(
+                "no paths given and default src/repro does not exist "
+                "(run from the repo root or name the tree to lint)"
+            )
+        paths = [str(default)]
+
+    select = None
+    if args.select:
+        select = tuple(
+            part.strip() for part in args.select.split(",") if part.strip()
+        )
+    config = AnalyzerConfig(
+        select=select,
+        wire_snapshot=(
+            Path(args.wire_snapshot) if args.wire_snapshot else None
+        ),
+    )
+    try:
+        analyzer = Analyzer(config)
+        findings = analyzer.check_paths(paths)
+    except ReproError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    files_checked = sum(1 for _ in iter_python_files(paths))
+
+    if args.json:
+        print(json.dumps(report_to_dict(findings, files_checked), indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        summary = (
+            f"reprolint: {len(findings)} finding(s) in "
+            f"{files_checked} file(s)"
+            if findings
+            else f"reprolint: clean ({files_checked} file(s), "
+            f"{len(analyzer.rules)} rule(s))"
+        )
+        print(summary, file=sys.stderr if findings else sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution hook
+    sys.exit(main())

@@ -1,0 +1,355 @@
+"""The ``reprolint`` engine: findings, rule registry, suppressions.
+
+A :class:`Rule` inspects one parsed module (:class:`ModuleContext`) and
+yields :class:`Finding` objects.  The :class:`Analyzer` walks files,
+builds contexts (source, AST, parent links, suppression table) and runs
+every registered rule, honoring ``# reprolint: disable=RPL00x``
+comments:
+
+* a trailing comment suppresses the named rules on its own line;
+* a standalone comment line suppresses them on the next code line too
+  (for statements too long to carry a trailing comment);
+* ``# reprolint: disable-file=RPL00x`` anywhere in the file suppresses
+  the named rules for the whole module;
+* ``disable`` / ``disable-file`` with no ``=RPL...`` list suppresses
+  every rule.
+
+Rules register through the :func:`rule` decorator; the analyzed code is
+never imported, so ``reprolint`` can run on broken or partial trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from ..errors import ConfigurationError
+
+#: Output-format version of ``reprolint --json`` documents.
+REPORT_VERSION = 1
+
+#: Sentinel rule id meaning "every rule" in suppression tables.
+ALL_RULES = "ALL"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable-file|disable)"
+    r"(?:=(?P<ids>[A-Z0-9, ]+))?",
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The human one-liner: ``path:line:col: RPL00x message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Knobs rules read; defaults match the shipped ``src/repro`` tree.
+
+    ``purity_modules`` / ``wire_modules`` are posix-path substrings
+    selecting which files the scoped rules (RPL004, RPL003) apply to;
+    ``wire_snapshot`` overrides discovery of the committed
+    wire-fingerprint snapshot (``tests/data/wire_fingerprints.json``
+    next to ``pyproject.toml`` by default).
+    """
+
+    #: Files RPL004 (kernel purity) applies to.
+    purity_modules: Tuple[str, ...] = (
+        "repro/batch/kernels.py",
+        "repro/batch/assembly.py",
+    )
+    #: Files RPL003 (wire-format guard) applies to.
+    wire_modules: Tuple[str, ...] = ("repro/io/serialization.py",)
+    #: Explicit wire-fingerprint snapshot path (None = discover).
+    wire_snapshot: Optional[Path] = None
+    #: Rule ids to run (None = all registered).
+    select: Optional[Tuple[str, ...]] = None
+
+
+class ModuleContext:
+    """One parsed module plus everything rules need to inspect it."""
+
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        config: Optional[AnalyzerConfig] = None,
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.config = config or AnalyzerConfig()
+        self.tree = ast.parse(source, filename=str(path))
+        self.lines = source.splitlines()
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._line_suppressed: Dict[int, Set[str]] = {}
+        self._file_suppressed: Set[str] = set()
+        self._read_suppressions()
+
+    # -- structure ------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (None for the module root)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """``node``'s ancestors, innermost first."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def matches(self, patterns: Sequence[str]) -> bool:
+        """Whether this file's posix path ends with any pattern."""
+        posix = self.path.as_posix()
+        return any(posix.endswith(pattern) for pattern in patterns)
+
+    # -- suppressions ---------------------------------------------------
+    def _read_suppressions(self) -> None:
+        reader = io.StringIO(self.source).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+        for index, token in enumerate(tokens):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids_group = match.group("ids")
+            ids = (
+                {ALL_RULES}
+                if ids_group is None
+                else {part.strip() for part in ids_group.split(",") if part.strip()}
+            )
+            if match.group(1) == "disable-file":
+                self._file_suppressed |= ids
+                continue
+            line = token.start[0]
+            self._line_suppressed.setdefault(line, set()).update(ids)
+            if not token.line[: token.start[1]].strip():
+                # Standalone comment: also covers the next code line.
+                next_line = self._next_code_line(tokens, index)
+                if next_line is not None:
+                    self._line_suppressed.setdefault(
+                        next_line, set()
+                    ).update(ids)
+
+    @staticmethod
+    def _next_code_line(
+        tokens: List[tokenize.TokenInfo], index: int
+    ) -> Optional[int]:
+        skip = (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+        )
+        for token in tokens[index + 1 :]:
+            if token.type not in skip and token.type != tokenize.ENDMARKER:
+                return token.start[0]
+        return None
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        if (
+            ALL_RULES in self._file_suppressed
+            or rule_id in self._file_suppressed
+        ):
+            return True
+        ids = self._line_suppressed.get(line)
+        return ids is not None and (ALL_RULES in ids or rule_id in ids)
+
+
+class Rule:
+    """Base class for one registered check.
+
+    Subclasses set ``id``/``name``/``rationale`` and implement
+    :meth:`check`, yielding findings via :meth:`finding` (which applies
+    the suppression table).
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def finding(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Iterator[Finding]:
+        """Yield one finding at ``node`` unless suppressed."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if not module.is_suppressed(line, self.id):
+            yield Finding(
+                path=str(module.path),
+                line=line,
+                col=col + 1,
+                rule=self.id,
+                message=message,
+            )
+
+
+#: Registered rules, keyed by id (filled by the :func:`rule` decorator).
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` subclass by id."""
+    if not cls.id or not cls.id.startswith("RPL"):
+        raise ConfigurationError(
+            f"rule class {cls.__name__!r}: field 'id' must be set to an "
+            f"RPL identifier, got {cls.id!r}"
+        )
+    if cls.id in REGISTRY:
+        raise ConfigurationError(
+            f"rule id {cls.id!r} is already registered "
+            f"(by {REGISTRY[cls.id].__name__})"
+        )
+    REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> Tuple[Type[Rule], ...]:
+    """Every registered rule class, in id order."""
+    return tuple(REGISTRY[rule_id] for rule_id in sorted(REGISTRY))
+
+
+class Analyzer:
+    """Runs the registered rules over files, trees or source strings."""
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+        self.config = config or AnalyzerConfig()
+        selected = self.config.select
+        if selected is not None:
+            unknown = sorted(set(selected) - set(REGISTRY))
+            if unknown:
+                raise ConfigurationError(
+                    f"analyzer field 'select': unknown rule id(s) "
+                    f"{', '.join(map(repr, unknown))}; known: "
+                    f"{', '.join(sorted(REGISTRY))}"
+                )
+        self.rules: Tuple[Rule, ...] = tuple(
+            REGISTRY[rule_id]()
+            for rule_id in sorted(REGISTRY)
+            if selected is None or rule_id in selected
+        )
+
+    # -- entry points ---------------------------------------------------
+    def check_source(
+        self, source: str, path: "Path | str" = "<string>"
+    ) -> List[Finding]:
+        """Analyze one source string (the fixture-test entry point)."""
+        module = ModuleContext(Path(path), source, self.config)
+        return self._run(module)
+
+    def check_file(self, path: "Path | str") -> List[Finding]:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"reprolint path {str(path)!r}: cannot read: {exc}"
+            ) from exc
+        try:
+            return self.check_source(source, path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule="RPL000",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+
+    def check_paths(self, paths: Iterable["Path | str"]) -> List[Finding]:
+        """Analyze files and (recursively) directories of ``*.py``."""
+        findings: List[Finding] = []
+        for entry in paths:
+            entry = Path(entry)
+            if entry.is_dir():
+                for file in sorted(entry.rglob("*.py")):
+                    findings.extend(self.check_file(file))
+            elif entry.exists():
+                findings.extend(self.check_file(entry))
+            else:
+                raise ConfigurationError(
+                    f"reprolint path {str(entry)!r}: does not exist"
+                )
+        return sorted(findings)
+
+    def _run(self, module: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for active in self.rules:
+            findings.extend(active.check(module))
+        return sorted(findings)
+
+
+def report_to_dict(
+    findings: Sequence[Finding], files_checked: int
+) -> Dict[str, Any]:
+    """The ``--json`` report document."""
+    return {
+        "version": REPORT_VERSION,
+        "files_checked": files_checked,
+        "findings": [finding.to_dict() for finding in findings],
+        "rules": {
+            rule_id: {
+                "name": REGISTRY[rule_id].name,
+                "rationale": REGISTRY[rule_id].rationale,
+            }
+            for rule_id in sorted(REGISTRY)
+        },
+    }
+
+
+def iter_python_files(paths: Iterable["Path | str"]) -> Iterator[Path]:
+    """Every ``*.py`` file the given paths name (dirs recurse)."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for file in sorted(entry.rglob("*.py")):
+                yield file
+        elif entry.exists():
+            yield entry

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..errors import ConfigurationError
 from ..units import require_positive
 
 #: Bytes per tensor element (fp16 inference is the norm on edge GPUs).
@@ -30,7 +31,10 @@ class TensorShape:
     def __post_init__(self) -> None:
         for field_name in ("channels", "height", "width"):
             if getattr(self, field_name) < 1:
-                raise ValueError(f"{field_name} must be >= 1")
+                raise ConfigurationError(
+                    f"{field_name} must be >= 1, got "
+                    f"{getattr(self, field_name)!r}"
+                )
 
     @property
     def elements(self) -> int:
@@ -51,7 +55,7 @@ class LayerCost:
 def _conv_output_dim(size: int, kernel: int, stride: int, padding: int) -> int:
     out = (size + 2 * padding - kernel) // stride + 1
     if out < 1:
-        raise ValueError(
+        raise ConfigurationError(
             f"kernel {kernel}/stride {stride} reduces dimension {size} "
             "below 1"
         )

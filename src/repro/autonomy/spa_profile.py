@@ -17,6 +17,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..units import require_positive
 from .mapping import OccupancyGrid
 from .planning import astar, simplify_path
@@ -80,7 +81,7 @@ def profile_spa_stages(
     """
     require_positive("world_size_m", world_size_m)
     if repeats < 1:
-        raise ValueError("repeats must be >= 1")
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats!r}")
     rng = np.random.default_rng(seed)
     grid = OccupancyGrid(world_size_m, world_size_m, resolution_m)
     origin, angles, ranges, max_range = _synthetic_scene(grid, scan_beams, rng)

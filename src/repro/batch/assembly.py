@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Iterable,
     Optional,
     Sequence,
@@ -128,6 +129,8 @@ class KnobMatrix:
             ) from exc
         if broadcast[0].size == 0:
             raise ConfigurationError("a knob matrix needs at least one row")
+        # Per-column, not per-row: bounded by the 8 Table II knobs.
+        # reprolint: disable=RPL004
         for name, column in zip(KNOB_COLUMNS, broadcast):
             # Own a fresh contiguous copy: broadcast views may alias the
             # caller's arrays, which must not be frozen behind their back.
@@ -352,7 +355,7 @@ def assemble_configurations(
     if not uavs:
         raise ConfigurationError("a fleet needs at least one configuration")
 
-    def column(getter) -> np.ndarray:
+    def column(getter: Callable[["UAVConfiguration"], float]) -> np.ndarray:
         return np.asarray([getter(u) for u in uavs], dtype=np.float64)
 
     tdp_w = column(lambda u: u.compute.tdp_w)

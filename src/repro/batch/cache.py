@@ -15,6 +15,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Optional
 
+from ..errors import ConfigurationError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .result import BatchResult
 
@@ -92,9 +94,13 @@ class BatchCache:
         self, maxsize: int = 64, max_bytes: int = DEFAULT_MAX_BYTES
     ) -> None:
         if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+            raise ConfigurationError(
+                f"maxsize must be >= 1, got {maxsize}"
+            )
         if max_bytes < 1:
-            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+            raise ConfigurationError(
+                f"max_bytes must be >= 1, got {max_bytes}"
+            )
         self._maxsize = maxsize
         self._max_bytes = max_bytes
         self._entries: "OrderedDict[Hashable, BatchResult]" = OrderedDict()

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Optional
 from ..core.knee import DEFAULT_KNEE_FRACTION
 from ..units import require_fraction, require_nonnegative
 from . import kernels
-from .cache import BatchCache
+from .cache import BatchCache, CacheStats
 from .matrix import DesignMatrix
 from .result import BatchResult
 
@@ -175,7 +175,7 @@ def _record_evaluation(
     tracer: "Tracer",
     started: float,
     cache: Optional[BatchCache],
-    cache_before,
+    cache_before: Optional["CacheStats"],
     matrix: DesignMatrix,
     cache_hit: bool,
 ) -> None:

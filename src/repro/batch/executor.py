@@ -703,7 +703,9 @@ class CheckpointStore:
     :class:`~repro.errors.ConfigurationError`.
     """
 
-    def __init__(self, directory: Union[str, Path], manifest: ShardManifest):
+    def __init__(
+        self, directory: Union[str, Path], manifest: ShardManifest
+    ) -> None:
         self.directory = Path(directory)
         self.manifest = manifest
         self.skipped: List[str] = []

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..errors import UnknownComponentError
+from ..errors import ConfigurationError, UnknownComponentError
 from ..uav.components import ComputePlatform
 from .latency_estimator import estimate_throughput_hz
 from .platforms import PLATFORMS
@@ -62,8 +62,8 @@ def compute_throughput_hz(
     Prefers the paper's measured number; otherwise estimates from the
     workload's FLOPs/bytes via the classic roofline (both must then be
     provided).  Raises :class:`UnknownComponentError` for an unknown
-    platform, and ``ValueError`` when no measurement exists and no
-    workload description was given.
+    platform, and :class:`~repro.errors.ConfigurationError` when no
+    measurement exists and no workload description was given.
     """
     key = (algorithm, platform)
     if key in MEASURED_THROUGHPUT_HZ:
@@ -74,9 +74,10 @@ def compute_throughput_hz(
             f"unknown compute platform {platform!r}; known: {known}"
         )
     if workload_gflops is None or workload_gbytes is None:
-        raise ValueError(
+        raise ConfigurationError(
             f"no published measurement for ({algorithm!r}, {platform!r}) "
-            "and no workload description supplied for estimation"
+            "and no 'workload_gflops'/'workload_gbytes' supplied for "
+            "estimation"
         )
     spec: ComputePlatform = PLATFORMS[platform]
     return estimate_throughput_hz(

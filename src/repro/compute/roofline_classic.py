@@ -16,6 +16,7 @@ from typing import Union
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..units import require_positive
 
 ArrayLike = Union[float, np.ndarray]
@@ -41,7 +42,10 @@ class ClassicRoofline:
         """Attainable performance at operational intensity ``oi``."""
         oi = np.asarray(oi_flops_per_byte, dtype=float)
         if np.any(oi <= 0):
-            raise ValueError("operational intensity must be > 0")
+            raise ConfigurationError(
+                "oi_flops_per_byte must be > 0 everywhere, got "
+                f"{float(np.min(oi))!r}"
+            )
         perf = np.minimum(self.peak_gflops, self.mem_bandwidth_gbs * oi)
         return float(perf) if np.isscalar(oi_flops_per_byte) else perf
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from enum import Enum
 
 from ..dynamics.body import LongitudinalBody
+from ..errors import ConfigurationError
 from ..units import require_positive
 
 
@@ -41,7 +42,10 @@ class OffboardInterface:
     def set_velocity(self, setpoint: float) -> None:
         """Track a forward velocity (m/s)."""
         if setpoint < 0:
-            raise ValueError("forward-flight setpoints must be >= 0")
+            raise ConfigurationError(
+                f"setpoint must be >= 0 for forward flight, got "
+                f"{setpoint!r}"
+            )
         self._velocity_setpoint = setpoint
         self.mode = OffboardMode.VELOCITY
 

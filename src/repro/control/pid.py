@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 
+from ..errors import ConfigurationError
 from ..units import require_nonnegative, require_positive
 
 
@@ -28,7 +29,10 @@ class PID:
         require_nonnegative("ki", ki)
         require_nonnegative("kd", kd)
         if out_min >= out_max:
-            raise ValueError("out_min must be < out_max")
+            raise ConfigurationError(
+                f"out_min must be < out_max, got out_min={out_min!r}, "
+                f"out_max={out_max!r}"
+            )
         self.kp = kp
         self.ki = ki
         self.kd = kd

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..units import require_fraction, require_positive
 from .safety import physics_roof, safe_velocity_at_rate
 
@@ -110,7 +111,9 @@ class MaxCurvatureKnee(KneeStrategy):
 
     def __post_init__(self) -> None:
         if self.samples < 16:
-            raise ValueError("samples must be >= 16")
+            raise ConfigurationError(
+                f"samples must be >= 16, got {self.samples!r}"
+            )
         require_positive("decades", self.decades)
 
     def locate(self, sensing_range_m: float, a_max: float) -> KneePoint:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..errors import ConfigurationError
 from ..units import GRAVITY, require_positive
 from .model import F1Model
 from .physics import ThrustMarginModel
@@ -61,7 +62,9 @@ def velocity_partials(
     require_positive("sensing_range_m", sensing_range_m)
     require_positive("a_max", a_max)
     if t_action_s < 0:
-        raise ValueError("t_action_s must be >= 0")
+        raise ConfigurationError(
+            f"t_action_s must be >= 0, got {t_action_s!r}"
+        )
     s = math.sqrt(t_action_s**2 + 2.0 * sensing_range_m / a_max)
     dv_dd = 1.0 / s
     dv_da = s - t_action_s - sensing_range_m / (a_max * s)

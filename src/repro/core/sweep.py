@@ -13,6 +13,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..units import require_positive
 from .safety import physics_roof, safe_velocity_at_rate
 
@@ -24,9 +25,12 @@ def throughput_grid(
     require_positive("f_min_hz", f_min_hz)
     require_positive("f_max_hz", f_max_hz)
     if f_max_hz <= f_min_hz:
-        raise ValueError("f_max_hz must exceed f_min_hz")
+        raise ConfigurationError(
+            f"f_max_hz must exceed f_min_hz, got f_max_hz={f_max_hz!r} "
+            f"<= f_min_hz={f_min_hz!r}"
+        )
     if points < 2:
-        raise ValueError("points must be >= 2")
+        raise ConfigurationError(f"points must be >= 2, got {points!r}")
     return np.logspace(np.log10(f_min_hz), np.log10(f_max_hz), points)
 
 
@@ -41,7 +45,10 @@ class RooflineCurve:
 
     def __post_init__(self) -> None:
         if self.throughput_hz.shape != self.velocity.shape:
-            raise ValueError("throughput and velocity grids must match")
+            raise ConfigurationError(
+                f"throughput_hz and velocity grids must match, got "
+                f"{self.throughput_hz.shape} vs {self.velocity.shape}"
+            )
 
     @classmethod
     def evaluate(

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence, Tuple
 
+from ..errors import ConfigurationError
 from ..units import require_positive
 
 #: Typical inner-loop rate of a dedicated flight controller (Sec. II-D).
@@ -26,7 +27,9 @@ DEFAULT_CONTROL_RATE_HZ = 1000.0
 def action_throughput(*stage_rates_hz: float) -> float:
     """Eq. 3: pipeline throughput = min of the per-stage rates (Hz)."""
     if not stage_rates_hz:
-        raise ValueError("at least one stage rate is required")
+        raise ConfigurationError(
+            "stage_rates_hz must name at least one stage rate"
+        )
     for rate in stage_rates_hz:
         require_positive("stage rate", rate)
     return min(stage_rates_hz)
@@ -43,7 +46,9 @@ def pipeline_latency_bounds(
     """
     latencies = list(stage_latencies_s)
     if not latencies:
-        raise ValueError("at least one stage latency is required")
+        raise ConfigurationError(
+            "stage_latencies_s must name at least one stage latency"
+        )
     for latency in latencies:
         require_positive("stage latency", latency)
     return max(latencies), sum(latencies)

@@ -53,7 +53,9 @@ class ShardExecutionError(ReproError):
         self.start = start
         self.stop = stop
 
-    def __reduce__(self):  # picklable across process-pool boundaries
+    def __reduce__(
+        self,
+    ) -> "tuple[type, tuple[object, ...]]":  # picklable across pools
         return (
             type(self),
             (self.args[0], self.shard_index, self.start, self.stop),

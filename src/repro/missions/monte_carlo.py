@@ -23,6 +23,7 @@ import numpy as np
 
 from ..redundancy.modular import RedundancyScheme
 from ..redundancy.reliability import ReliabilityModel, mission_reliability
+from ..errors import ConfigurationError
 from ..uav.configuration import UAVConfiguration
 from ..units import require_positive
 from .mission import Mission, fly_mission
@@ -44,7 +45,9 @@ class MonteCarloConfig:
 
     def __post_init__(self) -> None:
         if self.samples < 1:
-            raise ValueError("samples must be >= 1")
+            raise ConfigurationError(
+                f"samples must be >= 1, got {self.samples!r}"
+            )
         require_positive(
             "compute_failure_rate_per_hour",
             self.compute_failure_rate_per_hour,

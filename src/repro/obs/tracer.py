@@ -196,7 +196,9 @@ class _TrackView:
         return self._tracer.gauge(name)
 
 
-def maybe_span(tracer: Optional["Tracer"], name: str, **attributes: Any):
+def maybe_span(
+    tracer: Optional["Tracer"], name: str, **attributes: Any
+) -> "_Span | _NullSpan":
     """``tracer.span(...)`` when tracing, a shared no-op otherwise.
 
     The hot-path idiom: ``with maybe_span(tracer, "phase"): ...`` costs

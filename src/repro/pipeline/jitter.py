@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..units import require_nonnegative
 
 _MIN_FACTOR = 0.05
@@ -49,7 +50,10 @@ class UniformJitter(JitterModel):
     def __post_init__(self) -> None:
         require_nonnegative("half_width", self.half_width)
         if self.half_width >= 1.0:
-            raise ValueError("half_width must be < 1 to keep periods > 0")
+            raise ConfigurationError(
+                f"half_width must be < 1 to keep periods > 0, got "
+                f"{self.half_width!r}"
+            )
 
     def sample(self, rng: np.random.Generator) -> float:
         return max(

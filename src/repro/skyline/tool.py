@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 from ..autonomy.workloads import get_algorithm
 from ..compute.platforms import get_platform
 from ..core.model import F1Model
+from ..errors import ConfigurationError
 from ..uav.configuration import UAVConfiguration
 from ..uav.registry import get_preset
 from ..units import require_positive
@@ -160,8 +161,9 @@ class Skyline:
     # ------------------------------------------------------------------
     def _entries(self) -> List[Tuple[str, F1Model]]:
         if not self._reports:
-            raise ValueError(
-                "evaluate at least one algorithm before plotting"
+            raise ConfigurationError(
+                "session field 'reports' is empty: evaluate at least "
+                "one algorithm before plotting"
             )
         return [
             (f"{r.algorithm_name} @ {r.f_compute_hz:.0f} Hz", r.model)

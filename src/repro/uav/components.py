@@ -12,6 +12,7 @@ from typing import Optional
 
 from ..core.heatsink import heatsink_mass_g
 from .budget import compute_flight_mass_g
+from ..errors import ConfigurationError
 from ..units import (
     mah_to_wh,
     require_fraction,
@@ -38,7 +39,10 @@ class Frame:
         require_positive("rotor_radius_m", self.rotor_radius_m)
         require_nonnegative("cd_area_m2", self.cd_area_m2)
         if self.rotor_count < 3:
-            raise ValueError("a multirotor needs at least 3 rotors")
+            raise ConfigurationError(
+                f"rotor_count must be >= 3 for a multirotor, got "
+                f"{self.rotor_count!r}"
+            )
 
     @property
     def disk_area_m2(self) -> float:

@@ -1,0 +1,23 @@
+"""RPL001 clean fixture: suffix arithmetic within one dimension group."""
+
+
+def mass_budget(base_mass_g, payload_g, battery_mass_kg):
+    total_g = base_mass_g + payload_g
+    heavier_g = total_g + battery_mass_kg * 1000.0  # converted expression
+    return heavier_g
+
+
+def thrust_check(thrust_g, total_mass_g):
+    # Gram-force vs grams is one dimension group by repo convention.
+    return thrust_g > total_mass_g
+
+
+def periods(start_s, elapsed_ms):
+    # Converted through a scaling expression, not a bare name: fine.
+    return start_s + elapsed_ms / 1000.0
+
+
+def rates(f_sensor_hz, f_compute_hz):
+    if f_sensor_hz <= f_compute_hz:
+        return f_sensor_hz
+    return f_compute_hz

@@ -1,0 +1,27 @@
+"""RPL001 violating fixture: arithmetic mixing dimension groups."""
+
+
+def bad_add(mass_g, power_w):
+    return mass_g + power_w  # mass + power
+
+
+def bad_sub(range_m, time_s):
+    return range_m - time_s  # length - time
+
+
+def bad_compare(rate_hz, latency_s):
+    return rate_hz > latency_s  # rate vs time
+
+
+def bad_assign(energy_wh):
+    total_g = energy_wh  # mass name <- energy name
+    return total_g
+
+
+def bad_augmented(total_mass_g, tdp_w):
+    total_mass_g += tdp_w  # mass += power
+    return total_mass_g
+
+
+def suppressed_mix(mass_g, power_w):
+    return mass_g + power_w  # reprolint: disable=RPL001

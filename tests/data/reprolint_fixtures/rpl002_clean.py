@@ -1,0 +1,22 @@
+"""RPL002 clean fixture: taxonomy errors naming the offending field."""
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+def validate(samples):
+    if samples < 1:
+        raise ConfigurationError(f"samples must be >= 1, got {samples!r}")
+    return samples
+
+
+def advance(dt_s):
+    if dt_s <= 0:
+        raise SimulationError(f"dt_s must be > 0, got {dt_s!r}")
+    return dt_s
+
+
+def passthrough():
+    try:
+        validate(0)
+    except ConfigurationError:
+        raise  # bare re-raise is fine

@@ -1,0 +1,27 @@
+"""RPL002 violating fixture: bare stdlib exceptions."""
+
+
+def bad_value(samples):
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    return samples
+
+
+def bad_type(name):
+    if not isinstance(name, str):
+        raise TypeError("name must be a string")
+    return name
+
+
+def bad_runtime():
+    raise RuntimeError("unexpected state")
+
+
+def bad_generic():
+    raise Exception("boom")
+
+
+def suppressed():
+    # Suppression on the line above the raise also applies.
+    # reprolint: disable=RPL002
+    raise ValueError("tolerated here")

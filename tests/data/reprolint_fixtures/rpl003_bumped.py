@@ -1,0 +1,13 @@
+"""RPL003 fixture: builder changed AND version bumped (stale snapshot)."""
+
+MANIFEST_VERSION = 2
+
+_MANIFEST_FIELDS = ("kind", "digest", "total_rows")
+
+
+def shard_manifest_to_dict(manifest):
+    """Serialize a manifest — extra key, version bumped."""
+    data = {"version": MANIFEST_VERSION, "hostname": manifest.hostname}
+    for name in _MANIFEST_FIELDS:
+        data[name] = getattr(manifest, name)
+    return data

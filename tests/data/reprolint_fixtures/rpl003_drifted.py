@@ -1,0 +1,13 @@
+"""RPL003 violating fixture: builder changed, version NOT bumped."""
+
+MANIFEST_VERSION = 1
+
+_MANIFEST_FIELDS = ("kind", "digest", "total_rows")
+
+
+def shard_manifest_to_dict(manifest):
+    """Serialize a manifest — now with an extra key, same version."""
+    data = {"version": MANIFEST_VERSION, "hostname": manifest.hostname}
+    for name in _MANIFEST_FIELDS:
+        data[name] = getattr(manifest, name)
+    return data

@@ -1,0 +1,13 @@
+"""RPL003 clean fixture: a miniature versioned wire builder."""
+
+MANIFEST_VERSION = 1
+
+_MANIFEST_FIELDS = ("kind", "digest", "total_rows")
+
+
+def shard_manifest_to_dict(manifest):
+    """Serialize a manifest (fixture twin of the real builder)."""
+    data = {"version": MANIFEST_VERSION}
+    for name in _MANIFEST_FIELDS:
+        data[name] = getattr(manifest, name)
+    return data

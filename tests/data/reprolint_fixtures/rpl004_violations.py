@@ -1,0 +1,27 @@
+"""RPL004 violating fixture (analyzed as a batch hot-path module)."""
+
+import numpy as np
+
+
+def per_row_kernel(values, out):
+    for index in range(len(values)):  # statement-level loop
+        out[index] = values[index] * 2.0  # writes into a parameter
+    return out
+
+
+def draining_loop(queue):
+    while queue:  # statement-level loop
+        queue.pop()
+    return queue
+
+
+def in_place_sort(column):
+    column.sort()  # mutates the caller's array
+    return column
+
+
+def clean_kernel(a, b):
+    # Whole-column expressions and comprehensions are fine.
+    scaled = np.sqrt(2.0 * a * b)
+    names = [str(x) for x in (1, 2, 3)]
+    return scaled, names

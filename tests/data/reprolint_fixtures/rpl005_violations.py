@@ -1,0 +1,41 @@
+"""RPL005 fixture: unguarded vs guarded optional-tracer use."""
+
+
+def unguarded(matrix, tracer=None):
+    tracer.counter("rows").add(len(matrix))  # crashes untraced runs
+    return matrix
+
+
+def guarded(matrix, tracer=None):
+    if tracer is not None:
+        tracer.counter("rows").add(len(matrix))
+    started = tracer.now() if tracer is not None else 0.0
+    if tracer is not None and len(matrix):
+        tracer.gauge("rows_per_s").set(float(len(matrix)))
+    return matrix, started
+
+
+def early_return(matrix, tracer=None):
+    if tracer is None:
+        return matrix
+    tracer.counter("rows").add(len(matrix))  # tracer proven live
+    return matrix
+
+
+def wrong_branch(matrix, tracer=None):
+    if tracer is None:
+        tracer.counter("rows").add(1)  # tracer IS None here
+    return matrix
+
+
+def rebound(task):
+    tracer = task.get("tracer")
+    tracer.span("compile")  # may still be None
+    tracer = Tracer()
+    tracer.span("ok")  # rebound to a live tracer
+    return tracer
+
+
+class Tracer:
+    def span(self, name):
+        return name

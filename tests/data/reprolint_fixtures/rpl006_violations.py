@@ -1,0 +1,24 @@
+"""RPL006 fixture: unpicklable callables submitted to pools."""
+
+
+def module_level_work(row):
+    return row * 2
+
+
+def fan_out(pool, rows):
+    futures = [pool.submit(lambda r=row: r * 2) for row in rows]  # lambda
+
+    def local_work(row):  # closure over fan_out's frame
+        return row * 2
+
+    futures.append(pool.submit(local_work, rows[0]))
+    futures.append(pool.submit(module_level_work, rows[0]))  # fine
+    return futures
+
+
+def mapped(executor, shards):
+    return executor.map(lambda shard: shard.stop, shards)  # lambda
+
+
+def clean(pool, shards):
+    return [pool.submit(module_level_work, shard) for shard in shards]

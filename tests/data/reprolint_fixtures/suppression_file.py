@@ -1,0 +1,10 @@
+"""Fixture: a file-level suppression covers every occurrence."""
+# reprolint: disable-file=RPL002
+
+
+def first():
+    raise ValueError("suppressed by the file-level comment")
+
+
+def second():
+    raise RuntimeError("also suppressed")

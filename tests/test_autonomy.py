@@ -48,7 +48,7 @@ class TestLayerStack:
         assert stack.total_params == 100 * 10 + 10
 
     def test_stride_reduction_error(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             LayerStack(
                 "bad", input_shape=(1, 2, 2),
                 layers=[Conv2d(4, kernel=5, stride=5, padding=0)],

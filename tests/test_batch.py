@@ -369,9 +369,9 @@ class TestBatchCache:
         assert cache.stats.misses == 0
 
     def test_invalid_maxsize(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             BatchCache(maxsize=0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             BatchCache(max_bytes=0)
 
     def test_concurrent_put_keeps_byte_bound_and_book_keeping(self):

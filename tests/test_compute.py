@@ -16,7 +16,7 @@ from repro.compute.characterization import (
 from repro.compute.latency_estimator import estimate_throughput_hz
 from repro.compute.platforms import PLATFORMS, get_platform
 from repro.compute.roofline_classic import ClassicRoofline
-from repro.errors import UnknownComponentError
+from repro.errors import ConfigurationError, UnknownComponentError
 
 
 class TestPlatforms:
@@ -75,7 +75,7 @@ class TestCharacterization:
         )
 
     def test_fallback_requires_workload(self):
-        with pytest.raises(ValueError, match="no published measurement"):
+        with pytest.raises(ConfigurationError, match="no published measurement"):
             compute_throughput_hz("dronet", "cortex-m4")
 
     def test_fallback_estimates_with_workload(self):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.control.flight_controller import (
     CascadedFlightController,
     ControllerGains,
@@ -51,7 +52,7 @@ class TestPID:
         assert pid.step(1.0, dt=0.1) == pytest.approx(1.0 + 0.1)
 
     def test_invalid_limits(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             PID(kp=1.0, out_min=1.0, out_max=-1.0)
 
 
@@ -140,5 +141,5 @@ class TestOffboard:
     def test_negative_setpoint_rejected(self):
         body = LongitudinalBody(total_mass_g=1500.0, a_limit=2.0)
         offboard = OffboardInterface(body)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             offboard.set_velocity(-1.0)

@@ -94,7 +94,7 @@ class TestMaxCurvature:
         ) == pytest.approx(knee.velocity, rel=1e-6)
 
     def test_rejects_tiny_sample_count(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MaxCurvatureKnee(samples=4)
 
     @given(d=D, a=A)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ConfigurationError
+
 from repro.core.bounds import BoundKind
 from repro.core.knee import LinearIntersectionKnee
 from repro.core.model import F1Model
@@ -110,9 +112,9 @@ class TestSweepUtilities:
     def test_grid_validation(self):
         from repro.core.sweep import throughput_grid
 
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             throughput_grid(10.0, 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             throughput_grid(1.0, 10.0, points=1)
 
     def test_clipped_below(self):

@@ -26,7 +26,7 @@ class TestActionThroughput:
         assert action_throughput(42.0) == 42.0
 
     def test_no_stages_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             action_throughput()
 
     def test_nonpositive_rejected(self):
@@ -53,7 +53,7 @@ class TestLatencyBounds:
         assert upper == pytest.approx(sum(lats))
 
     def test_empty_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             pipeline_latency_bounds([])
 
 

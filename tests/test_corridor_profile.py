@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.autonomy.spa_profile import profile_spa_stages
+from repro.errors import ConfigurationError
 from repro.sim.corridor import CorridorWorld, navigate_corridor
 
 
@@ -130,5 +131,5 @@ class TestSPAProfile:
         assert report.analysis.bound.value in ("compute", "physics")
 
     def test_repeats_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             profile_spa_stages(repeats=0)

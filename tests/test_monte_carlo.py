@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.missions.mission import Mission, Waypoint
 from repro.missions.monte_carlo import (
     MonteCarloConfig,
@@ -88,5 +89,5 @@ class TestMonteCarlo:
         assert 0.0 <= result.p_complete <= 1.0
 
     def test_invalid_config_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MonteCarloConfig(samples=0)

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.pipeline.analysis import verify_bottleneck_law
 from repro.pipeline.des import DiscreteEventSimulator
 from repro.pipeline.jitter import GaussianJitter, NoJitter, UniformJitter
@@ -109,7 +109,7 @@ class TestJitter:
         assert all(s > 0 for s in samples)
 
     def test_uniform_width_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             UniformJitter(half_width=1.0)
 
 

@@ -100,7 +100,7 @@ class TestSkylineSession:
 
     def test_figure_and_ascii_need_reports(self):
         session = Skyline.from_preset("dji-spark")
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             session.figure()
         session.evaluate_algorithm("dronet")
         assert "F-1" in session.ascii()

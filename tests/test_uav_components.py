@@ -24,7 +24,7 @@ class TestFrame:
         assert frame.disk_area_m2 == pytest.approx(4 * math.pi * 0.01)
 
     def test_minimum_rotor_count(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             Frame(name="t", base_mass_g=500.0, size_mm=450.0, rotor_count=2)
 
     def test_invalid_mass(self):

@@ -1,0 +1,81 @@
+"""Runtime wire-schema guard: shapes of live documents vs the snapshot.
+
+RPL003 watches the *source* of the dict builders in
+``repro.io.serialization``; this suite watches what they *emit*.  Both
+halves share the committed snapshot at
+``tests/data/wire_fingerprints.json``.  A failure here means the wire
+format moved: bump the matching ``*_VERSION`` constant in
+``repro/io/serialization.py`` (or ``repro/obs``), then regenerate the
+snapshot with ``reprolint --update-wire-snapshot`` and commit it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import wire
+from repro.io import serialization as ser
+
+REPO_ROOT = Path(__file__).parent.parent
+SNAPSHOT_PATH = REPO_ROOT / "tests" / "data" / "wire_fingerprints.json"
+
+BUMP_HINT = (
+    "wire format changed without a snapshot refresh: bump the matching "
+    "*_VERSION constant and run 'reprolint --update-wire-snapshot'"
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return wire.load_snapshot(SNAPSHOT_PATH)
+
+
+@pytest.fixture(scope="module")
+def live_shapes():
+    return wire.runtime_shapes()
+
+
+def test_snapshot_exists_and_loads(snapshot):
+    assert snapshot["version"] == wire.SNAPSHOT_VERSION
+    assert set(snapshot["builders"]) == {b.name for b in wire.BUILDER_SPECS}
+
+
+def test_runtime_shapes_match_snapshot(snapshot, live_shapes):
+    assert set(live_shapes) == set(snapshot["shapes"]), BUMP_HINT
+    for document, shape in live_shapes.items():
+        assert shape == snapshot["shapes"][document], (
+            f"wire document {document!r} changed shape; {BUMP_HINT}"
+        )
+
+
+def test_builder_fingerprints_match_snapshot(snapshot):
+    source = Path(ser.__file__).read_text(encoding="utf-8")
+    live = wire.ast_snapshot_of_source(source)
+    for name, entry in snapshot["builders"].items():
+        assert name in live, f"builder {name!r} removed; {BUMP_HINT}"
+        assert live[name]["ast_sha256"] == entry["ast_sha256"], (
+            f"builder {name!r} edited; {BUMP_HINT}"
+        )
+
+
+def test_snapshot_versions_match_live_constants(snapshot):
+    live_versions = {
+        "MANIFEST_VERSION": ser.MANIFEST_VERSION,
+        "TRACE_EVENT_VERSION": ser.TRACE_EVENT_VERSION,
+        "TELEMETRY_VERSION": ser.TELEMETRY_VERSION,
+    }
+    for entry in snapshot["builders"].values():
+        const = entry["version_const"]
+        assert entry["version"] == live_versions[const], (
+            f"snapshot records {const}={entry['version']!r} but the live "
+            f"constant is {live_versions[const]!r}; {BUMP_HINT}"
+        )
+
+
+def test_versioned_documents_carry_their_version(live_shapes):
+    # The top-level wire envelopes state their version on the wire;
+    # trace events ride inside a versioned trace file instead.
+    assert live_shapes["shard_manifest"]["version"] == "int"
+    assert live_shapes["telemetry"]["version"] == "int"
