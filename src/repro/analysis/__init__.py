@@ -12,35 +12,59 @@ discipline today and must keep holding as the codebase grows:
   (RPL003),
 * kernel purity in the :mod:`repro.batch` hot paths (RPL004),
 * the opt-in ``tracer is not None`` observability idiom (RPL005),
-* picklability of everything submitted to process pools (RPL006).
+* picklability of everything submitted to process pools (RPL006),
+
+and, via the whole-program :class:`~repro.analysis.graph.ProjectGraph`
+(module/import graph, symbol tables, a conservative call graph):
+
+* fork-safety of module-level mutable state read by process-pool
+  workers (RPL007),
+* unit-suffix flow through function parameters and returns across
+  module boundaries (RPL008),
+* export/reachability drift — ``__all__`` lists, ``from``-imports,
+  dead private functions and documented symbols (RPL009).
 
 Every rule is AST-based (no imports of the analyzed code), registered
 in :data:`repro.analysis.core.REGISTRY`, suppressible per line with
 ``# reprolint: disable=RPL00x`` comments, and exercised by fixture
 files under ``tests/data/reprolint_fixtures/``.  The ``reprolint``
 console script (see :mod:`repro.analysis.cli`) runs the suite over a
-tree and is wired into CI next to ruff.
+tree — incrementally, via a content-hash cache with graph-aware
+invalidation (:mod:`repro.analysis.cache`) — and is wired into CI next
+to ruff, with a committed baseline (:mod:`repro.analysis.baseline`)
+and SARIF export (:mod:`repro.analysis.sarif`).
 """
 
 from __future__ import annotations
 
 from .core import (
+    AnalysisStats,
     Analyzer,
     AnalyzerConfig,
     Finding,
     ModuleContext,
+    ProjectRule,
     REGISTRY,
     Rule,
     all_rules,
 )
+from .graph import ModuleSummary, ProjectGraph, extract_summary
+from .cache import AnalysisCache
 from . import rules as _rules  # noqa: F401  (imports register the rules)
+from . import rules_interproc as _rules_interproc  # noqa: F401  (ditto)
 
 __all__ = [
+    "AnalysisCache",
+    "AnalysisStats",
     "Analyzer",
     "AnalyzerConfig",
     "Finding",
     "ModuleContext",
+    "ModuleSummary",
+    "ProjectGraph",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
     "all_rules",
+    "extract_summary",
 ]

@@ -1,0 +1,160 @@
+"""The finding baseline/ratchet: new rules land tolerant, drift cannot.
+
+A baseline file records, per ``(file, rule)``, how many findings are
+*accepted* — typically the debt present when a rule first shipped.  A
+run with ``--baseline``:
+
+* suppresses a file/rule group whose finding count is at or below the
+  accepted count (the debt is known);
+* reports the whole group when the count *exceeds* the baseline (the
+  count went up; line numbers shift too easily to tell old findings
+  from new, so the honest unit of ratcheting is the count);
+* warns on stderr when a count dropped below the baseline — the file
+  improved, and ``--update-baseline`` should be rerun to ratchet the
+  accepted debt down (warn-only so unrelated PRs don't fail).
+
+Paths are stored relative to the repo root (posix), so the committed
+file is machine-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .core import Finding
+
+#: Wire-shape version of the baseline document.
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the repo root.
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+#: file path -> rule id -> accepted finding count.
+BaselineEntries = Dict[str, Dict[str, int]]
+
+
+def normalize_path(path: str, root: Path) -> str:
+    """A finding path as stored in the baseline: root-relative posix."""
+    candidate = Path(path)
+    if candidate.is_absolute():
+        try:
+            candidate = candidate.relative_to(root)
+        except ValueError:
+            return candidate.as_posix()
+        return candidate.as_posix()
+    try:
+        resolved = (Path.cwd() / candidate).resolve()
+        return resolved.relative_to(root.resolve()).as_posix()
+    except (OSError, ValueError):
+        return candidate.as_posix()
+
+
+def group_findings(
+    findings: Iterable[Finding], root: Path
+) -> Dict[Tuple[str, str], List[Finding]]:
+    """Findings bucketed by (normalized path, rule id)."""
+    groups: Dict[Tuple[str, str], List[Finding]] = {}
+    for finding in findings:
+        key = (normalize_path(finding.path, root), finding.rule)
+        groups.setdefault(key, []).append(finding)
+    return groups
+
+
+def build_entries(findings: Iterable[Finding], root: Path) -> BaselineEntries:
+    """Baseline entries accepting every given finding."""
+    entries: BaselineEntries = {}
+    for (path, rule_id), group in sorted(
+        group_findings(findings, root).items()
+    ):
+        entries.setdefault(path, {})[rule_id] = len(group)
+    return entries
+
+
+def load_baseline(path: Path) -> BaselineEntries:
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(
+            f"reprolint baseline {str(path)!r}: cannot read: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"reprolint baseline {str(path)!r}: invalid JSON: {exc}"
+        ) from exc
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"reprolint baseline {str(path)!r}: field 'version' must be "
+            f"{BASELINE_VERSION}; regenerate with --update-baseline"
+        )
+    entries = raw.get("entries")
+    if not isinstance(entries, dict):
+        raise ConfigurationError(
+            f"reprolint baseline {str(path)!r}: field 'entries' must be "
+            f"an object of path -> rule -> count"
+        )
+    return {
+        str(file): {str(rule): int(count) for rule, count in rules.items()}
+        for file, rules in entries.items()
+    }
+
+
+def write_baseline(
+    path: Path, findings: Iterable[Finding], root: Path
+) -> None:
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": build_entries(findings, root),
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    entries: BaselineEntries,
+    root: Path,
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (new, baselined) and collect stale warnings."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    stale: List[str] = []
+    groups = group_findings(findings, root)
+    for (path, rule_id), group in sorted(groups.items()):
+        accepted = entries.get(path, {}).get(rule_id, 0)
+        if len(group) <= accepted:
+            baselined.extend(group)
+            if len(group) < accepted:
+                stale.append(
+                    f"baseline accepts {accepted} {rule_id} finding(s) in "
+                    f"{path} but only {len(group)} remain; rerun "
+                    f"--update-baseline to ratchet down"
+                )
+        else:
+            new.extend(group)
+    # Entries whose file/rule group vanished entirely are stale too.
+    for path, rules in sorted(entries.items()):
+        for rule_id, accepted in sorted(rules.items()):
+            if accepted > 0 and (path, rule_id) not in groups:
+                stale.append(
+                    f"baseline accepts {accepted} {rule_id} finding(s) in "
+                    f"{path} but none remain; rerun --update-baseline "
+                    f"to ratchet down"
+                )
+    return sorted(new), sorted(baselined), stale
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineEntries",
+    "DEFAULT_BASELINE_NAME",
+    "apply_baseline",
+    "build_entries",
+    "load_baseline",
+    "normalize_path",
+    "write_baseline",
+]

@@ -7,9 +7,17 @@ Usage::
     reprolint --select RPL001,RPL004  # run a subset of rules
     reprolint --list-rules            # the catalog, one rule per block
     reprolint --update-wire-snapshot  # regenerate the RPL003 snapshot
+    reprolint --baseline FILE PATHS   # ratchet: fail only on NEW findings
+    reprolint --update-baseline       # accept the current findings
+    reprolint --sarif out.sarif PATHS # also write a SARIF 2.1.0 report
+    reprolint --no-cache PATHS        # force a cold run
+    reprolint --stats PATHS           # print analyzed/cached counts
 
-Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
-errors (argparse) or unreadable inputs.
+The incremental cache is on by default (``.reprolint_cache.json`` at
+the repo root, gitignored): a file re-analyzes only when its content —
+or the content of anything it imports — changed.  Exit status: 0 when
+clean (or all findings baselined), 1 when any new finding is reported,
+2 on usage errors (argparse) or unreadable inputs.
 """
 
 from __future__ import annotations
@@ -18,16 +26,19 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from .core import (
     REGISTRY,
     Analyzer,
     AnalyzerConfig,
-    iter_python_files,
+    Finding,
     report_to_dict,
 )
+from . import baseline as baselinelib
+from . import cache as cachelib
+from . import sarif as sariflib
 from . import wire
 
 
@@ -37,8 +48,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Repo-specific static analysis for the repro package: "
             "units-suffix consistency, error taxonomy, wire-format "
-            "versioning, kernel purity, tracer opt-in discipline and "
-            "process-pool picklability."
+            "versioning, kernel purity, tracer opt-in discipline, "
+            "process-pool picklability, and the whole-program rules "
+            "(worker-state safety, units-flow, export drift)."
         ),
     )
     parser.add_argument(
@@ -63,6 +75,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     parser.add_argument(
+        "--exclude",
+        action="append",
+        metavar="PATTERN",
+        default=[],
+        help=(
+            "posix-path substring to skip when walking directories "
+            "(repeatable; e.g. --exclude tests/data)"
+        ),
+    )
+    parser.add_argument(
         "--wire-snapshot",
         metavar="PATH",
         help=(
@@ -76,6 +98,56 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "regenerate the wire-fingerprint snapshot from the live "
             "serialization module and exit"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "apply a committed baseline: known findings are accepted, "
+            "only new ones fail the run "
+            f"(default path: {baselinelib.DEFAULT_BASELINE_NAME} at the "
+            f"repo root when --update-baseline is used)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 report to PATH",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental analysis cache (force a cold run)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        help=(
+            "incremental cache location (default: "
+            f"{cachelib.DEFAULT_CACHE_NAME} at the repo root; the cache "
+            "is skipped when no repo root is found)"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analyzed/cached file counts to stderr",
+    )
+    parser.add_argument(
+        "--docs",
+        action="append",
+        metavar="PATH",
+        default=None,
+        help=(
+            "markdown files RPL009 checks for documented-symbol drift "
+            "(repeatable; default: README.md and docs/*.md at the repo "
+            "root)"
         ),
     )
     return parser
@@ -115,6 +187,52 @@ def _update_snapshot(snapshot_arg: Optional[str]) -> int:
     return 0
 
 
+def _parse_select(
+    parser: argparse.ArgumentParser, raw: Optional[str]
+) -> Optional[Tuple[str, ...]]:
+    if raw is None:
+        return None
+    select = tuple(
+        part.strip() for part in raw.split(",") if part.strip()
+    )
+    if not select:
+        parser.error(
+            f"--select names no rules (got {raw!r}); known rule ids: "
+            f"{', '.join(sorted(REGISTRY))}"
+        )
+    return select
+
+
+def _default_doc_files(root: Optional[Path]) -> Tuple[str, ...]:
+    if root is None:
+        return ()
+    docs: List[str] = []
+    readme = root / "README.md"
+    if readme.is_file():
+        docs.append(str(readme))
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        docs.extend(str(path) for path in sorted(docs_dir.glob("*.md")))
+    return tuple(docs)
+
+
+def _open_cache(
+    args: argparse.Namespace, config: AnalyzerConfig
+) -> Optional[cachelib.AnalysisCache]:
+    if args.no_cache:
+        return None
+    if args.cache is not None:
+        cache_path = Path(args.cache)
+    else:
+        default = cachelib.default_cache_path()
+        if default is None:
+            return None  # outside a repo: nowhere sensible to put it
+        cache_path = default
+    return cachelib.AnalysisCache(
+        cache_path, cachelib.compute_config_key(config)
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -135,36 +253,89 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         paths = [str(default)]
 
-    select = None
-    if args.select:
-        select = tuple(
-            part.strip() for part in args.select.split(",") if part.strip()
-        )
+    root = wire.find_repo_root(Path.cwd())
+    doc_files = (
+        tuple(args.docs) if args.docs is not None else _default_doc_files(root)
+    )
     config = AnalyzerConfig(
-        select=select,
+        select=_parse_select(parser, args.select),
         wire_snapshot=(
             Path(args.wire_snapshot) if args.wire_snapshot else None
         ),
+        exclude=tuple(args.exclude),
+        doc_files=doc_files,
     )
+    baseline_root = root if root is not None else Path.cwd()
     try:
         analyzer = Analyzer(config)
-        findings = analyzer.check_paths(paths)
+        analysis_cache = _open_cache(args, config)
+        findings = analyzer.check_paths(paths, cache=analysis_cache)
     except ReproError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
-    files_checked = sum(1 for _ in iter_python_files(paths))
+
+    if args.update_baseline:
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else baseline_root / baselinelib.DEFAULT_BASELINE_NAME
+        )
+        baselinelib.write_baseline(baseline_path, findings, baseline_root)
+        print(
+            f"reprolint: wrote baseline accepting {len(findings)} "
+            f"finding(s) to {baseline_path}"
+        )
+        return 0
+
+    baselined: List[Finding] = []
+    if args.baseline:
+        try:
+            entries = baselinelib.load_baseline(Path(args.baseline))
+        except ReproError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined, stale = baselinelib.apply_baseline(
+            findings, entries, baseline_root
+        )
+        for warning in stale:
+            print(f"reprolint: warning: {warning}", file=sys.stderr)
+
+    if args.sarif:
+        sariflib.write_sarif(
+            Path(args.sarif), findings, baseline_root, baselined
+        )
+
+    stats = analyzer.last_stats
+    files_checked = stats.files_checked if stats is not None else 0
+    if args.stats and stats is not None:
+        print(
+            f"reprolint: {stats.analyzed} file(s) analyzed, "
+            f"{stats.cached} from cache",
+            file=sys.stderr,
+        )
 
     if args.json:
-        print(json.dumps(report_to_dict(findings, files_checked), indent=2))
+        report = report_to_dict(findings, files_checked)
+        if args.baseline:
+            report["baseline"] = {
+                "path": args.baseline,
+                "suppressed": len(baselined),
+            }
+        if stats is not None:
+            report["stats"] = stats.to_dict()
+        print(json.dumps(report, indent=2))
     else:
         for finding in findings:
             print(finding.format())
+        suppressed_note = (
+            f", {len(baselined)} baselined" if baselined else ""
+        )
         summary = (
             f"reprolint: {len(findings)} finding(s) in "
-            f"{files_checked} file(s)"
+            f"{files_checked} file(s){suppressed_note}"
             if findings
             else f"reprolint: clean ({files_checked} file(s), "
-            f"{len(analyzer.rules)} rule(s))"
+            f"{len(analyzer.rules)} rule(s){suppressed_note})"
         )
         print(summary, file=sys.stderr if findings else sys.stdout)
     return 1 if findings else 0

@@ -21,6 +21,7 @@ never imported, so ``reprolint`` can run on broken or partial trees.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
@@ -99,6 +100,12 @@ class AnalyzerConfig:
     wire_snapshot: Optional[Path] = None
     #: Rule ids to run (None = all registered).
     select: Optional[Tuple[str, ...]] = None
+    #: Posix-path substrings excluded from directory walks (fixtures,
+    #: vendored trees).  Matched against each file's posix path.
+    exclude: Tuple[str, ...] = ()
+    #: Markdown files RPL009 checks for documented-symbol drift
+    #: (empty = skip the docs pass).
+    doc_files: Tuple[str, ...] = ()
 
 
 class ModuleContext:
@@ -197,6 +204,14 @@ class ModuleContext:
         ids = self._line_suppressed.get(line)
         return ids is not None and (ALL_RULES in ids or rule_id in ids)
 
+    def line_suppressions(self) -> Dict[int, Set[str]]:
+        """The per-line suppression table (line -> suppressed rule ids)."""
+        return self._line_suppressed
+
+    def file_suppressions(self) -> Set[str]:
+        """Rule ids suppressed for the whole file."""
+        return self._file_suppressed
+
 
 class Rule:
     """Base class for one registered check.
@@ -209,6 +224,9 @@ class Rule:
     id: str = ""
     name: str = ""
     rationale: str = ""
+    #: "module" rules see one file at a time; "project" rules
+    #: (:class:`ProjectRule`) see the whole :class:`ProjectGraph`.
+    scope: str = "module"
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError  # pragma: no cover - abstract
@@ -226,6 +244,35 @@ class Rule:
                 col=col + 1,
                 rule=self.id,
                 message=message,
+            )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (interprocedural) checks.
+
+    Project rules run once per analysis over the
+    :class:`repro.analysis.graph.ProjectGraph` built from every
+    analyzed module, instead of once per file.  They operate on module
+    *summaries* (plain data), which is what makes the incremental cache
+    able to skip re-parsing unchanged files while still giving these
+    rules a complete graph.
+    """
+
+    scope = "project"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())  # project rules do not run per module
+
+    def check_project(self, graph: Any) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def project_finding(
+        self, graph: Any, path: str, line: int, col: int, message: str
+    ) -> Iterator[Finding]:
+        """Yield one finding at an explicit location unless suppressed."""
+        if not graph.is_suppressed(path, line, self.id):
+            yield Finding(
+                path=path, line=line, col=col, rule=self.id, message=message
             )
 
 
@@ -254,8 +301,32 @@ def all_rules() -> Tuple[Type[Rule], ...]:
     return tuple(REGISTRY[rule_id] for rule_id in sorted(REGISTRY))
 
 
+@dataclass(frozen=True)
+class AnalysisStats:
+    """How much work one :meth:`Analyzer.check_paths` run actually did."""
+
+    files_checked: int  #: files covered by the run (analyzed + cached)
+    analyzed: int  #: files parsed and run through the module rules
+    cached: int  #: files whose findings/summary came from the cache
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "files_checked": self.files_checked,
+            "analyzed": self.analyzed,
+            "cached": self.cached,
+        }
+
+
 class Analyzer:
-    """Runs the registered rules over files, trees or source strings."""
+    """Runs the registered rules over files, trees or source strings.
+
+    Module-scope rules run once per file; project-scope rules
+    (:class:`ProjectRule`) run once per analysis over the
+    :class:`~repro.analysis.graph.ProjectGraph` built from every
+    analyzed module's summary.  :meth:`check_paths` optionally consults
+    an :class:`~repro.analysis.cache.AnalysisCache`, re-analyzing only
+    files whose content (or whose imports' content) changed.
+    """
 
     def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
         self.config = config or AnalyzerConfig()
@@ -273,19 +344,44 @@ class Analyzer:
             for rule_id in sorted(REGISTRY)
             if selected is None or rule_id in selected
         )
+        self.module_rules: Tuple[Rule, ...] = tuple(
+            active for active in self.rules if active.scope == "module"
+        )
+        self.project_rules: Tuple[Rule, ...] = tuple(
+            active for active in self.rules if active.scope == "project"
+        )
+        #: Work accounting of the most recent :meth:`check_paths` run.
+        self.last_stats: Optional[AnalysisStats] = None
 
     # -- entry points ---------------------------------------------------
     def check_source(
         self, source: str, path: "Path | str" = "<string>"
     ) -> List[Finding]:
-        """Analyze one source string (the fixture-test entry point)."""
+        """Analyze one source string (the fixture-test entry point).
+
+        Runs the module rules *and* the project rules over a
+        single-module graph, so one-file fixtures exercise the
+        interprocedural rules too.
+        """
+        from . import graph as graphlib
+
         module = ModuleContext(Path(path), source, self.config)
-        return self._run(module)
+        findings = self._run_module_rules(module)
+        if self.project_rules:
+            summary = graphlib.extract_summary(
+                module,
+                graphlib.module_name_for(module.path),
+                _sha256_text(source),
+            )
+            findings.extend(self._project_findings([summary]))
+        return sorted(findings)
 
     def check_file(self, path: "Path | str") -> List[Finding]:
         path = Path(path)
         try:
             source = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError as exc:
+            return [_decode_error_finding(path, exc)]
         except OSError as exc:
             raise ConfigurationError(
                 f"reprolint path {str(path)!r}: cannot read: {exc}"
@@ -293,37 +389,155 @@ class Analyzer:
         try:
             return self.check_source(source, path)
         except SyntaxError as exc:
-            return [
-                Finding(
-                    path=str(path),
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    rule="RPL000",
-                    message=f"syntax error: {exc.msg}",
-                )
-            ]
+            return [_syntax_error_finding(path, exc)]
 
-    def check_paths(self, paths: Iterable["Path | str"]) -> List[Finding]:
-        """Analyze files and (recursively) directories of ``*.py``."""
+    def check_paths(
+        self,
+        paths: Iterable["Path | str"],
+        cache: Optional[Any] = None,
+    ) -> List[Finding]:
+        """Analyze files and (recursively) directories of ``*.py``.
+
+        With a ``cache`` (an :class:`~repro.analysis.cache.AnalysisCache`),
+        files whose content hash — and every imported module's content
+        hash — is unchanged reuse their cached module-rule findings and
+        summary; the project rules always run, over the full summary
+        graph, so interprocedural findings never go stale.
+        """
+        from . import graph as graphlib
+
+        files = self._collect_files(paths)
+        digests = {file: _sha256_path(file) for file in files}
+        reusable = (
+            cache.plan(files, digests, self.config)
+            if cache is not None
+            else set()
+        )
         findings: List[Finding] = []
+        summaries: List[Any] = []
+        analyzed = 0
+        for file in files:
+            if file in reusable and cache is not None:
+                cached_findings, summary = cache.load_entry(file)
+                findings.extend(cached_findings)
+            else:
+                file_findings, summary = self._analyze_file(
+                    file, digests[file]
+                )
+                analyzed += 1
+                findings.extend(file_findings)
+                if cache is not None:
+                    cache.store(file, digests[file], file_findings, summary)
+            if summary is not None:
+                summaries.append(summary)
+        findings.extend(self._project_findings(summaries))
+        if cache is not None:
+            cache.save()
+        self.last_stats = AnalysisStats(
+            files_checked=len(files),
+            analyzed=analyzed,
+            cached=len(files) - analyzed,
+        )
+        return sorted(findings)
+
+    # -- internals ------------------------------------------------------
+    def _collect_files(self, paths: Iterable["Path | str"]) -> List[Path]:
+        files: List[Path] = []
         for entry in paths:
             entry = Path(entry)
             if entry.is_dir():
-                for file in sorted(entry.rglob("*.py")):
-                    findings.extend(self.check_file(file))
+                files.extend(sorted(entry.rglob("*.py")))
             elif entry.exists():
-                findings.extend(self.check_file(entry))
+                files.append(entry)
             else:
                 raise ConfigurationError(
                     f"reprolint path {str(entry)!r}: does not exist"
                 )
-        return sorted(findings)
+        if self.config.exclude:
+            files = [
+                file
+                for file in files
+                if not any(
+                    pattern in file.as_posix()
+                    for pattern in self.config.exclude
+                )
+            ]
+        return files
 
-    def _run(self, module: ModuleContext) -> List[Finding]:
+    def _analyze_file(
+        self, path: Path, sha256: str
+    ) -> Tuple[List[Finding], Optional[Any]]:
+        """Module-rule findings and the summary of one file.
+
+        Unreadable, undecodable and unparsable files yield an RPL000
+        finding and no summary (the project graph simply omits them).
+        """
+        from . import graph as graphlib
+
+        try:
+            source = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError as exc:
+            return [_decode_error_finding(path, exc)], None
+        except OSError as exc:
+            raise ConfigurationError(
+                f"reprolint path {str(path)!r}: cannot read: {exc}"
+            ) from exc
+        try:
+            module = ModuleContext(path, source, self.config)
+        except SyntaxError as exc:
+            return [_syntax_error_finding(path, exc)], None
+        summary = graphlib.extract_summary(
+            module, graphlib.module_name_for(path), sha256
+        )
+        return self._run_module_rules(module), summary
+
+    def _run_module_rules(self, module: ModuleContext) -> List[Finding]:
         findings: List[Finding] = []
-        for active in self.rules:
+        for active in self.module_rules:
             findings.extend(active.check(module))
         return sorted(findings)
+
+    def _project_findings(self, summaries: Sequence[Any]) -> List[Finding]:
+        if not self.project_rules or not summaries:
+            return []
+        from .graph import ProjectGraph
+
+        graph = ProjectGraph(summaries, self.config)
+        findings: List[Finding] = []
+        for active in self.project_rules:
+            findings.extend(active.check_project(graph))  # type: ignore[attr-defined]
+        return findings
+
+
+def _sha256_text(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _sha256_path(path: Path) -> str:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return ""
+
+
+def _syntax_error_finding(path: Path, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=str(path),
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        rule="RPL000",
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def _decode_error_finding(path: Path, exc: UnicodeDecodeError) -> Finding:
+    return Finding(
+        path=str(path),
+        line=1,
+        col=1,
+        rule="RPL000",
+        message=f"source is not valid UTF-8: {exc.reason} at byte {exc.start}",
+    )
 
 
 def report_to_dict(

@@ -55,6 +55,14 @@ def unit_dimension(name: str) -> Optional[str]:
     return UNIT_DIMENSIONS.get(name.rsplit("_", 1)[1])
 
 
+def unit_suffix(name: str) -> str:
+    """The unit-suffix token a name carries ("" when it has none)."""
+    if "_" not in name:
+        return ""
+    token = name.rsplit("_", 1)[1]
+    return token if token in UNIT_DIMENSIONS else ""
+
+
 def _dimensioned_name(node: ast.AST) -> Optional[Tuple[str, str]]:
     """(name, dimension) when ``node`` is a suffixed Name/Attribute."""
     if isinstance(node, ast.Name):

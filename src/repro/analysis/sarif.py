@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 export, so CI can annotate PRs with reprolint findings.
+
+One run, one tool (``reprolint``), one result per finding.  Baselined
+findings are still exported — reviewers can see the accepted debt —
+but carry a ``suppressions`` entry so SARIF consumers (GitHub code
+scanning included) hide them by default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .core import REGISTRY, Finding
+from .baseline import normalize_path
+
+#: The SARIF spec version the exporter emits.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    descriptors = [
+        {
+            "id": "RPL000",
+            "name": "unparsable-source",
+            "shortDescription": {"text": "File cannot be analyzed"},
+            "fullDescription": {
+                "text": (
+                    "The file failed to parse (syntax error) or decode "
+                    "(not UTF-8), so no rule could run on it."
+                )
+            },
+        }
+    ]
+    for rule_id in sorted(REGISTRY):
+        cls = REGISTRY[rule_id]
+        descriptors.append(
+            {
+                "id": rule_id,
+                "name": cls.name,
+                "shortDescription": {"text": cls.name},
+                "fullDescription": {"text": cls.rationale},
+            }
+        )
+    return descriptors
+
+
+def _result(
+    finding: Finding, root: Path, suppressed: bool
+) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": normalize_path(finding.path, root)
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    root: Path,
+    baselined: Iterable[Finding] = (),
+) -> Dict[str, Any]:
+    """The SARIF document for one run (``baselined`` ⊆ suppressed)."""
+    suppressed = set(baselined)
+    results = [
+        _result(finding, root, finding in suppressed)
+        for finding in sorted((*findings, *suppressed))
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path,
+    findings: Sequence[Finding],
+    root: Path,
+    baselined: Iterable[Finding] = (),
+) -> None:
+    document = to_sarif(findings, root, baselined)
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif", "write_sarif"]

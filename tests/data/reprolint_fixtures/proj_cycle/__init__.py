@@ -1,0 +1,1 @@
+"""Mini-project with an import cycle: resolution must not hang."""

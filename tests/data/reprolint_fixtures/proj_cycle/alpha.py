@@ -1,0 +1,9 @@
+"""One half of the cycle: imports beta, re-exports its symbol."""
+
+from .beta import beta_value
+
+ALPHA_CONST = 1
+
+
+def alpha_value():
+    return beta_value() + ALPHA_CONST

@@ -1,0 +1,12 @@
+"""Other half of the cycle: imports alpha back (and a missing name).
+
+``never_defined`` resolves nowhere — the cycle-safe resolver must
+return "missing" for it instead of recursing forever, so RPL009 flags
+exactly that import and nothing else.
+"""
+
+from .alpha import ALPHA_CONST, never_defined  # noqa: F401
+
+
+def beta_value():
+    return ALPHA_CONST

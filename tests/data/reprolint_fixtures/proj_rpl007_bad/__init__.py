@@ -1,0 +1,7 @@
+"""Mini-project reverting the PR-4 DEFAULT_CACHE fork-inheritance bug.
+
+``engine`` owns a module-level cache mutated by parent-side code;
+``executor`` forks a process pool whose workers read it — with no
+initializer reset, no lock, no fork-safe marker.  RPL007 must flag
+``engine.DEFAULT_CACHE``.
+"""

@@ -1,0 +1,15 @@
+"""The pool: workers re-enter evaluate_matrix and read the stale cache."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .engine import evaluate_matrix
+
+
+def _evaluate_shard(rows):
+    return evaluate_matrix(rows)
+
+
+def run_sharded(shards):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_evaluate_shard, shard) for shard in shards]
+    return [future.result() for future in futures]

@@ -1,0 +1,1 @@
+"""The fixed shape of proj_rpl007_bad: an initializer resets the cache."""

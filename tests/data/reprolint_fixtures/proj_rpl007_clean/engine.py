@@ -1,0 +1,17 @@
+"""The cache owner, plus the reset hook the initializer calls."""
+
+DEFAULT_CACHE = {}
+
+
+def clear_default_cache():
+    DEFAULT_CACHE.clear()
+
+
+def evaluate_matrix(rows, cache=DEFAULT_CACHE):
+    out = []
+    for row in rows:
+        key = str(row)
+        if key not in cache:
+            cache[key] = row * 2
+        out.append(cache[key])
+    return out

@@ -1,0 +1,19 @@
+"""The pool, with the PR-4 fix: initializer wipes the inherited cache."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .engine import clear_default_cache, evaluate_matrix
+
+
+def _init_worker():
+    clear_default_cache()
+
+
+def _evaluate_shard(rows):
+    return evaluate_matrix(rows)
+
+
+def run_sharded(shards):
+    with ProcessPoolExecutor(initializer=_init_worker) as pool:
+        futures = [pool.submit(_evaluate_shard, shard) for shard in shards]
+    return [future.result() for future in futures]

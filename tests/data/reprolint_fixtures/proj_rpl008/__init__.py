@@ -1,0 +1,10 @@
+"""Mini-project for RPL008: unit suffixes crossing module boundaries.
+
+``flight`` calls ``timing`` through this package's re-export, passing
+millisecond values into second-suffixed parameters (and misbinding a
+return).  RPL008 must flag every call site in ``flight``.
+"""
+
+from .timing import integrate_path, step_duration_s
+
+__all__ = ["integrate_path", "step_duration_s"]

@@ -1,0 +1,19 @@
+"""Caller module: millisecond values leak into *_s parameters."""
+
+from . import integrate_path, step_duration_s
+
+
+def bad_positional(path_m, frame_time_ms):
+    # _ms value into the _s positional parameter, across the package
+    # boundary and through the __init__ re-export.
+    return integrate_path(path_m, frame_time_ms)
+
+
+def bad_keyword(n_frames, mission_time_ms):
+    return step_duration_s(n_frames, total_time_s=mission_time_ms)
+
+
+def bad_return(n_frames, mission_time_s):
+    # *_s-returning callee bound to a *_ms name.
+    frame_ms = step_duration_s(n_frames, mission_time_s)
+    return frame_ms

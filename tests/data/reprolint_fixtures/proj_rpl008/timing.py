@@ -1,0 +1,9 @@
+"""Second-suffixed callee signatures: the contract RPL008 enforces."""
+
+
+def integrate_path(distance_m, dt_s):
+    return distance_m / dt_s
+
+
+def step_duration_s(n_steps, total_time_s):
+    return total_time_s / n_steps

@@ -1,0 +1,51 @@
+"""RPL007 clean fixture: every escape hatch in one module.
+
+``RESULT_CACHE`` is reset by the worker initializer, ``SHARED_TOTALS``
+is mutated only under a module-level lock, and ``HANDLER_REGISTRY`` is
+marked fork-safe (populated at import time only).
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+RESULT_CACHE = {}
+SHARED_TOTALS = {}
+_TOTALS_LOCK = threading.Lock()
+HANDLER_REGISTRY = {}  # reprolint: fork-safe
+
+
+def register_handler(name, handler):
+    # Only safe because registration happens at import time, before any
+    # pool exists — which is what the fork-safe marker asserts.
+    HANDLER_REGISTRY[name] = handler
+
+
+def clear_result_cache():
+    RESULT_CACHE.clear()
+
+
+def _init_worker():
+    clear_result_cache()
+
+
+def record_total(key, value):
+    with _TOTALS_LOCK:
+        SHARED_TOTALS[key] = value
+
+
+def evaluate(row, cache=RESULT_CACHE):
+    key = str(row)
+    if key not in cache:
+        cache[key] = row * 2
+    record_total(key, cache[key])
+    return HANDLER_REGISTRY.get("post", lambda value: value)(cache[key])
+
+
+def run_shard(rows):
+    return [evaluate(row) for row in rows]
+
+
+def fan_out(shards):
+    with ProcessPoolExecutor(initializer=_init_worker) as pool:
+        futures = [pool.submit(run_shard, shard) for shard in shards]
+    return [future.result() for future in futures]

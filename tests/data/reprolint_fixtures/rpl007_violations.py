@@ -1,0 +1,27 @@
+"""RPL007 violating fixture: fork-inherited mutable global, no reset.
+
+Single-file rendition of the PR-4 ``DEFAULT_CACHE`` bug: the parent
+populates a module-level cache, forked pool workers read it, and
+nothing resets or locks it.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+RESULT_CACHE = {}
+
+
+def evaluate(row, cache=RESULT_CACHE):
+    key = str(row)
+    if key not in cache:
+        cache[key] = row * 2
+    return cache[key]
+
+
+def run_shard(rows):
+    return [evaluate(row) for row in rows]
+
+
+def fan_out(shards):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_shard, shard) for shard in shards]
+    return [future.result() for future in futures]

@@ -1,0 +1,34 @@
+"""RPL008 violating fixture: unit suffixes lost across call boundaries."""
+
+
+def wait_for(timeout_ms):
+    return timeout_ms / 1000.0
+
+
+def climb_rate(height_m, duration_s):
+    return height_m / duration_s
+
+
+def total_mass_g(frame_g, battery_g):
+    return frame_g + battery_g
+
+
+def bad_scale(hover_time_s):
+    # time passed at the wrong scale: seconds into a *_ms parameter.
+    return wait_for(hover_time_s)
+
+
+def bad_dimension(total_wh, distance_km):
+    # energy passed where the callee expects a length.
+    return climb_rate(total_wh, duration_s=10.0)
+
+
+def bad_keyword(ascent_m, hover_power_w):
+    # keyword argument with a mismatched dimension.
+    return climb_rate(ascent_m, duration_s=hover_power_w)
+
+
+def bad_return(frame_g, battery_g):
+    # *_g-returning callee assigned to a *_kg name.
+    payload_kg = total_mass_g(frame_g, battery_g)
+    return payload_kg

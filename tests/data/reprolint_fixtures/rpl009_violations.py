@@ -1,0 +1,11 @@
+"""RPL009 violating fixture: export drift and a dead private helper."""
+
+__all__ = ["compute_span", "vanished_symbol"]
+
+
+def compute_span(width_m, height_m):
+    return width_m * height_m
+
+
+def _forgotten_helper(values):
+    return sum(values) / len(values)

@@ -32,7 +32,7 @@ def run_fixture(name: str, **config) -> list:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert sorted(REGISTRY) == [
             "RPL001",
             "RPL002",
@@ -40,6 +40,9 @@ class TestRegistry:
             "RPL004",
             "RPL005",
             "RPL006",
+            "RPL007",
+            "RPL008",
+            "RPL009",
         ]
 
     def test_every_rule_documents_itself(self):
@@ -320,11 +323,11 @@ class TestEngine:
 
 class TestEndToEnd:
     def test_src_repro_is_clean_at_head(self):
-        """The acceptance criterion: all six rules pass on the tree."""
+        """The acceptance criterion: all nine rules pass on the tree."""
         analyzer = Analyzer()
         findings = analyzer.check_paths([SRC_REPRO])
         assert findings == [], "\n".join(f.format() for f in findings)
-        assert len(analyzer.rules) == 6
+        assert len(analyzer.rules) == 9
 
     def test_cli_exit_codes(self, capsys):
         assert cli.main([str(FIXTURES / "rpl001_clean.py")]) == 0

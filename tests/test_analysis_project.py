@@ -1,0 +1,827 @@
+"""Tests for reprolint v2: ProjectGraph, RPL007-009, cache, baseline, SARIF.
+
+Covers the whole-program layer added on top of the per-file engine:
+
+* :mod:`repro.analysis.graph` — module naming, import resolution
+  (absolute, relative, re-export chains, cycles), summaries and their
+  JSON round-trip, worker-entry resolution and call-graph reachability;
+* the three interprocedural rules against their fixture mini-projects,
+  including the PR-4 ``DEFAULT_CACHE`` fork-inheritance reproduction;
+* the incremental cache — warm runs analyze nothing, a leaf edit
+  re-analyzes exactly the leaf plus its dependents, and a cached rerun
+  on an unchanged tree is at least 5x faster than a cold run;
+* the baseline/ratchet workflow and the SARIF exporter;
+* analyzer edge inputs: syntax errors, empty files, non-UTF-8 source;
+* the new CLI flags.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import (
+    AnalysisCache,
+    Analyzer,
+    AnalyzerConfig,
+    ModuleContext,
+    ProjectGraph,
+    extract_summary,
+)
+from repro.analysis import baseline as baselinelib
+from repro.analysis import cli
+from repro.analysis import sarif as sariflib
+from repro.analysis.cache import compute_config_key
+from repro.analysis.core import Finding
+from repro.analysis.graph import ModuleSummary, module_name_for
+from repro.errors import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "data" / "reprolint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def write_tree(root: Path, files: Dict[str, str]) -> List[Path]:
+    paths = []
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def build_graph(root: Path, files: Dict[str, str]) -> ProjectGraph:
+    summaries = []
+    for path in write_tree(root, files):
+        module = ModuleContext(path, path.read_text(encoding="utf-8"))
+        summaries.append(
+            extract_summary(module, module_name_for(path), "deadbeef")
+        )
+    return ProjectGraph(summaries, AnalyzerConfig())
+
+
+def rules_of(findings) -> List[str]:
+    return sorted({finding.rule for finding in findings})
+
+
+# ---------------------------------------------------------------------------
+# module naming + graph resolution
+# ---------------------------------------------------------------------------
+class TestModuleNaming:
+    def test_package_chain(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/sub/__init__.py": "",
+                "pkg/sub/mod.py": "",
+            },
+        )
+        assert module_name_for(tmp_path / "pkg" / "sub" / "mod.py") == (
+            "pkg.sub.mod"
+        )
+        assert module_name_for(tmp_path / "pkg" / "sub" / "__init__.py") == (
+            "pkg.sub"
+        )
+
+    def test_standalone_file_is_its_stem(self, tmp_path):
+        path = tmp_path / "script.py"
+        path.write_text("", encoding="utf-8")
+        assert module_name_for(path) == "script"
+
+    def test_src_repro_modules(self):
+        assert module_name_for(SRC_REPRO / "units.py") == "repro.units"
+        assert module_name_for(SRC_REPRO / "__init__.py") == "repro"
+
+
+class TestProjectGraph:
+    def test_resolves_through_reexport_chain(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from .impl import work\n",
+                "pkg/impl.py": "def work():\n    return 1\n",
+                "pkg/user.py": (
+                    "from . import work\n\n"
+                    "def go():\n    return work()\n"
+                ),
+            },
+        )
+        resolved = graph.resolve_name("pkg.user", "work")
+        assert resolved == ("symbol", "pkg.impl", "work")
+        assert graph.resolve_function("pkg.user", "work") is not None
+
+    def test_resolves_relative_imports_two_levels_up(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/core.py": "VALUE = 3\n",
+                "pkg/deep/__init__.py": "",
+                "pkg/deep/leaf.py": "from ..core import VALUE\n",
+            },
+        )
+        assert graph.resolve_name("pkg.deep.leaf", "VALUE") == (
+            "symbol",
+            "pkg.core",
+            "VALUE",
+        )
+
+    def test_import_cycle_resolution_terminates(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                # a re-exports from b, b re-exports the same name from
+                # a: a true resolution cycle with no definition.
+                "pkg/a.py": "from .b import ghost\n",
+                "pkg/b.py": "from .a import ghost\n",
+            },
+        )
+        assert graph.resolve_name("pkg.a", "ghost") is None
+        assert graph.resolve_name("pkg.b", "ghost") is None
+
+    def test_worker_entries_and_reachability(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/work.py": (
+                    "def leaf():\n    return 1\n\n"
+                    "def entry():\n    return leaf()\n"
+                ),
+                "pkg/pool.py": (
+                    "from concurrent.futures import ProcessPoolExecutor\n"
+                    "from .work import entry\n\n"
+                    "def fan_out():\n"
+                    "    with ProcessPoolExecutor() as pool:\n"
+                    "        return pool.submit(entry).result()\n"
+                ),
+            },
+        )
+        entries = graph.worker_entries("submit")
+        assert [key for key, _, _ in entries] == [("pkg.work", "entry")]
+        reached = graph.reachable_from([key for key, _, _ in entries])
+        assert ("pkg.work", "leaf") in reached
+        chain = graph.witness_chain(reached, ("pkg.work", "leaf"))
+        assert chain == ["entry", "leaf"]
+
+    def test_dependents_map_reverses_import_edges(self, tmp_path):
+        graph = build_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/base.py": "X = 1\n",
+                "pkg/mid.py": "from .base import X\n",
+            },
+        )
+        dependents = graph.dependents_map()
+        assert dependents["pkg.base"] == {"pkg.mid"}
+
+    def test_summary_json_round_trip(self):
+        source = (FIXTURES / "rpl007_violations.py").read_text(
+            encoding="utf-8"
+        )
+        module = ModuleContext(FIXTURES / "rpl007_violations.py", source)
+        summary = extract_summary(module, "rpl007_violations", "abc123")
+        rebuilt = ModuleSummary.from_dict(summary.to_dict())
+        assert rebuilt == summary
+
+    def test_stale_summary_version_rejected(self):
+        source = "X = 1\n"
+        module = ModuleContext(Path("m.py"), source)
+        summary = extract_summary(module, "m", "abc")
+        document = summary.to_dict()
+        document["version"] = -1
+        assert ModuleSummary.from_dict(document) is None
+
+
+# ---------------------------------------------------------------------------
+# RPL007 — worker-state safety
+# ---------------------------------------------------------------------------
+class TestRPL007:
+    def test_default_cache_bug_project_is_flagged(self):
+        findings = Analyzer().check_paths([FIXTURES / "proj_rpl007_bad"])
+        assert rules_of(findings) == ["RPL007"]
+        (finding,) = findings
+        assert "DEFAULT_CACHE" in finding.message
+        assert finding.path.endswith("engine.py")
+        assert "_evaluate_shard -> evaluate_matrix" in finding.message
+        assert "fork-safe" in finding.message
+
+    def test_initializer_reset_project_is_clean(self):
+        findings = Analyzer().check_paths([FIXTURES / "proj_rpl007_clean"])
+        assert findings == []
+
+    def test_single_file_violation_and_escapes(self):
+        bad = Analyzer().check_file(FIXTURES / "rpl007_violations.py")
+        assert rules_of(bad) == ["RPL007"]
+        assert "RESULT_CACHE" in bad[0].message
+        clean = Analyzer().check_file(FIXTURES / "rpl007_clean.py")
+        assert clean == []
+
+    def test_lock_guarded_mutations_are_safe(self, tmp_path):
+        findings = Analyzer().check_paths(
+            [
+                write_tree(
+                    tmp_path,
+                    {
+                        "mod.py": (
+                            "import threading\n"
+                            "from concurrent.futures import "
+                            "ProcessPoolExecutor\n\n"
+                            "STATE = {}\n"
+                            "_LOCK = threading.Lock()\n\n\n"
+                            "def record(key, value):\n"
+                            "    with _LOCK:\n"
+                            "        STATE[key] = value\n\n\n"
+                            "def worker(rows):\n"
+                            "    return [STATE.get(str(r)) for r in rows]\n\n\n"
+                            "def fan_out(shards):\n"
+                            "    with ProcessPoolExecutor() as pool:\n"
+                            "        return [pool.submit(worker, s) "
+                            "for s in shards]\n"
+                        )
+                    },
+                )[0]
+            ]
+        )
+        assert findings == []
+
+    def test_unlocked_variant_of_same_module_is_flagged(self, tmp_path):
+        findings = Analyzer().check_paths(
+            [
+                write_tree(
+                    tmp_path,
+                    {
+                        "mod.py": (
+                            "from concurrent.futures import "
+                            "ProcessPoolExecutor\n\n"
+                            "STATE = {}\n\n\n"
+                            "def record(key, value):\n"
+                            "    STATE[key] = value\n\n\n"
+                            "def worker(rows):\n"
+                            "    return [STATE.get(str(r)) for r in rows]\n\n\n"
+                            "def fan_out(shards):\n"
+                            "    with ProcessPoolExecutor() as pool:\n"
+                            "        return [pool.submit(worker, s) "
+                            "for s in shards]\n"
+                        )
+                    },
+                )[0]
+            ]
+        )
+        assert rules_of(findings) == ["RPL007"]
+
+    def test_suppression_comment_silences_rpl007(self, tmp_path):
+        source = (FIXTURES / "rpl007_violations.py").read_text(
+            encoding="utf-8"
+        )
+        source = source.replace(
+            "RESULT_CACHE = {}",
+            "RESULT_CACHE = {}  # reprolint: disable=RPL007",
+        )
+        path = tmp_path / "suppressed.py"
+        path.write_text(source, encoding="utf-8")
+        assert Analyzer().check_paths([path]) == []
+
+
+# ---------------------------------------------------------------------------
+# RPL008 — units-flow
+# ---------------------------------------------------------------------------
+class TestRPL008:
+    def test_cross_module_ms_into_s_is_flagged(self):
+        findings = Analyzer().check_paths([FIXTURES / "proj_rpl008"])
+        assert rules_of(findings) == ["RPL008"]
+        assert len(findings) == 3
+        assert all(f.path.endswith("flight.py") for f in findings)
+        positional, keyword, returned = findings
+        assert "frame_time_ms" in positional.message
+        assert "'dt_s'" in positional.message
+        assert "total_time_s" in keyword.message
+        assert "'frame_ms'" in returned.message
+
+    def test_single_file_variants(self):
+        findings = Analyzer().check_file(FIXTURES / "rpl008_violations.py")
+        assert rules_of(findings) == ["RPL008"]
+        messages = "\n".join(f.message for f in findings)
+        assert "scale" in messages  # _s into _ms
+        assert "energy" in messages  # cross-dimension positional
+        assert "power" in messages  # cross-dimension keyword
+        assert "payload_kg" in messages  # return-flow
+        assert len(findings) == 4
+
+    def test_matching_suffixes_and_splats_are_clean(self, tmp_path):
+        findings = Analyzer().check_paths(
+            [
+                write_tree(
+                    tmp_path,
+                    {
+                        "mod.py": (
+                            "def hold(duration_s):\n"
+                            "    return duration_s\n\n\n"
+                            "def ok(hover_s, args):\n"
+                            "    hold(hover_s)\n"
+                            "    hold(*args)\n"
+                            "    return hold(duration_s=hover_s)\n"
+                        )
+                    },
+                )[0]
+            ]
+        )
+        assert findings == []
+
+    def test_decorated_callee_is_skipped(self, tmp_path):
+        findings = Analyzer().check_paths(
+            [
+                write_tree(
+                    tmp_path,
+                    {
+                        "mod.py": (
+                            "import functools\n\n\n"
+                            "@functools.lru_cache\n"
+                            "def hold(duration_s):\n"
+                            "    return duration_s\n\n\n"
+                            "def use(wait_ms):\n"
+                            "    return hold(wait_ms)\n"
+                        )
+                    },
+                )[0]
+            ]
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RPL009 — export/reachability drift
+# ---------------------------------------------------------------------------
+class TestRPL009:
+    def test_project_fixture_flags_every_variant(self):
+        findings = Analyzer().check_paths([FIXTURES / "proj_rpl009"])
+        assert rules_of(findings) == ["RPL009"]
+        messages = "\n".join(f.message for f in findings)
+        assert "removed_long_ago" in messages  # from-import drift
+        assert "ghost_export" in messages  # __all__ ghost
+        assert "_stale_normalizer" in messages  # dead private
+        assert len(findings) == 3
+
+    def test_single_file_fixture(self):
+        findings = Analyzer().check_file(FIXTURES / "rpl009_violations.py")
+        assert rules_of(findings) == ["RPL009"]
+        assert len(findings) == 2
+
+    def test_cyclic_imports_terminate_and_flag_missing_name(self):
+        findings = Analyzer().check_paths([FIXTURES / "proj_cycle"])
+        assert rules_of(findings) == ["RPL009"]
+        (finding,) = findings
+        assert "never_defined" in finding.message
+
+    def test_dynamic_getattr_module_is_exempt(self, tmp_path):
+        findings = Analyzer().check_paths(
+            [
+                write_tree(
+                    tmp_path,
+                    {
+                        "pkg/__init__.py": "from .lazy import anything\n",
+                        "pkg/lazy.py": (
+                            "__all__ = ['whatever']\n\n\n"
+                            "def __getattr__(name):\n"
+                            "    return name\n"
+                        ),
+                    },
+                )[0].parent
+            ]
+        )
+        assert findings == []
+
+    def test_docs_drift(self, tmp_path):
+        doc = tmp_path / "guide.md"
+        doc.write_text(
+            "Use `repro.units.ms_to_s` for conversion.\n"
+            "Avoid `repro.units.vanished_converter` (gone).\n"
+            "`repro.units` itself is fine, as is `repro.missing_module.x`.\n",
+            encoding="utf-8",
+        )
+        analyzer = Analyzer(AnalyzerConfig(doc_files=(str(doc),)))
+        findings = analyzer.check_paths([SRC_REPRO / "units.py"])
+        assert rules_of(findings) == ["RPL009"]
+        (finding,) = findings
+        assert "vanished_converter" in finding.message
+        assert finding.path == doc.as_posix()
+        assert finding.line == 2
+
+
+# ---------------------------------------------------------------------------
+# edge inputs
+# ---------------------------------------------------------------------------
+class TestEdgeInputs:
+    def test_syntax_error_yields_rpl000(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n", encoding="utf-8")
+        findings = Analyzer().check_paths([path])
+        assert rules_of(findings) == ["RPL000"]
+        assert "syntax error" in findings[0].message
+
+    def test_empty_file_is_clean(self, tmp_path):
+        path = tmp_path / "empty.py"
+        path.write_text("", encoding="utf-8")
+        assert Analyzer().check_paths([path]) == []
+
+    def test_non_utf8_source_yields_rpl000(self, tmp_path):
+        path = tmp_path / "latin.py"
+        path.write_bytes(b"# caf\xe9\nX = 1\n")
+        findings = Analyzer().check_paths([path])
+        assert rules_of(findings) == ["RPL000"]
+        assert "not valid UTF-8" in findings[0].message
+        findings_via_file = Analyzer().check_file(path)
+        assert rules_of(findings_via_file) == ["RPL000"]
+
+    def test_broken_file_does_not_poison_the_project_pass(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/good.py": "def fine():\n    return 1\n",
+                "pkg/bad.py": "def broken(:\n",
+            },
+        )
+        findings = Analyzer().check_paths([tmp_path / "pkg"])
+        assert rules_of(findings) == ["RPL000"]
+
+    def test_missing_path_is_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            Analyzer().check_paths(["no/such/tree"])
+
+    def test_exclude_patterns_prune_directory_walks(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/ok.py": "",
+                "pkg/vendored/awful.py": "def broken(:\n",
+            },
+        )
+        analyzer = Analyzer(AnalyzerConfig(exclude=("pkg/vendored",)))
+        assert analyzer.check_paths([tmp_path / "pkg"]) == []
+        assert analyzer.last_stats.files_checked == 2
+
+
+# ---------------------------------------------------------------------------
+# incremental cache
+# ---------------------------------------------------------------------------
+def _chain_tree(n_modules: int, lines_per_module: int = 30) -> Dict[str, str]:
+    """A pkg of n chained modules: mod_i imports mod_{i-1}."""
+    files = {"bigpkg/__init__.py": ""}
+    for index in range(n_modules):
+        body = []
+        if index:
+            body.append(f"from .mod_{index - 1} import hop_{index - 1}")
+            body.append("")
+        for line in range(lines_per_module):
+            body.append(f"def fn_{line}_{index}(value_s):")
+            body.append(f"    return value_s + {line}")
+            body.append("")
+        body.append(f"def hop_{index}(value_s):")
+        if index:
+            body.append(f"    return hop_{index - 1}(value_s) + 1")
+        else:
+            body.append("    return value_s")
+        body.append("")
+        files[f"bigpkg/mod_{index}.py"] = "\n".join(body)
+    return files
+
+
+class TestIncrementalCache:
+    def _cache(self, tmp_path) -> AnalysisCache:
+        return AnalysisCache(tmp_path / "cache.json", "test-key")
+
+    def test_warm_run_analyzes_nothing_and_matches_cold(self, tmp_path):
+        write_tree(tmp_path, _chain_tree(6))
+        target = tmp_path / "bigpkg"
+        analyzer = Analyzer()
+        cold = analyzer.check_paths([target], cache=self._cache(tmp_path))
+        assert analyzer.last_stats.analyzed == 7
+        warm = analyzer.check_paths([target], cache=self._cache(tmp_path))
+        assert analyzer.last_stats.analyzed == 0
+        assert analyzer.last_stats.cached == 7
+        assert warm == cold
+
+    def test_leaf_edit_reanalyzes_leaf_plus_dependents_only(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/c.py": "def f_c():\n    return 1\n",
+                "pkg/b.py": "from .c import f_c\n\n\ndef f_b():\n    return f_c()\n",
+                "pkg/a.py": "from .b import f_b\n\n\ndef f_a():\n    return f_b()\n",
+                "pkg/island.py": "def lonely():\n    return 0\n",
+            },
+        )
+        target = tmp_path / "pkg"
+        analyzer = Analyzer()
+        analyzer.check_paths([target], cache=self._cache(tmp_path))
+        # Edit the chain's leaf: c, its importer b, and b's importer a
+        # re-analyze; __init__ and the unrelated island stay cached.
+        leaf = tmp_path / "pkg" / "c.py"
+        leaf.write_text(
+            leaf.read_text(encoding="utf-8") + "\n# touched\n",
+            encoding="utf-8",
+        )
+        analyzer.check_paths([target], cache=self._cache(tmp_path))
+        assert analyzer.last_stats.analyzed == 3
+        assert analyzer.last_stats.cached == 2
+        # Edit the top of the chain: nothing imports a, so only a runs.
+        top = tmp_path / "pkg" / "a.py"
+        top.write_text(
+            top.read_text(encoding="utf-8") + "\n# touched\n",
+            encoding="utf-8",
+        )
+        analyzer.check_paths([target], cache=self._cache(tmp_path))
+        assert analyzer.last_stats.analyzed == 1
+
+    def test_unchanged_tree_rerun_is_5x_faster(self, tmp_path):
+        write_tree(tmp_path, _chain_tree(40))
+        target = tmp_path / "bigpkg"
+        analyzer = Analyzer()
+
+        start = time.perf_counter()
+        cold = analyzer.check_paths([target], cache=self._cache(tmp_path))
+        cold_s = time.perf_counter() - start
+        assert analyzer.last_stats.analyzed == 41
+
+        warm_s = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            warm = analyzer.check_paths(
+                [target], cache=self._cache(tmp_path)
+            )
+            warm_s = min(warm_s, time.perf_counter() - start)
+        assert analyzer.last_stats.analyzed == 0
+        assert warm == cold
+        assert cold_s >= 5 * warm_s, (
+            f"cold {cold_s:.3f}s vs warm {warm_s:.3f}s — cache speedup "
+            f"below the 5x floor"
+        )
+
+    def test_cached_findings_survive_round_trip(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text(
+            "def f(mass_g, power_w):\n    return mass_g + power_w\n",
+            encoding="utf-8",
+        )
+        analyzer = Analyzer()
+        cold = analyzer.check_paths([path], cache=self._cache(tmp_path))
+        warm = analyzer.check_paths([path], cache=self._cache(tmp_path))
+        assert analyzer.last_stats.analyzed == 0
+        assert warm == cold
+        assert rules_of(warm) == ["RPL001"]
+
+    def test_config_key_mismatch_drops_entries(self, tmp_path):
+        write_tree(tmp_path, {"pkg/__init__.py": "", "pkg/m.py": "X = 1\n"})
+        target = tmp_path / "pkg"
+        analyzer = Analyzer()
+        analyzer.check_paths(
+            [target], cache=AnalysisCache(tmp_path / "c.json", "key-one")
+        )
+        analyzer.check_paths(
+            [target], cache=AnalysisCache(tmp_path / "c.json", "key-two")
+        )
+        assert analyzer.last_stats.analyzed == 2
+
+    def test_corrupt_cache_file_starts_cold(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json", encoding="utf-8")
+        write_tree(tmp_path, {"pkg/__init__.py": "", "pkg/m.py": "X = 1\n"})
+        analyzer = Analyzer()
+        analyzer.check_paths(
+            [tmp_path / "pkg"], cache=AnalysisCache(cache_path, "k")
+        )
+        assert analyzer.last_stats.analyzed == 2
+        # and the bad file was replaced by a valid one
+        assert json.loads(cache_path.read_text(encoding="utf-8"))
+
+    def test_compute_config_key_tracks_select(self):
+        base = compute_config_key(AnalyzerConfig())
+        assert base == compute_config_key(AnalyzerConfig())
+        assert base != compute_config_key(
+            AnalyzerConfig(select=("RPL001",))
+        )
+
+
+# ---------------------------------------------------------------------------
+# baseline / ratchet
+# ---------------------------------------------------------------------------
+def _finding(path: str, rule: str, line: int = 1) -> Finding:
+    return Finding(path=path, line=line, col=1, rule=rule, message="msg")
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [
+            _finding(str(tmp_path / "a.py"), "RPL002"),
+            _finding(str(tmp_path / "a.py"), "RPL002", line=9),
+            _finding(str(tmp_path / "b.py"), "RPL005"),
+        ]
+        target = tmp_path / "base.json"
+        baselinelib.write_baseline(target, findings, tmp_path)
+        entries = baselinelib.load_baseline(target)
+        assert entries == {"a.py": {"RPL002": 2}, "b.py": {"RPL005": 1}}
+
+    def test_apply_suppresses_known_and_reports_exceeded(self, tmp_path):
+        entries = {"a.py": {"RPL002": 1}}
+        within = [_finding(str(tmp_path / "a.py"), "RPL002")]
+        new, baselined, stale = baselinelib.apply_baseline(
+            within, entries, tmp_path
+        )
+        assert new == [] and len(baselined) == 1 and stale == []
+        exceeded = [
+            _finding(str(tmp_path / "a.py"), "RPL002", line=1),
+            _finding(str(tmp_path / "a.py"), "RPL002", line=2),
+        ]
+        new, baselined, stale = baselinelib.apply_baseline(
+            exceeded, entries, tmp_path
+        )
+        assert len(new) == 2 and baselined == []
+
+    def test_apply_warns_on_stale_entries(self, tmp_path):
+        entries = {"a.py": {"RPL002": 3}, "gone.py": {"RPL001": 1}}
+        findings = [_finding(str(tmp_path / "a.py"), "RPL002")]
+        new, baselined, stale = baselinelib.apply_baseline(
+            findings, entries, tmp_path
+        )
+        assert new == [] and len(baselined) == 1
+        assert len(stale) == 2
+        assert any("gone.py" in warning for warning in stale)
+
+    def test_invalid_baseline_is_configuration_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            baselinelib.load_baseline(bad)
+        with pytest.raises(ConfigurationError):
+            baselinelib.load_baseline(tmp_path / "missing.json")
+
+    def test_committed_baseline_covers_tests_and_benchmarks(self):
+        """The CI ratchet contract: no NEW findings beyond the baseline."""
+        baseline_path = REPO_ROOT / ".reprolint-baseline.json"
+        assert baseline_path.is_file(), "commit .reprolint-baseline.json"
+        entries = baselinelib.load_baseline(baseline_path)
+        analyzer = Analyzer(
+            AnalyzerConfig(exclude=("tests/data/reprolint_fixtures",))
+        )
+        findings = analyzer.check_paths(
+            [SRC_REPRO, REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+        )
+        new, _baselined, _stale = baselinelib.apply_baseline(
+            findings, entries, REPO_ROOT
+        )
+        assert new == [], "\n".join(f.format() for f in new)
+
+
+# ---------------------------------------------------------------------------
+# SARIF export
+# ---------------------------------------------------------------------------
+class TestSarif:
+    def test_document_structure(self, tmp_path):
+        findings = [_finding(str(tmp_path / "a.py"), "RPL002", line=4)]
+        baselined = [_finding(str(tmp_path / "b.py"), "RPL001", line=7)]
+        document = sariflib.to_sarif(findings, tmp_path, baselined)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids[0] == "RPL000"
+        assert "RPL007" in rule_ids and "RPL009" in rule_ids
+        results = run["results"]
+        assert len(results) == 2
+        by_rule = {r["ruleId"]: r for r in results}
+        assert "suppressions" not in by_rule["RPL002"]
+        assert by_rule["RPL001"]["suppressions"] == [{"kind": "external"}]
+        location = by_rule["RPL002"]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "a.py"
+        assert location["region"]["startLine"] == 4
+
+    def test_write_sarif(self, tmp_path):
+        out = tmp_path / "report.sarif"
+        sariflib.write_sarif(out, [], tmp_path)
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestProjectCli:
+    def test_empty_select_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--select", ",", str(FIXTURES / "rpl001_clean.py")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "names no rules" in err
+        assert "RPL009" in err  # the known-rules list includes new ids
+
+    def test_stats_flag_reports_cache_usage(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/__init__.py": "", "pkg/m.py": "X = 1\n"})
+        argv = [
+            str(tmp_path / "pkg"),
+            "--cache",
+            str(tmp_path / "cache.json"),
+            "--stats",
+        ]
+        assert cli.main(argv) == 0
+        assert "2 file(s) analyzed, 0 from cache" in capsys.readouterr().err
+        assert cli.main(argv) == 0
+        assert "0 file(s) analyzed, 2 from cache" in capsys.readouterr().err
+
+    def test_no_cache_forces_cold_runs(self, tmp_path, capsys):
+        write_tree(tmp_path, {"pkg/__init__.py": "", "pkg/m.py": "X = 1\n"})
+        argv = [str(tmp_path / "pkg"), "--no-cache", "--stats"]
+        cli.main(argv)
+        cli.main(argv)
+        assert "2 file(s) analyzed, 0 from cache" in capsys.readouterr().err
+
+    def test_baseline_workflow_end_to_end(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "def f():\n    raise ValueError('nope')\n", encoding="utf-8"
+        )
+        baseline = tmp_path / "baseline.json"
+        argv_common = [str(dirty), "--no-cache"]
+        # Without a baseline the finding fails the run.
+        assert cli.main(argv_common) == 1
+        capsys.readouterr()
+        # Accept it, then the same run is clean.
+        assert (
+            cli.main([*argv_common, "--baseline", str(baseline), "--update-baseline"])
+            == 0
+        )
+        capsys.readouterr()
+        assert cli.main([*argv_common, "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+        # A second violation exceeds the accepted count and fails again.
+        dirty.write_text(
+            "def f():\n    raise ValueError('a')\n"
+            "def g():\n    raise ValueError('b')\n",
+            encoding="utf-8",
+        )
+        assert cli.main([*argv_common, "--baseline", str(baseline)]) == 1
+
+    def test_sarif_flag_writes_report(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "def f():\n    raise ValueError('nope')\n", encoding="utf-8"
+        )
+        out = tmp_path / "report.sarif"
+        assert (
+            cli.main([str(dirty), "--no-cache", "--sarif", str(out)]) == 1
+        )
+        capsys.readouterr()
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["runs"][0]["results"][0]["ruleId"] == "RPL002"
+
+    def test_json_report_includes_stats_and_baseline(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baselinelib.write_baseline(baseline, [], tmp_path)
+        assert (
+            cli.main(
+                [
+                    str(clean),
+                    "--no-cache",
+                    "--json",
+                    "--baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["stats"]["files_checked"] == 1
+        assert report["baseline"]["suppressed"] == 0
+
+    def test_exclude_flag(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/vendored/bad.py": "def broken(:\n",
+            },
+        )
+        argv = [
+            str(tmp_path / "pkg"),
+            "--no-cache",
+            "--exclude",
+            "pkg/vendored",
+        ]
+        assert cli.main(argv) == 0
+        capsys.readouterr()
