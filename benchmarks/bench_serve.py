@@ -1,0 +1,232 @@
+"""Benchmark: the serving layer (repro.serve) under concurrency.
+
+Three measurements, all over real sockets against an in-process
+server (``ServerHandle`` on port 0):
+
+* **serve-coalesce** — N identical concurrent study submissions must
+  collapse onto exactly one execution.  The gated ``hit_rate`` is
+  ``coalesced / submissions`` read from the server's obs counters —
+  deterministically ``(N-1)/N`` while coalescing works and ~0 the
+  moment it silently breaks, which is exactly what a regression gate
+  wants.  The bench also asserts every client received bitwise-
+  identical result bytes.
+* **serve-saturate** — backpressure at a full queue.  The worker is
+  gated shut (a blocked ``run_study`` stand-in), so capacity is
+  exactly 1 running + ``max_queue`` queued by construction; every
+  further distinct submission must come back 429 with a
+  ``Retry-After`` estimate.  The gated ``reject_rate`` is the
+  rejected fraction of the oversubscribed burst — again
+  deterministic.
+* **serve-analyze** — raw round-trip latency of ``POST /v1/analyze``
+  vs the same closed-form evaluation in-process.  Raw seconds are
+  recorded for the trajectory but never gated (HTTP latency on a
+  shared runner is weather, not signal).
+
+``REPRO_BENCH_SMOKE=1`` shrinks repeat counts;
+``REPRO_RECORD_BENCH=1`` / ``REPRO_BENCH_OUT=<dir>`` record rows to
+``benchmarks/results/bench_serve.json`` or ``<dir>``.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+from _recording import SMOKE, record
+
+import repro.serve.scheduler as scheduler_mod
+from repro.errors import StudyQueueFullError
+from repro.serve import ServeClient, ServeConfig, ServerHandle
+from repro.serve.protocol import parse_analyze_request, run_analyze
+from repro.study import DesignSpec, StudySpec
+
+#: Concurrent clients in the coalescing burst.
+N_CLIENTS = 8
+
+#: Distinct specs thrown at the saturated server (capacity is 2:
+#: one running + one queued).
+N_SATURATE = 6
+
+ANALYZE_REPEATS = 5 if SMOKE else 25
+
+
+def _spec(n_rows: int, start: float) -> StudySpec:
+    values = [start + 0.002 * i for i in range(n_rows)]
+    return StudySpec(
+        design=DesignSpec.knob_axes(axes={"compute_runtime_s": values})
+    )
+
+
+def test_bench_serve_coalesce():
+    """N identical concurrent submissions -> exactly one execution."""
+    handle = ServerHandle(
+        ServeConfig(chunk_rows=8, max_queue=N_CLIENTS)
+    ).start()
+    try:
+        spec_doc = _spec(64, start=0.01).to_dict()
+        barrier = threading.Barrier(N_CLIENTS)
+        results: list = [None] * N_CLIENTS
+        errors: list = []
+
+        def worker(i: int) -> None:
+            try:
+                with ServeClient(port=handle.port) as client:
+                    barrier.wait()
+                    ack = client.submit(spec_doc)
+                    results[i] = client.wait_result(
+                        ack["study_id"], timeout_s=120
+                    )
+            except Exception as exc:
+                errors.append(exc)
+
+        started = perf_counter()
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed_s = perf_counter() - started
+
+        assert not errors, errors
+        assert len(set(results)) == 1, "fan-out was not bitwise identical"
+        counters = handle.server.tracer.counters_snapshot()
+        executed = counters.get("serve.studies.executed", 0)
+        coalesced = counters.get("serve.studies.coalesced", 0)
+        submitted = counters.get("serve.studies.submitted", 0)
+        assert executed == 1, f"expected 1 execution, got {executed}"
+        assert submitted == 1
+        assert coalesced == N_CLIENTS - 1
+        hit_rate = coalesced / (coalesced + submitted)
+        assert hit_rate > 0, "coalescing hit rate must be positive"
+
+        print(
+            f"\nserve-coalesce: {N_CLIENTS} clients, {executed} "
+            f"execution(s), hit_rate {hit_rate:.3f}, "
+            f"{elapsed_s * 1e3:.1f} ms end-to-end"
+        )
+        record(
+            "bench_serve.json",
+            "serve-coalesce",
+            [
+                {
+                    "points": N_CLIENTS,
+                    "hit_rate": hit_rate,
+                    "executed": executed,
+                    "elapsed_s": elapsed_s,
+                }
+            ],
+        )
+    finally:
+        handle.stop()
+
+
+def test_bench_serve_saturate():
+    """An oversubscribed queue rejects the overflow with 429s."""
+
+    gate = threading.Event()
+
+    class _StubResult:
+        def to_json(self) -> str:
+            return "{}"
+
+    def gated_run_study(spec, **kwargs):
+        gate.wait(60)
+        return _StubResult()
+
+    real_run_study = scheduler_mod.run_study
+    scheduler_mod.run_study = gated_run_study
+    handle = ServerHandle(
+        ServeConfig(max_concurrent=1, max_queue=1)
+    ).start()
+    try:
+        accepted = 0
+        rejected = 0
+        retry_after_s = 0.0
+        with ServeClient(port=handle.port) as client:
+            first = client.submit(_spec(8, start=0.01).to_dict())
+            deadline = perf_counter() + 30
+            while client.status(first["study_id"])["state"] != "running":
+                assert perf_counter() < deadline, "worker never started"
+            accepted += 1
+            for i in range(1, N_SATURATE):
+                try:
+                    client.submit(_spec(8, start=0.01 + i).to_dict())
+                    accepted += 1
+                except StudyQueueFullError as exc:
+                    rejected += 1
+                    assert exc.retry_after_s >= 1.0
+                    retry_after_s = exc.retry_after_s
+        # Capacity is exactly 1 running + 1 queued by construction.
+        assert accepted == 2
+        assert rejected == N_SATURATE - 2
+        counters = handle.server.tracer.counters_snapshot()
+        assert counters["serve.studies.rejected"] == rejected
+        reject_rate = rejected / N_SATURATE
+
+        print(
+            f"\nserve-saturate: {accepted} accepted, {rejected} "
+            f"rejected (reject_rate {reject_rate:.3f}), "
+            f"Retry-After {retry_after_s:.1f}s"
+        )
+        record(
+            "bench_serve.json",
+            "serve-saturate",
+            [
+                {
+                    "points": N_SATURATE,
+                    "reject_rate": reject_rate,
+                    "retry_after_s": retry_after_s,
+                }
+            ],
+        )
+    finally:
+        gate.set()
+        handle.stop()
+        scheduler_mod.run_study = real_run_study
+
+
+def test_bench_serve_analyze_latency():
+    """HTTP round-trip vs in-process closed-form (recorded, ungated)."""
+    request = {"uav": "dji-spark", "runtime_s": 0.1}
+    parsed = parse_analyze_request(dict(request))
+
+    handle = ServerHandle(ServeConfig()).start()
+    try:
+        with ServeClient(port=handle.port) as client:
+            client.analyze(dict(request))  # warm-up
+            best_http_s = float("inf")
+            for _ in range(ANALYZE_REPEATS):
+                started = perf_counter()
+                served = client.analyze(dict(request))
+                best_http_s = min(best_http_s, perf_counter() - started)
+        run_analyze(parsed)  # warm-up
+        best_inproc_s = float("inf")
+        for _ in range(ANALYZE_REPEATS):
+            started = perf_counter()
+            local = run_analyze(parsed)
+            best_inproc_s = min(
+                best_inproc_s, perf_counter() - started
+            )
+        assert served == local
+
+        print(
+            f"\nserve-analyze: HTTP {best_http_s * 1e3:.2f} ms vs "
+            f"in-process {best_inproc_s * 1e3:.2f} ms "
+            f"(x{best_http_s / best_inproc_s:.1f} transport cost)"
+        )
+        record(
+            "bench_serve.json",
+            "serve-analyze",
+            [
+                {
+                    "points": ANALYZE_REPEATS,
+                    "latency_s": best_http_s,
+                    "inproc_s": best_inproc_s,
+                }
+            ],
+        )
+    finally:
+        handle.stop()

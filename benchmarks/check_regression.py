@@ -50,6 +50,8 @@ METRICS = {
     "executor-serial": ("overhead", "lower", 10_000),
     "executor-memory": ("peak_ratio", "lower", 0),
     "obs-overhead": ("amp_ratio", "lower", 0),
+    "serve-coalesce": ("hit_rate", "higher", 0),
+    "serve-saturate": ("reject_rate", "higher", 0),
 }
 
 #: Absolute slack for lower-is-better metrics whose baseline sits near

@@ -53,7 +53,7 @@ class WireBuilder:
 
 #: The guarded builders: manifest / shard-record (and the batch-result
 #: and design-matrix documents embedded in shard records), trace events
-#: and telemetry documents.
+#: and telemetry documents, and the serve HTTP envelopes.
 BUILDER_SPECS: Tuple[WireBuilder, ...] = (
     WireBuilder("shard_manifest_to_dict", "MANIFEST_VERSION", ("_MANIFEST_FIELDS",)),
     WireBuilder("shard_record_to_dict", "MANIFEST_VERSION"),
@@ -61,6 +61,33 @@ BUILDER_SPECS: Tuple[WireBuilder, ...] = (
     WireBuilder("batch_result_to_dict", "MANIFEST_VERSION", ("_RESULT_COLUMNS",)),
     WireBuilder("trace_event_to_dict", "TRACE_EVENT_VERSION"),
     WireBuilder("telemetry_from_dict", "TELEMETRY_VERSION"),
+    # Serve envelopes all share one generic emitter + field table, so
+    # each builder folds both into its fingerprint: reshaping any
+    # envelope is a structural change wherever it happens.
+    WireBuilder(
+        "serve_ack_to_dict", "SERVE_PROTOCOL_VERSION",
+        ("_serve_envelope", "_SERVE_ENVELOPE_FIELDS"),
+    ),
+    WireBuilder(
+        "serve_status_to_dict", "SERVE_PROTOCOL_VERSION",
+        ("_serve_envelope", "_SERVE_ENVELOPE_FIELDS"),
+    ),
+    WireBuilder(
+        "serve_progress_to_dict", "SERVE_PROTOCOL_VERSION",
+        ("_serve_envelope", "_SERVE_ENVELOPE_FIELDS"),
+    ),
+    WireBuilder(
+        "serve_error_to_dict", "SERVE_PROTOCOL_VERSION",
+        ("_serve_envelope", "_SERVE_ENVELOPE_FIELDS"),
+    ),
+    WireBuilder(
+        "serve_stats_to_dict", "SERVE_PROTOCOL_VERSION",
+        ("_serve_envelope", "_SERVE_ENVELOPE_FIELDS"),
+    ),
+    WireBuilder(
+        "serve_envelope_from_dict", "SERVE_PROTOCOL_VERSION",
+        ("_SERVE_ENVELOPE_FIELDS", "STUDY_STATES"),
+    ),
 )
 
 
@@ -222,11 +249,66 @@ def runtime_shapes() -> Dict[str, Any]:
         pass
     tracer.counter("rows.evaluated").add(2)
     tracer.gauge("rows_per_s").set(8.0)
+
+    from ..serve.protocol import (
+        ErrorEnvelope,
+        ProgressEvent,
+        ServeStats,
+        StudyAck,
+        StudyStatus,
+    )
+
+    progress_doc = {
+        "done": 1,
+        "total": 2,
+        "rows_done": 1,
+        "rows_total": 2,
+        "elapsed_s": 0.5,
+        "rows_per_s": 2.0,
+        "eta_s": 0.5,
+    }
+    ack = StudyAck(
+        study_id="study-" + "0" * 16,
+        state="queued",
+        coalesced=False,
+        queue_depth=1,
+    )
+    status = StudyStatus(
+        study_id="study-" + "0" * 16,
+        state="running",
+        spec_digest="0" * 64,
+        queue_position=0,
+        progress=progress_doc,
+        error=None,
+        result_ready=False,
+    )
+    event = ProgressEvent(
+        study_id="study-" + "0" * 16,
+        seq=1,
+        state="running",
+        progress=progress_doc,
+        final=False,
+    )
+    error = ErrorEnvelope(
+        status=429,
+        error="StudyQueueFullError",
+        message="study queue is full",
+        retry_after_s=2.0,
+    )
+    stats = ServeStats(
+        counters={"serve.studies.coalesced": 7},
+        gauges={"serve.queue_depth": 0.0},
+    )
     return {
         "shard_manifest": shape_of(ser.shard_manifest_to_dict(manifest)),
         "shard_record": shape_of(ser.shard_record_to_dict(record)),
         "trace_event": shape_of(ser.trace_event_to_dict(span)),
         "telemetry": shape_of(tracer.to_telemetry()),
+        "serve_ack": shape_of(ser.serve_ack_to_dict(ack)),
+        "serve_status": shape_of(ser.serve_status_to_dict(status)),
+        "serve_progress": shape_of(ser.serve_progress_to_dict(event)),
+        "serve_error": shape_of(ser.serve_error_to_dict(error)),
+        "serve_stats": shape_of(ser.serve_stats_to_dict(stats)),
     }
 
 

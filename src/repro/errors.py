@@ -32,6 +32,32 @@ class UnknownComponentError(ReproError, KeyError):
     """A named component (platform, algorithm, sensor) is not registered."""
 
 
+class UnknownStudyError(ReproError, KeyError):
+    """A study id names no study the serving layer knows about."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument (useful for dict
+        # keys, noise for error messages); restore plain text.
+        return str(self.args[0]) if self.args else ""
+
+
+class StudyQueueFullError(ReproError):
+    """The serving layer's study queue is at its depth limit.
+
+    Carries the scheduler's ``retry_after_s`` estimate so the HTTP
+    layer can answer ``429 Too Many Requests`` with a concrete
+    ``Retry-After`` header instead of a bare rejection.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceUnavailableError(ReproError):
+    """The serving layer is not (or no longer) accepting requests."""
+
+
 class ShardExecutionError(ReproError):
     """A sharded-executor worker failed while evaluating one shard.
 

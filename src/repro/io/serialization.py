@@ -37,6 +37,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..batch.matrix import DesignMatrix
     from ..batch.result import BatchResult
     from ..obs.tracer import SpanRecord
+    from ..serve.protocol import (
+        ErrorEnvelope,
+        ProgressEvent,
+        ServeStats,
+        StudyAck,
+        StudyStatus,
+    )
 
 #: Version-stable bound-code wire mapping (Sec. III-B classifications).
 BOUND_CODE_TO_NAME = {
@@ -588,6 +595,175 @@ def telemetry_from_dict(data: Any) -> Dict[str, Any]:
                 f"telemetry field {key!r}: must be a mapping, got "
                 f"{type(data[key]).__name__}"
             )
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Serve envelopes (the wire format of repro.serve)
+# ---------------------------------------------------------------------------
+#: Version stamped on every HTTP envelope :mod:`repro.serve` emits
+#: (acks, statuses, progress events, errors, stats).  Bump on any
+#: shape change, exactly like :data:`MANIFEST_VERSION` above.
+SERVE_PROTOCOL_VERSION = 1
+
+#: Envelope kinds a serve document may carry.
+SERVE_ENVELOPE_KINDS = ("ack", "status", "progress", "error", "stats")
+
+#: Lifecycle states a served study moves through (in order; terminal
+#: states are the last two).
+STUDY_STATES = ("queued", "running", "done", "failed")
+
+#: Required keys per envelope kind (beyond ``version``/``kind``),
+#: shared by the builders below and :func:`serve_envelope_from_dict`.
+_SERVE_ENVELOPE_FIELDS = {
+    "ack": ("study_id", "state", "coalesced", "queue_depth"),
+    "status": (
+        "study_id",
+        "state",
+        "spec_digest",
+        "queue_position",
+        "progress",
+        "error",
+        "result_ready",
+    ),
+    "progress": ("study_id", "seq", "state", "progress", "final"),
+    "error": ("status", "error", "message", "retry_after_s"),
+    "stats": ("counters", "gauges"),
+}
+
+
+def _serve_envelope(kind: str, obj: Any) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "version": SERVE_PROTOCOL_VERSION,
+        "kind": kind,
+    }
+    for name in _SERVE_ENVELOPE_FIELDS[kind]:
+        data[name] = getattr(obj, name)
+    return data
+
+
+def serve_ack_to_dict(ack: "StudyAck") -> Dict[str, Any]:
+    """Serialize a study-submission ack to its JSON wire format.
+
+    The body of ``202 Accepted`` (and of the ``200 OK`` a coalesced
+    resubmission gets)::
+
+        {"version": 1, "kind": "ack",
+         "study_id": "study-9f2c...",   // digest-derived, idempotent
+         "state": "queued",             // lifecycle state at submit
+         "coalesced": false,            // true: joined an existing run
+         "queue_depth": 3}              // queued studies after this one
+    """
+    return _serve_envelope("ack", ack)
+
+
+def serve_status_to_dict(status: "StudyStatus") -> Dict[str, Any]:
+    """Serialize a study status to its JSON wire format.
+
+    The body of ``GET /v1/studies/{id}``::
+
+        {"version": 1, "kind": "status",
+         "study_id": "study-9f2c...",
+         "state": "running",            // queued|running|done|failed
+         "spec_digest": "9f2c...",
+         "queue_position": null,        // 0-based while queued
+         "progress": { ... },           // Progress.to_dict(), or null
+         "error": null,                 // failure message when failed
+         "result_ready": false}         // GET ?result=1 will succeed
+
+    The finished :class:`~repro.study.result.StudyResult` document
+    itself is *not* re-pinned here — it already carries its own
+    ``RESULT_VERSION``.
+    """
+    return _serve_envelope("status", status)
+
+
+def serve_progress_to_dict(event: "ProgressEvent") -> Dict[str, Any]:
+    """Serialize one progress-stream event to its JSON wire format.
+
+    ``GET /v1/studies/{id}/progress`` streams one such object per
+    line; ``seq`` increases monotonically and the ``final`` event
+    carries the terminal state::
+
+        {"version": 1, "kind": "progress",
+         "study_id": "study-9f2c...",
+         "seq": 4,
+         "state": "running",
+         "progress": {"rows_done": 4096, ...},   // or null pre-start
+         "final": false}
+    """
+    return _serve_envelope("progress", event)
+
+
+def serve_error_to_dict(error: "ErrorEnvelope") -> Dict[str, Any]:
+    """Serialize an error envelope to its JSON wire format.
+
+    Every non-2xx serve response carries one, mapping the
+    :mod:`repro.errors` taxonomy onto HTTP::
+
+        {"version": 1, "kind": "error",
+         "status": 429,                       // HTTP status code
+         "error": "StudyQueueFullError",      // taxonomy class name
+         "message": "study queue is full ...",
+         "retry_after_s": 2.0}                // null unless 429/503
+    """
+    return _serve_envelope("error", error)
+
+
+def serve_stats_to_dict(stats: "ServeStats") -> Dict[str, Any]:
+    """Serialize a server stats snapshot to its JSON wire format.
+
+    The body of ``GET /v1/stats``: the serving layer's observability
+    counters and gauges (:mod:`repro.obs` snapshots)::
+
+        {"version": 1, "kind": "stats",
+         "counters": {"serve.studies.coalesced": 7, ...},
+         "gauges": {"serve.queue_depth": 0.0, ...}}
+    """
+    return _serve_envelope("stats", stats)
+
+
+def _serve_error(field: str, message: str) -> ConfigurationError:
+    return ConfigurationError(f"serve envelope field {field!r}: {message}")
+
+
+def serve_envelope_from_dict(data: Any) -> Dict[str, Any]:
+    """Validate any serve envelope; returns the document unchanged.
+
+    The client-side guard: checks the version pin, the ``kind``
+    discriminator, and the kind's required keys, then hands the plain
+    dict back (envelopes stay data end to end; no dataclass rebuild is
+    needed to act on them).
+    """
+    if not isinstance(data, dict):
+        raise _serve_error(
+            "<root>", f"must be a mapping, got {type(data).__name__}"
+        )
+    version = data.get("version")
+    if version != SERVE_PROTOCOL_VERSION:
+        raise _serve_error(
+            "version",
+            f"unsupported version {version!r}; this build reads "
+            f"version {SERVE_PROTOCOL_VERSION}",
+        )
+    kind = data.get("kind")
+    if kind not in _SERVE_ENVELOPE_FIELDS:
+        raise _serve_error(
+            "kind",
+            f"unknown kind {kind!r}; known: "
+            f"{', '.join(SERVE_ENVELOPE_KINDS)}",
+        )
+    missing = [
+        name for name in _SERVE_ENVELOPE_FIELDS[kind] if name not in data
+    ]
+    if missing:
+        raise _serve_error(missing[0], "missing")
+    if "state" in data and data["state"] not in STUDY_STATES:
+        raise _serve_error(
+            "state",
+            f"unknown study state {data['state']!r}; known: "
+            f"{', '.join(STUDY_STATES)}",
+        )
     return data
 
 

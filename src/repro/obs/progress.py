@@ -8,7 +8,7 @@ the derived rows/sec throughput and ETA.  :class:`ProgressPrinter` is
 the stock callback behind the CLI's ``--progress`` flag — one human
 line per update on stderr, never stdout, so piped JSON stays pure.
 
-Anything can hook the callback: a future ``repro.serve`` wires it to
+Anything can hook the callback: :mod:`repro.serve` wires it to
 per-study progress endpoints by storing the latest snapshot instead of
 printing it.
 """
@@ -16,6 +16,7 @@ printing it.
 from __future__ import annotations
 
 import sys
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, TextIO
 
@@ -89,6 +90,14 @@ class ProgressPrinter:
     capture sees it) and throttles to at most one line per
     ``min_interval_s`` — except the final snapshot, which always
     prints so runs end on an accurate line.
+
+    Thread-safe: parallel executors (and the serving layer) may fire
+    the callback from several worker threads at once, so the throttle
+    check, the monotonicity check, and the write are one atomic
+    operation under a lock, and each update lands on the stream as a
+    *single* ``write`` call — lines can never interleave mid-text.
+    Out-of-order snapshots (fewer rows done than already printed) are
+    dropped so the printed sequence is monotone.
     """
 
     def __init__(
@@ -100,16 +109,28 @@ class ProgressPrinter:
         self._stream = stream
         self.min_interval_s = min_interval_s
         self.label = label
+        self._lock = threading.Lock()
         self._last_at: Optional[float] = None
+        self._max_rows_done = -1
 
     def __call__(self, progress: Progress) -> None:
         final = progress.done >= progress.total
-        if (
-            not final
-            and self._last_at is not None
-            and progress.elapsed_s - self._last_at < self.min_interval_s
-        ):
-            return
-        self._last_at = progress.elapsed_s
-        stream = self._stream if self._stream is not None else sys.stderr
-        print(f"{self.label}: {progress.describe()}", file=stream)
+        line = f"{self.label}: {progress.describe()}\n"
+        with self._lock:
+            if not final:
+                if (
+                    self._last_at is not None
+                    and progress.elapsed_s - self._last_at
+                    < self.min_interval_s
+                ):
+                    return
+                if progress.rows_done < self._max_rows_done:
+                    return  # stale snapshot delivered late
+            self._last_at = progress.elapsed_s
+            self._max_rows_done = max(
+                self._max_rows_done, progress.rows_done
+            )
+            stream = (
+                self._stream if self._stream is not None else sys.stderr
+            )
+            stream.write(line)

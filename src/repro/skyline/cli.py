@@ -14,6 +14,7 @@ Examples::
     repro-skyline study --spec big.json --workers 4 --resume ckpt/
     repro-skyline study --spec big.json --workers 4 --chunk-rows 65536 \\
         --trace trace.json --metrics --progress --json > result.json
+    repro-skyline serve --port 8351 --max-concurrent 2 --max-queue 32
     repro-skyline list
 """
 
@@ -22,14 +23,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..autonomy.workloads import ALGORITHMS
 from ..compute.platforms import PLATFORMS
 from ..errors import ReproError
-from ..io.serialization import configuration_to_dict
 from ..uav.registry import UAV_PRESETS
-from .tool import Skyline, SkylineReport
+from .tool import Skyline
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -158,31 +158,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "to stderr while the study runs",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the skyline HTTP service (inline analyze + queued "
+        "studies with coalescing and progress streaming)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8351,
+        help="TCP port (default 8351; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int,
+        help="fan each study's shards over this many workers (>= 1; "
+        "default: in-process serial)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="queued studies before new submissions get 429 "
+        "(default 16)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=1,
+        help="studies executing at once (default 1)",
+    )
+    serve.add_argument(
+        "--backend", choices=("process", "thread", "serial"),
+        help="worker backend (requires --workers; default: process)",
+    )
+    serve.add_argument(
+        "--chunk-rows", type=int,
+        help="rows per shard (>= 1; default scales with study size)",
+    )
+    serve.add_argument(
+        "--checkpoint-root", metavar="DIR",
+        help="write per-study shard checkpoints under DIR "
+        "(restarting the server reuses completed shards)",
+    )
+
     sub.add_parser("list", help="list presets, platforms and algorithms")
     return parser
-
-
-def _report_to_dict(report: SkylineReport) -> Dict[str, Any]:
-    """The analyze pane as a JSON-compatible dict (stable names)."""
-    analysis = report.analysis
-    model = analysis.model
-    return {
-        "uav": configuration_to_dict(report.uav),
-        "algorithm": report.algorithm_name,
-        "f_compute_hz": report.f_compute_hz,
-        "analysis": {
-            "safe_velocity": model.safe_velocity,
-            "roof_velocity": model.roof_velocity,
-            "knee_hz": model.knee.throughput_hz,
-            "knee_velocity": model.knee.velocity,
-            "action_throughput_hz": model.action_throughput_hz,
-            "bound": analysis.bound.value,
-            "status": analysis.optimality.status.value,
-            "provisioning_factor": analysis.optimality.provisioning_factor,
-            "tips": list(analysis.tips),
-            "tdp_scenario": analysis.tdp_scenario,
-        },
-    }
 
 
 def _run_analyze(args: argparse.Namespace) -> int:
@@ -199,7 +217,7 @@ def _run_analyze(args: argparse.Namespace) -> int:
             1.0 / args.runtime, label=f"runtime={args.runtime:g}s"
         )
     if args.json:
-        print(json.dumps(_report_to_dict(report), indent=2))
+        print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.text())
         if args.ascii:
@@ -343,6 +361,79 @@ def _run_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from time import sleep
+
+    if not 0 <= args.port <= 65535:
+        print(
+            f"error: --port must be in [0, 65535], got {args.port}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_queue < 1:
+        print(
+            f"error: --max-queue must be >= 1, got {args.max_queue}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_concurrent < 1:
+        print(
+            f"error: --max-concurrent must be >= 1, got "
+            f"{args.max_concurrent}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.chunk_rows is not None and args.chunk_rows < 1:
+        print(
+            f"error: --chunk-rows must be >= 1, got {args.chunk_rows}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backend is not None and args.workers is None:
+        print(
+            "error: --backend requires --workers (without workers "
+            "each study runs in-process)",
+            file=sys.stderr,
+        )
+        return 2
+
+    from ..serve import ServeConfig, ServerHandle
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        max_queue=args.max_queue,
+        study_workers=args.workers,
+        backend=args.backend or "process",
+        chunk_rows=args.chunk_rows,
+        checkpoint_root=args.checkpoint_root,
+    )
+    handle = ServerHandle(config).start()
+    # Diagnostics to stderr, like every other subcommand.
+    print(
+        f"repro-skyline serve listening on "
+        f"http://{args.host}:{handle.port} "
+        f"(max_concurrent={args.max_concurrent}, "
+        f"max_queue={args.max_queue})",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            sleep(3600)
+    except KeyboardInterrupt:
+        print("repro-skyline serve: shutting down", file=sys.stderr)
+    finally:
+        handle.stop()
+    return 0
+
+
 def _run_list() -> int:
     print("UAV presets:")
     for name in sorted(UAV_PRESETS):
@@ -368,6 +459,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_sweep(args)
         if args.command == "study":
             return _run_study(args)
+        if args.command == "serve":
+            return _run_serve(args)
         return _run_list()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

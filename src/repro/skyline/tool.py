@@ -53,6 +53,36 @@ class SkylineReport:
         """The analysis pane as text."""
         return render_report(self)
 
+    def to_dict(self) -> "dict[str, object]":
+        """The report as a JSON-compatible dict (stable names).
+
+        The document behind both ``repro-skyline analyze --json`` and
+        the serving layer's ``POST /v1/analyze`` responses.
+        """
+        from ..io.serialization import configuration_to_dict
+
+        analysis = self.analysis
+        model = analysis.model
+        return {
+            "uav": configuration_to_dict(self.uav),
+            "algorithm": self.algorithm_name,
+            "f_compute_hz": self.f_compute_hz,
+            "analysis": {
+                "safe_velocity": model.safe_velocity,
+                "roof_velocity": model.roof_velocity,
+                "knee_hz": model.knee.throughput_hz,
+                "knee_velocity": model.knee.velocity,
+                "action_throughput_hz": model.action_throughput_hz,
+                "bound": analysis.bound.value,
+                "status": analysis.optimality.status.value,
+                "provisioning_factor": (
+                    analysis.optimality.provisioning_factor
+                ),
+                "tips": list(analysis.tips),
+                "tdp_scenario": analysis.tdp_scenario,
+            },
+        }
+
 
 class Skyline:
     """A Skyline exploration session."""

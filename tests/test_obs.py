@@ -9,7 +9,7 @@ from time import perf_counter
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.obs import (
     Progress,
     ProgressPrinter,
@@ -65,9 +65,9 @@ class TestTracerSpans:
 
     def test_span_still_records_when_body_raises(self):
         tracer = Tracer()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(SimulationError):
             with tracer.span("doomed"):
-                raise RuntimeError("boom")
+                raise SimulationError("boom")
         assert tracer.span_names() == ("doomed",)
 
     def test_concurrent_spans_all_recorded(self):
@@ -375,3 +375,105 @@ class TestProgressPrinter:
         captured = capsys.readouterr()
         assert captured.out == ""
         assert "shards 4/4" in captured.err
+
+    def test_drops_out_of_order_snapshots(self):
+        # A parallel executor can deliver shard 2's callback after
+        # shard 3's; the printed sequence must stay monotone in rows.
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(self._snapshot(3, 0.3))
+        printer(self._snapshot(2, 0.4))  # stale: fewer rows done
+        printer(self._snapshot(4, 0.5))  # final
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "shards 3/4" in lines[0]
+        assert "shards 4/4" in lines[1]
+
+
+class _ChunkRecordingStream(io.StringIO):
+    """Records every raw ``write`` chunk (the tearing witness)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.chunks: list[str] = []
+
+    def write(self, text: str) -> int:
+        self.chunks.append(text)
+        return super().write(text)
+
+
+class TestProgressPrinterThreadSafety:
+    """The serving layer drives one printer from many worker threads;
+    updates must land atomically, throttled, and monotone."""
+
+    def _snapshot(self, done: int, elapsed: float) -> Progress:
+        return Progress(
+            done=done,
+            total=1000,
+            rows_done=done,
+            rows_total=1000,
+            elapsed_s=elapsed,
+        )
+
+    def test_each_update_is_a_single_write(self):
+        # The atomicity contract concurrent writers rely on: one
+        # update == one stream.write of one whole line.  (The old
+        # print()-based implementation wrote text and newline as two
+        # chunks, so two threads could interleave mid-line.)
+        stream = _ChunkRecordingStream()
+        printer = ProgressPrinter(stream=stream)
+        printer(self._snapshot(1, 1.0))
+        printer(self._snapshot(2, 2.0))
+        assert len(stream.chunks) == 2
+        for chunk in stream.chunks:
+            assert chunk.endswith("\n")
+            assert chunk.count("\n") == 1
+
+    def test_concurrent_updates_never_tear_lines(self):
+        stream = _ChunkRecordingStream()
+        printer = ProgressPrinter(stream=stream, label="svc")
+        barrier = threading.Barrier(8)
+
+        def work(thread_index: int) -> None:
+            barrier.wait()
+            for step in range(50):
+                printer(self._snapshot(thread_index * 50 + step, 1.0))
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every chunk is one complete line; nothing interleaved.
+        assert stream.chunks
+        for chunk in stream.chunks:
+            assert chunk.startswith("svc: shards ")
+            assert chunk.endswith("\n")
+            assert chunk.count("\n") == 1
+        # And the printed row counts are monotone non-decreasing.
+        rows = [
+            int(chunk.split("shards ")[1].split("/")[0])
+            for chunk in stream.chunks
+        ]
+        assert rows == sorted(rows)
+
+    def test_throttle_is_atomic_under_concurrency(self):
+        # All 8 threads deliver at the same elapsed time; the
+        # check-then-set throttle must admit exactly one line (the
+        # unlocked version let every thread observe 'no line yet').
+        stream = _ChunkRecordingStream()
+        printer = ProgressPrinter(stream=stream, min_interval_s=60.0)
+        barrier = threading.Barrier(8)
+
+        def work() -> None:
+            barrier.wait()
+            printer(self._snapshot(1, 0.0))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(stream.chunks) == 1

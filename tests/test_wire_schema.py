@@ -65,6 +65,7 @@ def test_snapshot_versions_match_live_constants(snapshot):
         "MANIFEST_VERSION": ser.MANIFEST_VERSION,
         "TRACE_EVENT_VERSION": ser.TRACE_EVENT_VERSION,
         "TELEMETRY_VERSION": ser.TELEMETRY_VERSION,
+        "SERVE_PROTOCOL_VERSION": ser.SERVE_PROTOCOL_VERSION,
     }
     for entry in snapshot["builders"].values():
         const = entry["version_const"]
@@ -79,3 +80,6 @@ def test_versioned_documents_carry_their_version(live_shapes):
     # trace events ride inside a versioned trace file instead.
     assert live_shapes["shard_manifest"]["version"] == "int"
     assert live_shapes["telemetry"]["version"] == "int"
+    for kind in ("ack", "status", "progress", "error", "stats"):
+        assert live_shapes[f"serve_{kind}"]["version"] == "int"
+        assert live_shapes[f"serve_{kind}"]["kind"] == "str"
