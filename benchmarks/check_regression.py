@@ -52,6 +52,7 @@ METRICS = {
     "obs-overhead": ("amp_ratio", "lower", 0),
     "serve-coalesce": ("hit_rate", "higher", 0),
     "serve-saturate": ("reject_rate", "higher", 0),
+    "distrib-identity": ("match_rate", "higher", 0),
 }
 
 #: Absolute slack for lower-is-better metrics whose baseline sits near

@@ -38,6 +38,17 @@ from .rules import UNIT_DIMENSIONS, unit_suffix
 #: Backticked dotted repro.* names in markdown docs (RPL009 part d).
 _DOC_SYMBOL_RE = re.compile(r"``?(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)``?")
 
+#: Markdown inline links (RPL009 part e): ``[text](target)``.
+_DOC_LINK_RE = re.compile(r"\[[^\]\n]*\]\(([^)\s]+)\)")
+
+#: Module-level wire version constants (RPL009 part f): every
+#: ``*_VERSION`` constant of the serialization layer must be pinned to
+#: exactly one docs page, so the normative spec cannot fork.
+_WIRE_CONST_RE = re.compile(r"\A[A-Z][A-Z0-9_]*_VERSION\Z")
+
+#: The module whose version constants part (f) audits.
+_WIRE_MODULE = "repro.io.serialization"
+
 
 # ---------------------------------------------------------------------------
 # RPL007 — worker-state safety
@@ -283,14 +294,21 @@ class ExportDriftRule(ProjectRule):
         "checks exact: every __all__ entry and from-import must "
         "resolve to a real symbol, every top-level private function "
         "must be referenced somewhere, and every backticked repro.* "
-        "symbol in the docs must still exist."
+        "symbol in the docs must still exist.  The docs pages are "
+        "contract surface too: their relative cross-links must "
+        "resolve, and every wire *_VERSION constant must be "
+        "documented on exactly one docs page (a version constant "
+        "described in two places is a spec fork waiting to happen)."
     )
 
     def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        docs = self._read_doc_files(graph)
         yield from self._check_all_exports(graph)
         yield from self._check_import_targets(graph)
         yield from self._check_dead_privates(graph)
-        yield from self._check_docs(graph)
+        yield from self._check_docs(graph, docs)
+        yield from self._check_doc_links(docs)
+        yield from self._check_wire_constants(graph, docs)
 
     # -- (a) __all__ entries that no longer resolve ----------------------
     def _check_all_exports(self, graph: ProjectGraph) -> Iterator[Finding]:
@@ -371,14 +389,24 @@ class ExportDriftRule(ProjectRule):
                     f"it back in",
                 )
 
-    # -- (d) documented symbols that no longer exist ---------------------
-    def _check_docs(self, graph: ProjectGraph) -> Iterator[Finding]:
+    @staticmethod
+    def _read_doc_files(graph: ProjectGraph) -> List[Tuple[Path, str]]:
+        """Each configured doc file with its text (unreadable skipped)."""
+        docs: List[Tuple[Path, str]] = []
         for doc in graph.config.doc_files:
             doc_path = Path(doc)
             try:
                 text = doc_path.read_text(encoding="utf-8")
             except OSError:
                 continue  # a missing doc file is not this rule's problem
+            docs.append((doc_path, text))
+        return docs
+
+    # -- (d) documented symbols that no longer exist ---------------------
+    def _check_docs(
+        self, graph: ProjectGraph, docs: List[Tuple[Path, str]]
+    ) -> Iterator[Finding]:
+        for doc_path, text in docs:
             for match in _DOC_SYMBOL_RE.finditer(text):
                 dotted = match.group(1)
                 missing = self._doc_symbol_missing(graph, dotted)
@@ -418,3 +446,99 @@ class ExportDriftRule(ProjectRule):
         if symbol in graph.bindings(module_name):
             return False
         return True
+
+    # -- (e) doc cross-links that do not resolve -------------------------
+    def _check_doc_links(
+        self, docs: List[Tuple[Path, str]]
+    ) -> Iterator[Finding]:
+        """Relative markdown links between doc pages must resolve.
+
+        Only filesystem-relative targets are judged (external URLs and
+        ``#fragment`` anchors are skipped): a broken ``(operations.md)``
+        link strands readers of the normative spec pages.
+        """
+        for doc_path, text in docs:
+            for match in _DOC_LINK_RE.finditer(text):
+                target = match.group(1)
+                if target.startswith(
+                    ("http://", "https://", "mailto:", "#")
+                ):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                if (doc_path.parent / relative).exists():
+                    continue
+                line = text.count("\n", 0, match.start()) + 1
+                col = (
+                    match.start()
+                    - (text.rfind("\n", 0, match.start()) + 1)
+                    + 1
+                )
+                yield Finding(
+                    path=doc_path.as_posix(),
+                    line=line,
+                    col=col,
+                    rule=self.id,
+                    message=(
+                        f"cross-link target {target!r} does not resolve "
+                        f"({relative} is missing next to this page); "
+                        f"fix the link or restore the file"
+                    ),
+                )
+
+    # -- (f) wire version constants pinned to exactly one docs page ------
+    def _check_wire_constants(
+        self, graph: ProjectGraph, docs: List[Tuple[Path, str]]
+    ) -> Iterator[Finding]:
+        """Every ``*_VERSION`` wire constant on exactly one docs page.
+
+        The serialization layer's version constants are the handles of
+        the normative wire specs; a constant documented nowhere has no
+        spec, and one documented on two pages will drift apart.  Only
+        pages under a ``docs/`` directory count (the README may mention
+        formats generically); the check is skipped entirely when no
+        such pages are configured or the serialization module is not in
+        the analyzed tree, so partial-tree runs stay quiet.
+        """
+        module = graph.modules.get(_WIRE_MODULE)
+        if module is None:
+            return
+        pages = [
+            (path, text)
+            for path, text in docs
+            if path.parent.name == "docs"
+        ]
+        if not pages:
+            return
+        for name in sorted(module.symbols):
+            if module.symbols[name] != "const":
+                continue
+            if not _WIRE_CONST_RE.match(name):
+                continue
+            mention = re.compile(rf"\b{re.escape(name)}\b")
+            hits = [
+                path.name for path, text in pages if mention.search(text)
+            ]
+            if len(hits) == 1:
+                continue
+            if not hits:
+                message = (
+                    f"wire version constant {name!r} is not documented "
+                    f"on any docs page; give its format a normative "
+                    f"home (see docs/distributed-protocol.md for the "
+                    f"pattern)"
+                )
+            else:
+                message = (
+                    f"wire version constant {name!r} is documented on "
+                    f"{len(hits)} docs pages ({', '.join(sorted(hits))}); "
+                    f"pin it to exactly one page so the spec cannot fork"
+                )
+            yield from self.project_finding(
+                graph,
+                module.path,
+                module.symbol_lines.get(name, 1),
+                1,
+                message,
+            )

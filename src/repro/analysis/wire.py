@@ -59,6 +59,14 @@ BUILDER_SPECS: Tuple[WireBuilder, ...] = (
     WireBuilder("shard_record_to_dict", "MANIFEST_VERSION"),
     WireBuilder("design_matrix_to_dict", "MANIFEST_VERSION", ("_MATRIX_COLUMNS",)),
     WireBuilder("batch_result_to_dict", "MANIFEST_VERSION", ("_RESULT_COLUMNS",)),
+    WireBuilder(
+        "lease_record_to_dict", "DISTRIB_PROTOCOL_VERSION",
+        ("_LEASE_FIELDS",),
+    ),
+    WireBuilder(
+        "lease_record_from_dict", "DISTRIB_PROTOCOL_VERSION",
+        ("_LEASE_FIELDS",),
+    ),
     WireBuilder("trace_event_to_dict", "TRACE_EVENT_VERSION"),
     WireBuilder("telemetry_from_dict", "TELEMETRY_VERSION"),
     # Serve envelopes all share one generic emitter + field table, so
@@ -237,6 +245,15 @@ def runtime_shapes() -> Dict[str, Any]:
         local_indices=np.asarray([0, 1], dtype=np.intp),
         extras={"total_mass_g": np.asarray([100.0, 101.0])},
     )
+    from ..distrib.lease import LeaseRecord
+
+    lease = LeaseRecord(
+        spec_digest="0" * 32,
+        shard_index=3,
+        owner="host-a-12041",
+        lease_ttl_s=30.0,
+        heartbeats=7,
+    )
     span = SpanRecord(
         name="study.execute",
         start_s=0.0,
@@ -302,6 +319,7 @@ def runtime_shapes() -> Dict[str, Any]:
     return {
         "shard_manifest": shape_of(ser.shard_manifest_to_dict(manifest)),
         "shard_record": shape_of(ser.shard_record_to_dict(record)),
+        "lease_record": shape_of(ser.lease_record_to_dict(lease)),
         "trace_event": shape_of(ser.trace_event_to_dict(span)),
         "telemetry": shape_of(tracer.to_telemetry()),
         "serve_ack": shape_of(ser.serve_ack_to_dict(ack)),

@@ -756,14 +756,15 @@ class CheckpointStore:
             )
         elif existing != manifest:
             mismatched = [
-                name
+                f"{name} (checkpoint has {getattr(existing, name)!r}, "
+                f"this run has {getattr(manifest, name)!r})"
                 for name in manifest.__dataclass_fields__
                 if getattr(existing, name) != getattr(manifest, name)
             ]
             raise ConfigurationError(
                 f"checkpoint directory {directory} was written by a "
-                f"different run: manifest field(s) "
-                f"{', '.join(map(repr, mismatched))} do not match "
+                f"different run: manifest field(s) do not match: "
+                f"{'; '.join(mismatched)} "
                 "(pass a fresh directory, or re-run with the original "
                 "spec and chunking)"
             )
@@ -787,32 +788,59 @@ class CheckpointStore:
         """
         completed: Dict[int, ShardResult] = {}
         for path in sorted(self.directory.glob("shard-*.jsonl")):
-            try:
-                data = json.loads(path.read_text(encoding="utf-8"))
-                result = shard_record_from_dict(data)
-                # The manifest's uniform chunking fully determines every
-                # shard's row range, so a record whose range disagrees
-                # with its index (a hand-edited or misfiled record)
-                # would silently misplace rows if trusted.
-                start = result.index * self.manifest.chunk_rows
-                stop = min(
-                    start + self.manifest.chunk_rows,
-                    self.manifest.total_rows,
-                )
-                if not (
-                    0 <= result.index < self.manifest.n_shards
-                    and (result.start, result.stop) == (start, stop)
-                ):
-                    raise ConfigurationError(
-                        f"row range [{result.start}, {result.stop}) does "
-                        f"not match shard {result.index} of the manifest "
-                        f"chunking ([{start}, {stop}))"
-                    )
-            except (OSError, json.JSONDecodeError, ConfigurationError) as exc:
-                self.skipped.append(f"{path.name}: {exc}")
-                continue
-            completed[result.index] = result
+            result = self._read_record(path)
+            if result is not None:
+                completed[result.index] = result
         return completed
+
+    def load_shard(self, index: int) -> Optional[ShardResult]:
+        """The record for one shard, if a valid one is on disk.
+
+        Same validation contract as :meth:`load_completed`, scoped to a
+        single index — the distributed executor polls with this to pick
+        up shards finished by *other* workers without re-reading the
+        whole directory.  An invalid or misfiled record reads as
+        "absent" (and is noted in :attr:`skipped`), so a torn record is
+        recomputed, never trusted.
+        """
+        path = self.shard_path(index)
+        if not path.exists():
+            return None
+        result = self._read_record(path)
+        if result is not None and result.index != index:
+            self.skipped.append(
+                f"{path.name}: record index {result.index} does not match "
+                f"file name"
+            )
+            return None
+        return result
+
+    def _read_record(self, path: Path) -> Optional[ShardResult]:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            result = shard_record_from_dict(data)
+            # The manifest's uniform chunking fully determines every
+            # shard's row range, so a record whose range disagrees
+            # with its index (a hand-edited or misfiled record)
+            # would silently misplace rows if trusted.
+            start = result.index * self.manifest.chunk_rows
+            stop = min(
+                start + self.manifest.chunk_rows,
+                self.manifest.total_rows,
+            )
+            if not (
+                0 <= result.index < self.manifest.n_shards
+                and (result.start, result.stop) == (start, stop)
+            ):
+                raise ConfigurationError(
+                    f"row range [{result.start}, {result.stop}) does "
+                    f"not match shard {result.index} of the manifest "
+                    f"chunking ([{start}, {stop}))"
+                )
+        except (OSError, json.JSONDecodeError, ConfigurationError) as exc:
+            self.skipped.append(f"{path.name}: {exc}")
+            return None
+        return result
 
 
 def _atomic_write(path: Path, text: str) -> None:

@@ -1,0 +1,166 @@
+"""Joining workers: pull shards of a study someone else initiated.
+
+``repro-skyline worker --work-dir DIR`` is this module's CLI face: it
+waits for the initiator's ``manifest.json`` + ``spec.json`` to appear,
+rebuilds the shard list locally (the spec is the *whole* study — no
+row data crosses the wire), and runs the same drive loop as
+:class:`~repro.distrib.executor.DistributedExecutor` until every shard
+has a record.  Workers are stateless and interchangeable: any number
+may join, leave, or crash at any point without coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter, sleep
+from typing import Dict, Optional, Tuple, Union
+
+from ..batch.executor import CheckpointStore, ShardManifest, iter_chunks
+from ..errors import ConfigurationError
+from ..obs.tracer import Tracer
+from .executor import (
+    SPEC_FILE_NAME,
+    _drive,
+    _HeartbeatPump,
+    _study_evaluator,
+    default_worker_id,
+)
+from .lease import DEFAULT_LEASE_TTL_S, LeaseStore
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """What one worker contributed to a study."""
+
+    worker_id: str
+    spec_digest: str
+    shards_total: int
+    computed: int
+    loaded: int
+    resumed: int
+    rows_computed: int
+    elapsed_s: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def open_study(
+    work_dir: Union[str, Path],
+    wait_s: float = 0.0,
+    poll_interval_s: float = 0.25,
+) -> Tuple["ShardManifest", object]:
+    """The (manifest, spec) published in a distributed work dir.
+
+    Waits up to ``wait_s`` for both files to appear (workers routinely
+    start before the initiator has stamped the directory), then
+    validates that the spec actually matches the manifest digest —
+    naming both digests on mismatch, since "which study is this
+    directory running?" is the first operator question.
+    """
+    directory = Path(work_dir)
+    spec_path = directory / SPEC_FILE_NAME
+    deadline = perf_counter() + max(0.0, wait_s)
+    while True:
+        manifest = CheckpointStore.peek_manifest(directory)
+        if manifest is not None and spec_path.exists():
+            break
+        if perf_counter() >= deadline:
+            raise ConfigurationError(
+                f"no distributed study at {directory} (needs "
+                f"manifest.json and {SPEC_FILE_NAME}); start one with "
+                "'repro-skyline study --distributed --work-dir "
+                f"{directory}', or raise --wait if the initiator is "
+                "still starting"
+            )
+        sleep(poll_interval_s)
+    if manifest.kind != "study":
+        raise ConfigurationError(
+            f"work dir {directory} holds a {manifest.kind!r} "
+            "checkpoint; distributed workers can only join 'study' "
+            "runs (their shards rebuild from the published spec)"
+        )
+    from ..study.spec import StudySpec
+
+    spec = StudySpec.from_json(spec_path.read_text(encoding="utf-8"))
+    found = spec.content_digest()
+    if found != manifest.digest:
+        raise ConfigurationError(
+            f"work dir {directory} is inconsistent: manifest digest is "
+            f"{manifest.digest!r} but {SPEC_FILE_NAME} digest is "
+            f"{found!r} (the directory was mixed from two runs; pass a "
+            "fresh --work-dir)"
+        )
+    return manifest, spec
+
+
+def run_worker(
+    work_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    poll_interval_s: Optional[float] = None,
+    wait_s: float = 0.0,
+    tracer: Optional[Tracer] = None,
+) -> WorkerReport:
+    """Join the study in ``work_dir`` and pull shards until it's done.
+
+    Returns once every shard of the study has a record on disk —
+    whether this worker computed it, another worker did, or it was
+    already checkpointed.  Safe to run any number of times, from any
+    number of hosts, concurrently with the initiator.
+    """
+    if poll_interval_s is None:
+        poll_interval_s = min(1.0, lease_ttl_s / 4.0)
+    if not poll_interval_s > 0:
+        raise ConfigurationError(
+            f"poll_interval_s must be > 0, got {poll_interval_s}"
+        )
+    manifest, spec = open_study(
+        work_dir, wait_s=wait_s, poll_interval_s=min(0.25, poll_interval_s)
+    )
+    owner = worker_id or default_worker_id()
+    shards = list(
+        iter_chunks(
+            spec, chunk_rows=manifest.chunk_rows, reduce=manifest.reduce
+        )
+    )
+    store = CheckpointStore.open(work_dir, manifest)
+    leases = LeaseStore(
+        work_dir,
+        manifest.digest,
+        owner,
+        lease_ttl_s=lease_ttl_s,
+        tracer=tracer,
+    )
+    pump = _HeartbeatPump(leases, lease_ttl_s / 3.0, tracer=tracer)
+    events = {"computed": 0, "loaded": 0, "resumed": 0}
+    rows_computed = 0
+    started = perf_counter()
+    pump.start()
+    try:
+        for event, result in _drive(
+            store,
+            leases,
+            shards,
+            _study_evaluator(tracer),
+            poll_interval_s,
+            pump,
+            tracer=tracer,
+        ):
+            events[event] += 1
+            if event == "computed":
+                rows_computed += result.stop - result.start
+    finally:
+        pump.stop()
+    return WorkerReport(
+        worker_id=owner,
+        spec_digest=manifest.digest,
+        shards_total=len(shards),
+        computed=events["computed"],
+        loaded=events["loaded"],
+        resumed=events["resumed"],
+        rows_computed=rows_computed,
+        elapsed_s=perf_counter() - started,
+        counters=(
+            tracer.counters_snapshot() if tracer is not None else {}
+        ),
+    )

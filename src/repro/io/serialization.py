@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..batch.executor import ShardManifest, ShardResult
     from ..batch.matrix import DesignMatrix
     from ..batch.result import BatchResult
+    from ..distrib.lease import LeaseRecord
     from ..obs.tracer import SpanRecord
     from ..serve.protocol import (
         ErrorEnvelope,
@@ -477,6 +478,116 @@ def shard_record_from_dict(data: Any) -> "ShardResult":
             name: np.asarray(column, dtype=np.float64)
             for name, column in extras.items()
         },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Distributed lease files (the wire format of repro.distrib)
+# ---------------------------------------------------------------------------
+#: Version stamped on every lease document.  Bump on any shape change,
+#: exactly like :data:`MANIFEST_VERSION` above; workers refuse leases
+#: from a different protocol generation rather than guessing.
+DISTRIB_PROTOCOL_VERSION = 1
+
+_LEASE_FIELDS = (
+    "spec_digest",
+    "shard_index",
+    "owner",
+    "lease_ttl_s",
+    "heartbeats",
+)
+
+
+def _lease_error(field: str, message: str) -> ConfigurationError:
+    return ConfigurationError(f"lease record field {field!r}: {message}")
+
+
+def lease_record_to_dict(record: "LeaseRecord") -> Dict[str, Any]:
+    """Serialize one shard lease to its JSON wire format.
+
+    ``leases/shard-<index>.lease.json`` marks a shard as claimed by one
+    worker; liveness is the *file's mtime* (refreshed atomically on
+    every heartbeat), never a wall-clock timestamp in the body::
+
+        {"version": 1, "kind": "lease",
+         "spec_digest": "9f2c...",    // study the shard belongs to
+         "shard_index": 3,
+         "owner": "host-a-12041",     // claiming worker's id
+         "lease_ttl_s": 30.0,         // holder's declared ttl
+         "heartbeats": 7}             // refresh count (diagnostics)
+
+    The file's presence is the claim, its creation (``O_EXCL``) is the
+    arbitration, and staleness is judged by comparing its mtime against
+    a freshly-written probe file on the *same* filesystem, so hosts
+    need no synchronized clocks.
+    """
+    data: Dict[str, Any] = {
+        "version": DISTRIB_PROTOCOL_VERSION,
+        "kind": "lease",
+    }
+    for name in _LEASE_FIELDS:
+        data[name] = getattr(record, name)
+    return data
+
+
+def lease_record_from_dict(data: Any) -> "LeaseRecord":
+    """Rebuild a lease from :func:`lease_record_to_dict` output.
+
+    Strict by design: any malformed lease raises
+    :class:`~repro.errors.ConfigurationError`, which the lease store
+    maps to "treat as expired, warn, re-claim" — a torn or corrupt
+    lease must never wedge a shard forever.
+    """
+    from ..distrib.lease import LeaseRecord
+
+    if not isinstance(data, dict):
+        raise _lease_error(
+            "<root>", f"must be a mapping, got {type(data).__name__}"
+        )
+    version = data.get("version")
+    if version != DISTRIB_PROTOCOL_VERSION:
+        raise _lease_error(
+            "version",
+            f"unsupported version {version!r}; this build reads "
+            f"version {DISTRIB_PROTOCOL_VERSION}",
+        )
+    if data.get("kind") != "lease":
+        raise _lease_error(
+            "kind", f"must be 'lease', got {data.get('kind')!r}"
+        )
+    missing = [name for name in _LEASE_FIELDS if name not in data]
+    if missing:
+        raise _lease_error(missing[0], "missing")
+    if not isinstance(data["spec_digest"], str) or not data["spec_digest"]:
+        raise _lease_error(
+            "spec_digest",
+            f"must be a non-empty string, got {data['spec_digest']!r}",
+        )
+    if not isinstance(data["shard_index"], int) or data["shard_index"] < 0:
+        raise _lease_error(
+            "shard_index",
+            f"must be a non-negative integer, got {data['shard_index']!r}",
+        )
+    if not isinstance(data["owner"], str) or not data["owner"]:
+        raise _lease_error(
+            "owner", f"must be a non-empty string, got {data['owner']!r}"
+        )
+    ttl = data["lease_ttl_s"]
+    if isinstance(ttl, bool) or not isinstance(ttl, (int, float)) or ttl <= 0:
+        raise _lease_error(
+            "lease_ttl_s", f"must be a positive number, got {ttl!r}"
+        )
+    if not isinstance(data["heartbeats"], int) or data["heartbeats"] < 0:
+        raise _lease_error(
+            "heartbeats",
+            f"must be a non-negative integer, got {data['heartbeats']!r}",
+        )
+    return LeaseRecord(
+        spec_digest=data["spec_digest"],
+        shard_index=data["shard_index"],
+        owner=data["owner"],
+        lease_ttl_s=float(ttl),
+        heartbeats=data["heartbeats"],
     )
 
 

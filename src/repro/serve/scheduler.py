@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from pathlib import Path
-from typing import Deque, Optional, Union
+from typing import Any, Deque, Optional, Union
 
 from ..batch.executor import ParallelExecutor, default_chunk_rows
 from ..errors import (
@@ -69,6 +69,7 @@ class StudyScheduler:
         backend: str = "process",
         chunk_rows: Optional[int] = None,
         checkpoint_root: Optional[Union[str, Path]] = None,
+        distrib_root: Optional[Union[str, Path]] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
         if max_concurrent < 1:
@@ -93,8 +94,17 @@ class StudyScheduler:
         self.study_workers = study_workers
         self.backend = backend
         self.chunk_rows = chunk_rows
+        if checkpoint_root is not None and distrib_root is not None:
+            raise ConfigurationError(
+                "checkpoint_root and distrib_root are mutually "
+                "exclusive: a distributed work dir already checkpoints "
+                "every shard"
+            )
         self.checkpoint_root = (
             Path(checkpoint_root) if checkpoint_root is not None else None
+        )
+        self.distrib_root = (
+            Path(distrib_root) if distrib_root is not None else None
         )
         # The scheduler's tracer is always-on: counters and gauges are
         # the service's public /v1/stats surface, not an opt-in debug
@@ -234,7 +244,7 @@ class StudyScheduler:
         record.mark_running()
         started_clock = self.tracer.now()
         study_tracer = Tracer()
-        executor: Optional[ParallelExecutor] = None
+        executor: Optional[Any] = None
         try:
             chunk_rows = self.chunk_rows
             if chunk_rows is None:
@@ -244,7 +254,19 @@ class StudyScheduler:
                 chunk_rows = default_chunk_rows(
                     study_size(record.spec), self.study_workers or 1
                 )
-            if self.study_workers is not None:
+            if self.distrib_root is not None:
+                # Each study gets its own work dir (keyed by study id,
+                # itself digest-derived), so external `repro-skyline
+                # worker` processes can join it by path, and restarting
+                # the server resumes from the records already there.
+                from ..distrib import DistributedExecutor, default_worker_id
+
+                executor = DistributedExecutor(
+                    self.distrib_root / record.study_id,
+                    worker_id=f"serve-{default_worker_id()}",
+                    n_workers=self.study_workers or 1,
+                )
+            elif self.study_workers is not None:
                 executor = ParallelExecutor(
                     n_workers=self.study_workers, backend=self.backend
                 )

@@ -90,6 +90,7 @@ class ServeConfig:
     backend: str = "process"
     chunk_rows: Optional[int] = None  # None = size-derived default
     checkpoint_root: Optional[str] = None
+    distrib_root: Optional[str] = None  # per-study distributed work dirs
     request_concurrency: int = 32  # concurrently served HTTP requests
     progress_poll_s: float = 0.25  # stream wake-up cadence
 
@@ -142,6 +143,7 @@ class ReproServer:
             backend=self.config.backend,
             chunk_rows=self.config.chunk_rows,
             checkpoint_root=self.config.checkpoint_root,
+            distrib_root=self.config.distrib_root,
             tracer=self.tracer,
         )
         self._server: Optional[asyncio.base_events.Server] = None

@@ -14,6 +14,9 @@ Examples::
     repro-skyline study --spec big.json --workers 4 --resume ckpt/
     repro-skyline study --spec big.json --workers 4 --chunk-rows 65536 \\
         --trace trace.json --metrics --progress --json > result.json
+    repro-skyline study --spec big.json --distributed \\
+        --work-dir /mnt/shared/run1 --lease-ttl 30 --json
+    repro-skyline worker --work-dir /mnt/shared/run1 --wait 60
     repro-skyline serve --port 8351 --max-concurrent 2 --max-queue 32
     repro-skyline list
 """
@@ -144,6 +147,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "matching run's manifest)",
     )
     study.add_argument(
+        "--distributed", action="store_true",
+        help="pull shards from a shared --work-dir under the lease "
+        "protocol instead of a local pool (other hosts join with "
+        "'repro-skyline worker'; see docs/distributed-protocol.md)",
+    )
+    study.add_argument(
+        "--work-dir", metavar="DIR",
+        help="shared work directory for --distributed (manifest, "
+        "spec.json, shard records and leases)",
+    )
+    study.add_argument(
+        "--worker-id",
+        help="this worker's id in lease files "
+        "(default: <hostname>-<pid>)",
+    )
+    study.add_argument(
+        "--lease-ttl", type=float, metavar="SECONDS",
+        help="seconds without a heartbeat before a worker's shard "
+        "lease is re-claimable (default 30)",
+    )
+    study.add_argument(
         "--trace", metavar="FILE",
         help="record phase/shard spans and write a chrome://tracing "
         "trace JSON to FILE (load it in Perfetto)",
@@ -156,6 +180,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print per-shard progress lines (shards done, rows/s, ETA) "
         "to stderr while the study runs",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="join a distributed study: pull shards from a shared "
+        "work dir until every shard has a record",
+    )
+    worker.add_argument(
+        "--work-dir", metavar="DIR", required=True,
+        help="the shared work directory of the study to join",
+    )
+    worker.add_argument(
+        "--worker-id",
+        help="this worker's id in lease files "
+        "(default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, metavar="SECONDS",
+        help="seconds without a heartbeat before this worker's shard "
+        "leases are re-claimable (default 30)",
+    )
+    worker.add_argument(
+        "--poll", type=float, metavar="SECONDS",
+        help="seconds between polls for remotely-leased shards "
+        "(default: lease-ttl / 4, capped at 1)",
+    )
+    worker.add_argument(
+        "--wait", type=float, default=0.0, metavar="SECONDS",
+        help="wait up to this long for the initiator to publish the "
+        "study before giving up (default 0: fail fast)",
+    )
+    worker.add_argument(
+        "--json", action="store_true",
+        help="emit the worker report as JSON on stdout",
     )
 
     serve = sub.add_parser(
@@ -197,6 +255,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-root", metavar="DIR",
         help="write per-study shard checkpoints under DIR "
         "(restarting the server reuses completed shards)",
+    )
+    serve.add_argument(
+        "--distrib-root", metavar="DIR",
+        help="run each study as a distributed work dir under DIR "
+        "(external 'repro-skyline worker' processes can join; "
+        "mutually exclusive with --checkpoint-root)",
     )
 
     sub.add_parser("list", help="list presets, platforms and algorithms")
@@ -281,6 +345,49 @@ def _run_study(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.distributed:
+        if args.work_dir is None:
+            print(
+                "error: --distributed needs --work-dir (the shared "
+                "directory all workers meet in)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.backend is not None:
+            print(
+                "error: --backend applies to local worker pools; a "
+                "--distributed run computes its shards in-process "
+                "(parallelism comes from more workers joining)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.checkpoint is not None or args.resume is not None:
+            print(
+                "error: --checkpoint/--resume do not combine with "
+                "--distributed (the --work-dir already is the "
+                "checkpoint; re-running with the same --work-dir "
+                "resumes)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.lease_ttl is not None and not args.lease_ttl > 0:
+            print(
+                f"error: --lease-ttl must be > 0, got {args.lease_ttl}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        for flag, value in (
+            ("--work-dir", args.work_dir),
+            ("--worker-id", args.worker_id),
+            ("--lease-ttl", args.lease_ttl),
+        ):
+            if value is not None:
+                print(
+                    f"error: {flag} requires --distributed",
+                    file=sys.stderr,
+                )
+                return 2
     if args.spec is not None:
         if args.values is not None:
             print(
@@ -319,7 +426,29 @@ def _run_study(args: argparse.Namespace) -> int:
         progress = ProgressPrinter()
 
     executor = None
-    if args.workers is not None:
+    chunk_rows = args.chunk_rows
+    if args.distributed:
+        from ..batch.executor import CheckpointStore
+        from ..distrib import DEFAULT_LEASE_TTL_S, DistributedExecutor
+
+        if chunk_rows is None:
+            # Re-running against an existing work dir resumes it, so
+            # an unspecified chunking adopts the manifest's (mirroring
+            # --resume) instead of re-deriving a possibly different one.
+            existing = CheckpointStore.peek_manifest(args.work_dir)
+            if existing is not None:
+                chunk_rows = existing.chunk_rows
+        executor = DistributedExecutor(
+            args.work_dir,
+            worker_id=args.worker_id,
+            lease_ttl_s=(
+                args.lease_ttl
+                if args.lease_ttl is not None
+                else DEFAULT_LEASE_TTL_S
+            ),
+            n_workers=args.workers or 1,
+        )
+    elif args.workers is not None:
         from ..batch.executor import ParallelExecutor
 
         executor = ParallelExecutor(
@@ -329,7 +458,7 @@ def _run_study(args: argparse.Namespace) -> int:
         result = run_study(
             spec,
             executor=executor,
-            chunk_rows=args.chunk_rows,
+            chunk_rows=chunk_rows,
             checkpoint=args.resume or args.checkpoint,
             resume=args.resume is not None,
             tracer=tracer,
@@ -358,6 +487,53 @@ def _run_study(args: argparse.Namespace) -> int:
             print(f"\nstudy result written to {args.out}")
         if args.trace:
             print(f"trace written to {args.trace}")
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    if args.lease_ttl is not None and not args.lease_ttl > 0:
+        print(
+            f"error: --lease-ttl must be > 0, got {args.lease_ttl}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.poll is not None and not args.poll > 0:
+        print(
+            f"error: --poll must be > 0, got {args.poll}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.wait < 0:
+        print(
+            f"error: --wait must be >= 0, got {args.wait}",
+            file=sys.stderr,
+        )
+        return 2
+    from ..distrib import DEFAULT_LEASE_TTL_S, run_worker
+
+    report = run_worker(
+        args.work_dir,
+        worker_id=args.worker_id,
+        lease_ttl_s=(
+            args.lease_ttl
+            if args.lease_ttl is not None
+            else DEFAULT_LEASE_TTL_S
+        ),
+        poll_interval_s=args.poll,
+        wait_s=args.wait,
+    )
+    if args.json:
+        import dataclasses
+
+        print(json.dumps(dataclasses.asdict(report)))
+    else:
+        print(
+            f"worker {report.worker_id}: study {report.spec_digest} "
+            f"complete ({report.shards_total} shards: "
+            f"{report.computed} computed here, {report.loaded} by "
+            f"other workers, {report.resumed} already checkpointed) "
+            f"in {report.elapsed_s:.2f}s"
+        )
     return 0
 
 
@@ -402,6 +578,14 @@ def _run_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.distrib_root is not None and args.checkpoint_root is not None:
+        print(
+            "error: --distrib-root and --checkpoint-root are mutually "
+            "exclusive (a distributed work dir already checkpoints "
+            "every shard)",
+            file=sys.stderr,
+        )
+        return 2
 
     from ..serve import ServeConfig, ServerHandle
 
@@ -414,6 +598,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         backend=args.backend or "process",
         chunk_rows=args.chunk_rows,
         checkpoint_root=args.checkpoint_root,
+        distrib_root=args.distrib_root,
     )
     handle = ServerHandle(config).start()
     # Diagnostics to stderr, like every other subcommand.
@@ -459,6 +644,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_sweep(args)
         if args.command == "study":
             return _run_study(args)
+        if args.command == "worker":
+            return _run_worker(args)
         if args.command == "serve":
             return _run_serve(args)
         return _run_list()

@@ -418,6 +418,121 @@ class TestRPL009:
         assert finding.path == doc.as_posix()
         assert finding.line == 2
 
+    def test_doc_cross_links_must_resolve(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        page = docs / "guide.md"
+        page.write_text(
+            "[fine](other.md) [web](https://example.com/x.md) "
+            "[anchor](#section) [mail](mailto:a@b.c)\n"
+            "See [the spec](vanished.md#fields) for details.\n",
+            encoding="utf-8",
+        )
+        (docs / "other.md").write_text("present\n", encoding="utf-8")
+        analyzer = Analyzer(
+            AnalyzerConfig(
+                doc_files=(str(page), str(docs / "other.md"))
+            )
+        )
+        findings = analyzer.check_paths([SRC_REPRO / "units.py"])
+        assert rules_of(findings) == ["RPL009"]
+        (finding,) = findings
+        assert "vanished.md" in finding.message
+        assert finding.path == page.as_posix()
+        assert finding.line == 2
+
+    @staticmethod
+    def _wire_tree(tmp_path, pages: Dict[str, str]) -> List[str]:
+        write_tree(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/io/__init__.py": "",
+                "repro/io/serialization.py": (
+                    "FOO_VERSION = 1\n"
+                    "BAR_VERSION = 2\n"
+                    "NOT_A_WIRE_CONST = 3\n"
+                ),
+            },
+        )
+        doc_files = []
+        for name, text in pages.items():
+            path = tmp_path / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+            doc_files.append(str(path))
+        return doc_files
+
+    def test_wire_constant_on_exactly_one_docs_page_is_clean(
+        self, tmp_path
+    ):
+        doc_files = self._wire_tree(
+            tmp_path,
+            {
+                "docs/proto.md": "`FOO_VERSION` pins the foo format.\n",
+                "docs/ops.md": "`BAR_VERSION` pins the bar format.\n",
+            },
+        )
+        analyzer = Analyzer(AnalyzerConfig(doc_files=tuple(doc_files)))
+        assert analyzer.check_paths([tmp_path / "repro"]) == []
+
+    def test_undocumented_wire_constant_is_flagged(self, tmp_path):
+        doc_files = self._wire_tree(
+            tmp_path,
+            {"docs/proto.md": "`FOO_VERSION` pins the foo format.\n"},
+        )
+        analyzer = Analyzer(AnalyzerConfig(doc_files=tuple(doc_files)))
+        findings = analyzer.check_paths([tmp_path / "repro"])
+        assert rules_of(findings) == ["RPL009"]
+        (finding,) = findings
+        assert "'BAR_VERSION'" in finding.message
+        assert "not documented" in finding.message
+
+    def test_doubly_documented_wire_constant_is_flagged(self, tmp_path):
+        doc_files = self._wire_tree(
+            tmp_path,
+            {
+                "docs/proto.md": "`FOO_VERSION` and `BAR_VERSION`.\n",
+                "docs/ops.md": "BAR_VERSION again, forked.\n",
+            },
+        )
+        analyzer = Analyzer(AnalyzerConfig(doc_files=tuple(doc_files)))
+        findings = analyzer.check_paths([tmp_path / "repro"])
+        assert rules_of(findings) == ["RPL009"]
+        (finding,) = findings
+        assert "'BAR_VERSION'" in finding.message
+        assert "2 docs pages" in finding.message
+        assert "ops.md" in finding.message and "proto.md" in finding.message
+
+    def test_readme_mentions_do_not_count_as_docs_pages(self, tmp_path):
+        # Only pages under a docs/ directory are normative homes: a
+        # README mention neither satisfies nor forks the requirement.
+        doc_files = self._wire_tree(
+            tmp_path,
+            {
+                "README.md": "FOO_VERSION and BAR_VERSION live here.\n",
+                "docs/proto.md": "`FOO_VERSION` pins foo.\n",
+            },
+        )
+        analyzer = Analyzer(AnalyzerConfig(doc_files=tuple(doc_files)))
+        findings = analyzer.check_paths([tmp_path / "repro"])
+        assert [f.message for f in findings if "BAR_VERSION" in f.message]
+
+    def test_wire_constant_check_skips_partial_trees(self, tmp_path):
+        # No docs/ pages configured -> quiet; serialization module not
+        # analyzed -> quiet.  Partial runs must not demand docs.
+        doc_files = self._wire_tree(
+            tmp_path, {"README.md": "no docs pages configured\n"}
+        )
+        analyzer = Analyzer(AnalyzerConfig(doc_files=tuple(doc_files)))
+        assert analyzer.check_paths([tmp_path / "repro"]) == []
+        docs_only = Analyzer(
+            AnalyzerConfig(
+                doc_files=(str(tmp_path / "docs" / "none.md"),)
+            )
+        )
+        assert docs_only.check_paths([SRC_REPRO / "units.py"]) == []
+
 
 # ---------------------------------------------------------------------------
 # edge inputs

@@ -63,6 +63,7 @@ def test_builder_fingerprints_match_snapshot(snapshot):
 def test_snapshot_versions_match_live_constants(snapshot):
     live_versions = {
         "MANIFEST_VERSION": ser.MANIFEST_VERSION,
+        "DISTRIB_PROTOCOL_VERSION": ser.DISTRIB_PROTOCOL_VERSION,
         "TRACE_EVENT_VERSION": ser.TRACE_EVENT_VERSION,
         "TELEMETRY_VERSION": ser.TELEMETRY_VERSION,
         "SERVE_PROTOCOL_VERSION": ser.SERVE_PROTOCOL_VERSION,
@@ -75,11 +76,68 @@ def test_snapshot_versions_match_live_constants(snapshot):
         )
 
 
+def _lease_doc(**overrides):
+    doc = {
+        "version": ser.DISTRIB_PROTOCOL_VERSION,
+        "kind": "lease",
+        "spec_digest": "a" * 32,
+        "owner": "host-a-12041",
+        "shard_index": 3,
+        "lease_ttl_s": 30.0,
+        "heartbeats": 7,
+    }
+    doc.update(overrides)
+    return {k: v for k, v in doc.items() if v is not ...}
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        "not a mapping",
+        _lease_doc(version=99),
+        _lease_doc(kind="manifest"),
+        _lease_doc(spec_digest=...),
+        _lease_doc(spec_digest=""),
+        _lease_doc(spec_digest=7),
+        _lease_doc(owner=""),
+        _lease_doc(shard_index=-1),
+        _lease_doc(shard_index=2.5),
+        _lease_doc(lease_ttl_s=0),
+        _lease_doc(lease_ttl_s=True),
+        _lease_doc(lease_ttl_s="30"),
+        _lease_doc(heartbeats=-1),
+        _lease_doc(heartbeats=...),
+    ],
+    ids=[
+        "non-mapping", "future-version", "wrong-kind", "missing-digest",
+        "empty-digest", "non-str-digest", "empty-owner", "negative-index",
+        "float-index", "zero-ttl", "bool-ttl", "str-ttl",
+        "negative-heartbeats", "missing-heartbeats",
+    ],
+)
+def test_lease_record_from_dict_rejects_damage(doc):
+    # The torn-lease contract: validation failures become clean
+    # ConfigurationErrors, which the lease store downgrades to
+    # "corrupt → claimable" — so this rejection matrix is the crash
+    # barrier for every byte-level way a lease file can be damaged.
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="lease"):
+        ser.lease_record_from_dict(doc)
+
+
+def test_lease_record_round_trips():
+    record = ser.lease_record_from_dict(_lease_doc())
+    assert ser.lease_record_to_dict(record) == _lease_doc()
+
+
 def test_versioned_documents_carry_their_version(live_shapes):
     # The top-level wire envelopes state their version on the wire;
     # trace events ride inside a versioned trace file instead.
     assert live_shapes["shard_manifest"]["version"] == "int"
     assert live_shapes["telemetry"]["version"] == "int"
+    assert live_shapes["lease_record"]["version"] == "int"
+    assert live_shapes["lease_record"]["kind"] == "str"
     for kind in ("ack", "status", "progress", "error", "stats"):
         assert live_shapes[f"serve_{kind}"]["version"] == "int"
         assert live_shapes[f"serve_{kind}"]["kind"] == "str"
